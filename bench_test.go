@@ -1,0 +1,205 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (DESIGN.md §4). Each benchmark regenerates its artifact at
+// smoke scale and logs the resulting rows under -v; headline numbers are
+// attached as custom metrics. For the full-scale tables, run
+// cmd/privehd-experiments instead.
+package privehd_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"privehd/internal/experiments"
+)
+
+var (
+	runnerOnce sync.Once
+	benchR     *experiments.Runner
+	runnerErr  error
+)
+
+// runner returns the shared smoke-scale runner; sharing amortizes the
+// one-time dataset encoding across benchmarks, so iterations measure the
+// experiment computation itself.
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		benchR, runnerErr = experiments.NewRunner(experiments.SmokeContext())
+	})
+	if runnerErr != nil {
+		b.Fatal(runnerErr)
+	}
+	return benchR
+}
+
+// lastCell parses the last row's cell c of a table as a float, stripping a
+// trailing %.
+func lastCell(b *testing.B, t *experiments.Table, c int) float64 {
+	b.Helper()
+	row := t.Rows[len(t.Rows)-1]
+	s := strings.TrimSuffix(row[c], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric", row[c])
+	}
+	return v
+}
+
+func BenchmarkFig2Reconstruction(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table.String())
+			b.ReportMetric(lastCell(b, res.Table, 2), "psnr_db")
+		}
+	}
+}
+
+func BenchmarkFig3Information(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Fig3(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+func BenchmarkFig4Retraining(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig4(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFig5Quantization(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Fig5(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+			// Bipolar accuracy at the largest dimension (fig5a last row).
+			b.ReportMetric(lastCell(b, tables[0], 2), "bipolar_acc_pct")
+		}
+	}
+}
+
+func BenchmarkFig6InferencePrivacy(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table.String())
+			b.ReportMetric(lastCell(b, res.Table, 2), "masked_psnr_db")
+		}
+	}
+}
+
+func BenchmarkFig8DPTraining(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Fig8(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+func BenchmarkFig9InferenceQuant(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Fig9(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+func BenchmarkEq15LUTCost(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Eq15(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkApproxMajority(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ApproxMajority(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTableIPlatforms(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableI(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Ablations(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command privehd-serve is the cloud side of the §III-C offloaded
+// inference demo: it trains (or loads) a full-precision HD model and serves
+// classification over TCP. Pair it with examples/cloud_inference or any
+// offload.Client.
+//
+// Usage:
+//
+//	privehd-serve [-addr :7311] [-dataset isolet-s] [-dim 10000] [-model model.gob]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"privehd/internal/dataset"
+	"privehd/internal/hdc"
+	"privehd/internal/offload"
+)
+
+func main() {
+	addr := flag.String("addr", ":7311", "listen address")
+	name := flag.String("dataset", "isolet-s", "workload to train the served model on")
+	dim := flag.Int("dim", 10000, "hypervector dimensionality")
+	levels := flag.Int("levels", 100, "feature quantization levels")
+	seed := flag.Uint64("seed", 1, "random seed (must match the clients' encoder seed)")
+	modelPath := flag.String("model", "", "load a saved model instead of training")
+	small := flag.Bool("small", false, "train on the small dataset scale")
+	flag.Parse()
+
+	model, err := buildModel(*modelPath, *name, *dim, *levels, *seed, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+		os.Exit(1)
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d-class model (D=%d) on %s\n", model.NumClasses(), model.Dim(), lis.Addr())
+	srv := offload.NewServer(model)
+	if err := srv.Serve(lis); err != nil {
+		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func buildModel(path, name string, dim, levels int, seed uint64, small bool) (*hdc.Model, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return hdc.LoadModel(f)
+	}
+	scale := dataset.Full
+	if small {
+		scale = dataset.Small
+	}
+	d, err := dataset.ByName(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := hdc.NewScalarEncoder(hdc.Config{Dim: dim, Features: d.Features, Levels: levels, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("training full-precision model on %s (%d samples)...\n", d.Name, len(d.TrainX))
+	encoded := hdc.EncodeBatch(enc, d.TrainX, 0)
+	return hdc.Train(encoded, d.TrainY, d.Classes, dim)
+}

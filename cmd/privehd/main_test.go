@@ -1,0 +1,81 @@
+package main
+
+import "testing"
+
+func TestRunTrainSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	err := runTrain([]string{
+		"-dataset", "face-s", "-dim", "1000", "-levels", "10",
+		"-quant", "ternary", "-epochs", "1", "-small",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrainPrivateAndSave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	out := t.TempDir() + "/model.gob"
+	err := runTrain([]string{
+		"-dataset", "face-s", "-dim", "1000", "-levels", "10",
+		"-quant", "ternary-biased", "-keep", "500", "-eps", "8", "-small",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrainBadFlags(t *testing.T) {
+	if err := runTrain([]string{"-dataset", "nope", "-small"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := runTrain([]string{"-quant", "nope", "-small"}); err == nil {
+		t.Error("unknown quantizer should fail")
+	}
+}
+
+func TestRunAttackSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("encodes samples")
+	}
+	err := runAttack([]string{
+		"-dataset", "mnist-s", "-dim", "2000", "-levels", "10",
+		"-quantize", "-mask", "500", "-samples", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	err := runReport([]string{
+		"-dataset", "isolet-s", "-dim", "10000", "-quant", "ternary-biased",
+		"-keep", "1000", "-eps", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unquantized path.
+	if err := runReport([]string{"-quant", "full", "-eps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportBadEpsilon(t *testing.T) {
+	if err := runReport([]string{"-eps", "-1"}); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+}
+
+func TestRunInferNoServer(t *testing.T) {
+	// Dialing a dead port must error out, not hang.
+	err := runInfer([]string{"-addr", "127.0.0.1:1", "-dim", "500", "-levels", "4", "-samples", "1"})
+	if err == nil {
+		t.Error("expected connection error")
+	}
+}

@@ -1,0 +1,24 @@
+// Package privehd is a from-scratch Go reproduction of "Prive-HD:
+// Privacy-Preserved Hyperdimensional Computing" (Khaleghi, Imani, Rosing —
+// DAC 2020, arXiv:2005.06716).
+//
+// The library lives under internal/ (see README.md for the map):
+//
+//   - internal/hdc — hyperdimensional computing substrate (encodings,
+//     class-vector models, retraining)
+//   - internal/quant, internal/prune, internal/dp — the paper's three
+//     privacy levers: encoding quantization, model pruning, calibrated
+//     Gaussian noise
+//   - internal/attack — the Eq. 10 reconstruction and model-difference
+//     membership attacks the defences are measured against
+//   - internal/core — the assembled Prive-HD training/inference pipelines
+//   - internal/offload — edge→cloud inference over TCP with a wiretap
+//     harness
+//   - internal/fpga, internal/netlist, internal/hdl — the §III-D hardware
+//     path: LUT-6 circuit models, structural netlists, Verilog emission
+//   - internal/experiments — regenerators for every paper table and figure
+//
+// The root package holds only this documentation and the benchmark harness
+// (bench_test.go), which regenerates each paper artifact under `go test
+// -bench`.
+package privehd

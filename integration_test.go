@@ -1,0 +1,167 @@
+package privehd_test
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"privehd/internal/attack"
+	"privehd/internal/core"
+	"privehd/internal/dataset"
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/offload"
+	"privehd/internal/quant"
+	"privehd/internal/vecmath"
+)
+
+// TestFullLifecycle walks the complete Prive-HD story across module
+// boundaries: private training → model serialization → cloud serving →
+// obfuscated edge inference → eavesdropper attack → membership attack on
+// the released model. Everything a deployment would actually do.
+func TestFullLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	data, err := dataset.FACES(dataset.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdCfg := hdc.Config{Dim: 4000, Features: data.Features, Levels: 20, Seed: 77}
+
+	// --- 1. Differentially private training. ----------------------------
+	pipeline, err := core.Train(core.Config{
+		HD:            hdCfg,
+		Quantizer:     quant.BiasedTernary{},
+		KeepDims:      2000,
+		RetrainEpochs: 2,
+		DP:            &dp.Params{Epsilon: 8, Delta: 1e-5},
+		NoiseSeed:     78,
+	}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := pipeline.Report()
+	if !report.Private || report.KeptDims != 2000 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+	privateAcc := pipeline.Evaluate(data)
+	if privateAcc < 0.6 {
+		t.Errorf("private accuracy = %v, want ≥ 0.6 at ε=8 on an easy binary task", privateAcc)
+	}
+
+	// --- 2. Model round-trips through serialization. ---------------------
+	var buf bytes.Buffer
+	if err := pipeline.Model().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	served, err := hdc.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 3. Serve the released model; classify through an obfuscating
+	//        edge over real TCP. ------------------------------------------
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := offload.NewServer(served)
+	go server.Serve(lis)
+	defer server.Close()
+
+	edge, err := core.NewEdge(core.EdgeConfig{
+		HD: hdCfg, Encoding: core.EncodingLevel, Quantize: true,
+		MaskDims: 500, MaskSeed: 79,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped, tap := offload.Tap(raw)
+	client := offload.NewClient(tapped)
+	defer client.Close()
+
+	n := 20
+	if n > len(data.TestX) {
+		n = len(data.TestX)
+	}
+	// The served model was trained on masked biased-ternary encodings; the
+	// edge sends bipolar+masked queries. Cross-scheme inference is the
+	// paper's §III-C setting (degraded query, information-rich classes).
+	queries := edge.PrepareBatch(data.TestX[:n], 0)
+	labels, err := client.ClassifyBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, label := range labels {
+		if label == data.TestY[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.55 {
+		t.Errorf("served accuracy = %v over %d queries", acc, n)
+	}
+
+	// --- 4. The wiretap sees only obfuscated vectors. --------------------
+	deadline := time.After(2 * time.Second)
+	for len(tap.Queries()) < n {
+		select {
+		case <-deadline:
+			t.Fatalf("tap saw %d/%d queries", len(tap.Queries()), n)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	for _, q := range tap.Queries() {
+		zeros := 0
+		for _, v := range q {
+			switch v {
+			case 0:
+				zeros++
+			case 1, -1:
+			default:
+				t.Fatalf("wiretap saw unquantized value %v", v)
+			}
+		}
+		if zeros < 500 {
+			t.Fatalf("wiretap query has %d zeros, want ≥ mask size", zeros)
+		}
+	}
+
+	// --- 5. Membership attack on the DP release is blunted. --------------
+	// Train the same pipeline minus one record; the class-difference of the
+	// two *privatized* releases should no longer resemble the missing
+	// record's encoding (clean models leak it near-exactly; see the attack
+	// package tests for the undefended contrast).
+	smaller := data.Subset(0.95)
+	pipeline2, err := core.Train(core.Config{
+		HD:            hdCfg,
+		Quantizer:     quant.BiasedTernary{},
+		KeepDims:      2000,
+		RetrainEpochs: 2,
+		DP:            &dp.Params{Epsilon: 8, Delta: 1e-5},
+		NoiseSeed:     80, // fresh noise, as two releases would have
+	}, smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, _, err := attack.ModelDifference(pipeline2.Model(), pipeline.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The difference is dominated by the two independent noise draws: its
+	// per-dimension rms must be at least a single release's calibrated
+	// noise std, i.e. the record is buried.
+	noiseFloor := report.NoiseStd
+	rms := vecmath.Norm2(diff) / math.Sqrt(float64(len(diff)))
+	if rms < noiseFloor {
+		t.Errorf("model-difference rms %v below a single release's noise std %v — record insufficiently buried",
+			rms, noiseFloor)
+	}
+}

@@ -1,0 +1,44 @@
+package attack
+
+import (
+	"testing"
+
+	"privehd/internal/hdc"
+	"privehd/internal/hrand"
+)
+
+func BenchmarkDecode617x10k(b *testing.B) {
+	// The Eq. 10 attack at the paper's ISOLET geometry.
+	enc, err := hdc.NewScalarEncoder(hdc.Config{Dim: 10000, Features: 617, Levels: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := hrand.New(300)
+	x := make([]float64, 617)
+	for i := range x {
+		x[i] = src.Float64()
+	}
+	h := enc.Encode(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelDifference(b *testing.B) {
+	src := hrand.New(301)
+	m1 := hdc.NewModel(26, 10000)
+	for l := 0; l < 26; l++ {
+		m1.Add(l, src.NormalVec(10000, 0, 20))
+	}
+	m2 := m1.Clone()
+	m2.Add(7, src.NormalVec(10000, 0, 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ModelDifference(m1, m2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

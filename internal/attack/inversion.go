@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"fmt"
+
+	"privehd/internal/hdc"
+)
+
+// ClassInversion mounts the model-inversion attack implied by §III-A's
+// model-privacy discussion: a released class hypervector is the sum of its
+// members' encodings (Eq. 3), and the Eq. 10 projection is linear, so
+//
+//	Decode(C_l) / count_l ≈ average feature vector of class l.
+//
+// Against an image model this recovers the average class member (for MNIST,
+// a readable prototype digit) from nothing but the published model — the
+// reason Prive-HD adds calibrated noise before release. The returned slice
+// has one reconstruction per class; classes with no bundled members return
+// nil entries.
+func ClassInversion(enc hdc.BaseProvider, m *hdc.Model) ([][]float64, error) {
+	if m.Dim() != enc.Dim() {
+		return nil, fmt.Errorf("attack: model dim %d, encoder dim %d", m.Dim(), enc.Dim())
+	}
+	out := make([][]float64, m.NumClasses())
+	for l := 0; l < m.NumClasses(); l++ {
+		count := m.Count(l)
+		if count <= 0 {
+			continue
+		}
+		recon, err := Decode(enc, m.Class(l))
+		if err != nil {
+			return nil, err
+		}
+		for i := range recon {
+			recon[i] /= float64(count)
+		}
+		out[l] = recon
+	}
+	return out, nil
+}
+
+// ClassInversionScaled is ClassInversion followed by per-class min/max
+// normalization to [0,1] — the view an adversary without count metadata
+// would render (counts only scale the image).
+func ClassInversionScaled(enc hdc.BaseProvider, m *hdc.Model) ([][]float64, error) {
+	out := make([][]float64, m.NumClasses())
+	for l := 0; l < m.NumClasses(); l++ {
+		if m.Count(l) <= 0 && isZeroVector(m.Class(l)) {
+			continue
+		}
+		recon, err := DecodeScaled(enc, m.Class(l))
+		if err != nil {
+			return nil, err
+		}
+		out[l] = recon
+	}
+	return out, nil
+}
+
+func isZeroVector(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package attack
+
+import (
+	"testing"
+
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/hrand"
+	"privehd/internal/vecmath"
+)
+
+// inversionFixture trains a small scalar-encoded model on two synthetic
+// classes with distinct prototypes and returns everything the attacks need.
+func inversionFixture(t *testing.T) (*hdc.ScalarEncoder, *hdc.Model, [][]float64) {
+	t.Helper()
+	cfg := hdc.Config{Dim: 8000, Features: 30, Levels: 10, Seed: 41}
+	enc, err := hdc.NewScalarEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := hrand.New(42)
+	protos := [][]float64{
+		src.NormalVec(cfg.Features, 0.5, 0.15),
+		src.NormalVec(cfg.Features, 0.5, 0.15),
+	}
+	for _, p := range protos {
+		for i := range p {
+			if p[i] < 0 {
+				p[i] = 0
+			}
+			if p[i] > 1 {
+				p[i] = 1
+			}
+		}
+	}
+	m := hdc.NewModel(2, cfg.Dim)
+	for c, p := range protos {
+		for s := 0; s < 12; s++ {
+			x := make([]float64, cfg.Features)
+			for i := range x {
+				x[i] = p[i] + src.Normal(0, 0.03)
+				if x[i] < 0 {
+					x[i] = 0
+				}
+				if x[i] > 1 {
+					x[i] = 1
+				}
+			}
+			m.Add(c, enc.Encode(x))
+		}
+	}
+	return enc, m, protos
+}
+
+func TestClassInversionRecoversPrototypes(t *testing.T) {
+	enc, m, protos := inversionFixture(t)
+	recons, err := ClassInversion(enc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recons) != 2 {
+		t.Fatalf("recons = %d", len(recons))
+	}
+	for c, recon := range recons {
+		// The reconstruction approximates the level-quantized class mean;
+		// MSE against the prototype must be small and the match must be
+		// class-specific.
+		own := vecmath.MSE(protos[c], recon)
+		other := vecmath.MSE(protos[1-c], recon)
+		if own > 0.01 {
+			t.Errorf("class %d inversion MSE = %v, want near-exact", c, own)
+		}
+		if own >= other {
+			t.Errorf("class %d inversion matches the wrong prototype (%v vs %v)", c, own, other)
+		}
+	}
+}
+
+func TestClassInversionSkipsEmptyClasses(t *testing.T) {
+	cfg := hdc.Config{Dim: 500, Features: 5, Levels: 4, Seed: 43}
+	enc, err := hdc.NewScalarEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hdc.NewModel(2, cfg.Dim)
+	m.Add(0, enc.Encode([]float64{1, 0, 1, 0, 1}))
+	recons, err := ClassInversion(enc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recons[0] == nil {
+		t.Error("populated class should reconstruct")
+	}
+	if recons[1] != nil {
+		t.Error("empty class should be nil")
+	}
+}
+
+func TestClassInversionDimCheck(t *testing.T) {
+	cfg := hdc.Config{Dim: 100, Features: 5, Levels: 4, Seed: 44}
+	enc, _ := hdc.NewScalarEncoder(cfg)
+	m := hdc.NewModel(1, 50)
+	if _, err := ClassInversion(enc, m); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestDPNoiseDefeatsClassInversion(t *testing.T) {
+	// The point of the paper's training defence: after the Gaussian
+	// mechanism, the inverted prototypes are much farther from the truth.
+	enc, m, protos := inversionFixture(t)
+	clean, err := ClassInversion(enc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := m.Clone()
+	// Tight budget with the raw sensitivity of this geometry.
+	if err := dp.PrivatizeModel(hrand.New(45), noisy, 400, dp.Params{Epsilon: 1, Delta: 1e-5}); err != nil {
+		t.Fatal(err)
+	}
+	private, err := ClassInversion(enc, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range protos {
+		before := vecmath.MSE(protos[c], clean[c])
+		after := vecmath.MSE(protos[c], private[c])
+		if after < 10*before {
+			t.Errorf("class %d: DP inversion MSE %v not much worse than clean %v", c, after, before)
+		}
+	}
+}
+
+func TestClassInversionScaled(t *testing.T) {
+	enc, m, _ := inversionFixture(t)
+	recons, err := ClassInversionScaled(enc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, recon := range recons {
+		if recon == nil {
+			t.Fatalf("class %d nil", c)
+		}
+		for _, v := range recon {
+			if v < 0 || v > 1 {
+				t.Fatalf("scaled inversion out of [0,1]: %v", v)
+			}
+		}
+	}
+}

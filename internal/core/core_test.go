@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"privehd/internal/dataset"
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/quant"
+)
+
+// smallTask returns a quick separable dataset for pipeline tests.
+func smallTask(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Gaussian(dataset.GaussianSpec{
+		Name: "core-test", Features: 60, Classes: 4, TrainPer: 25, TestPer: 10,
+		Separation: 0.2, Noise: 0.08, ActiveFraction: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func baseConfig(d *dataset.Dataset) Config {
+	return Config{
+		HD:        hdc.Config{Dim: 2000, Features: d.Features, Levels: 16, Seed: 2},
+		Quantizer: quant.Identity{},
+	}
+}
+
+func TestTrainBaseline(t *testing.T) {
+	d := smallTask(t)
+	p, err := Train(baseConfig(d), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Evaluate(d); acc < 0.9 {
+		t.Errorf("baseline accuracy = %v, want ≥ 0.9", acc)
+	}
+	r := p.Report()
+	if r.Private || r.NoiseStd != 0 {
+		t.Errorf("non-private pipeline reported privacy: %+v", r)
+	}
+	if r.KeptDims != 2000 {
+		t.Errorf("KeptDims = %d", r.KeptDims)
+	}
+}
+
+func TestTrainQuantized(t *testing.T) {
+	d := smallTask(t)
+	for _, q := range quant.Schemes() {
+		cfg := baseConfig(d)
+		cfg.Quantizer = q
+		p, err := Train(cfg, d)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		if acc := p.Evaluate(d); acc < 0.85 {
+			t.Errorf("%s accuracy = %v, want ≥ 0.85 on easy task", q.Name(), acc)
+		}
+	}
+}
+
+func TestTrainPruned(t *testing.T) {
+	d := smallTask(t)
+	cfg := baseConfig(d)
+	cfg.Quantizer = quant.Ternary{}
+	cfg.KeepDims = 800
+	cfg.RetrainEpochs = 2
+	p, err := Train(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mask() == nil {
+		t.Fatal("expected a pruning mask")
+	}
+	if got := p.Mask().Kept(); got != 800 {
+		t.Errorf("kept dims = %d, want 800", got)
+	}
+	// Pruned dims must be zero in every class.
+	for l := 0; l < p.Model().NumClasses(); l++ {
+		c := p.Model().Class(l)
+		for j, keep := range p.Mask().Keep {
+			if !keep && c[j] != 0 {
+				t.Fatalf("pruned dim %d of class %d is %v", j, l, c[j])
+			}
+		}
+	}
+	if acc := p.Evaluate(d); acc < 0.85 {
+		t.Errorf("pruned accuracy = %v", acc)
+	}
+	if p.Report().KeptDims != 800 {
+		t.Errorf("report kept = %d", p.Report().KeptDims)
+	}
+}
+
+func TestTrainPrivate(t *testing.T) {
+	d := smallTask(t)
+	cfg := baseConfig(d)
+	cfg.Quantizer = quant.BiasedTernary{}
+	cfg.KeepDims = 1000
+	cfg.RetrainEpochs = 1
+	cfg.DP = &dp.Params{Epsilon: 4, Delta: 1e-5}
+	cfg.NoiseSeed = 3
+	p, err := Train(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Report()
+	if !r.Private {
+		t.Fatal("expected a private report")
+	}
+	// Sensitivity must be the Eq. 14 value over kept dims: sqrt(1000/2).
+	if want := math.Sqrt(500); math.Abs(r.Sensitivity-want) > 1e-9 {
+		t.Errorf("sensitivity = %v, want %v", r.Sensitivity, want)
+	}
+	if r.NoiseStd <= 0 || r.SigmaFactor <= 0 {
+		t.Errorf("noise fields not populated: %+v", r)
+	}
+	if r.Epsilon != 4 || r.Delta != 1e-5 {
+		t.Errorf("budget echo wrong: %+v", r)
+	}
+	// With a loose ε on an easy task, accuracy should survive.
+	if acc := p.Evaluate(d); acc < 0.75 {
+		t.Errorf("private accuracy = %v, want ≥ 0.75", acc)
+	}
+	// Noise must not have landed on pruned dimensions.
+	for l := 0; l < p.Model().NumClasses(); l++ {
+		c := p.Model().Class(l)
+		for j, keep := range p.Mask().Keep {
+			if !keep && c[j] != 0 {
+				t.Fatalf("noise on pruned dim %d", j)
+			}
+		}
+	}
+}
+
+func TestTrainPrivateUnquantizedUsesRawSensitivity(t *testing.T) {
+	d := smallTask(t)
+	cfg := baseConfig(d)
+	cfg.DP = &dp.Params{Epsilon: 1000, Delta: 1e-5} // absurd ε so accuracy survives
+	p, err := Train(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := quant.RawL2Sensitivity(2000, d.Features)
+	if math.Abs(p.Report().Sensitivity-want) > 1e-9 {
+		t.Errorf("sensitivity = %v, want Eq.12 %v", p.Report().Sensitivity, want)
+	}
+}
+
+func TestPrivacyCostOrdering(t *testing.T) {
+	// Tight ε must cost at least as much accuracy as loose ε (Fig. 8).
+	d := smallTask(t)
+	accAt := func(eps float64) float64 {
+		cfg := baseConfig(d)
+		cfg.Quantizer = quant.Ternary{}
+		cfg.DP = &dp.Params{Epsilon: eps, Delta: 1e-5}
+		cfg.NoiseSeed = 7
+		p, err := Train(cfg, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Evaluate(d)
+	}
+	loose, tight := accAt(8), accAt(0.01)
+	if tight > loose+0.05 {
+		t.Errorf("tight ε accuracy %v should not beat loose %v", tight, loose)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	d := smallTask(t)
+	good := baseConfig(d)
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Quantizer = nil; return c },
+		func(c Config) Config { c.KeepDims = -1; return c },
+		func(c Config) Config { c.KeepDims = c.HD.Dim + 1; return c },
+		func(c Config) Config { c.RetrainEpochs = -1; return c },
+		func(c Config) Config { c.DP = &dp.Params{}; return c },
+		func(c Config) Config { c.HD.Dim = 0; return c },
+		func(c Config) Config { c.Encoding = Encoding(9); return c },
+	}
+	for i, mutate := range bad {
+		if _, err := Train(mutate(good), d); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+	// Dataset/config feature mismatch.
+	cfg := good
+	cfg.HD.Features = 3
+	if _, err := Train(cfg, d); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+}
+
+func TestScalarEncodingPipeline(t *testing.T) {
+	d := smallTask(t)
+	cfg := baseConfig(d)
+	cfg.Encoding = EncodingScalar
+	p, err := Train(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.Evaluate(d); acc < 0.85 {
+		t.Errorf("scalar pipeline accuracy = %v", acc)
+	}
+	if _, ok := p.Encoder().(*hdc.ScalarEncoder); !ok {
+		t.Errorf("encoder type = %T", p.Encoder())
+	}
+}
+
+func TestPredictMatchesEvaluate(t *testing.T) {
+	d := smallTask(t)
+	p, err := Train(baseConfig(d), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range d.TestX {
+		if p.Predict(x) == d.TestY[i] {
+			correct++
+		}
+	}
+	manual := float64(correct) / float64(len(d.TestX))
+	if got := p.Evaluate(d); math.Abs(got-manual) > 1e-12 {
+		t.Errorf("Evaluate %v != per-sample %v", got, manual)
+	}
+}

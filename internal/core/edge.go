@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"privehd/internal/hdc"
+	"privehd/internal/hrand"
+	"privehd/internal/prune"
+	"privehd/internal/quant"
+)
+
+// EdgeConfig assembles the §III-C inference-privacy path: the edge device
+// encodes locally and obfuscates the query — 1-bit quantization plus random
+// dimension masking — before offloading to an untrusted host. The host's
+// full-precision model is neither accessed nor modified ("our technique
+// does not need to modify or access the trained model").
+type EdgeConfig struct {
+	// HD is the encoder geometry; it must match the cloud model's
+	// encoder (base hypervectors are shared public setup).
+	HD hdc.Config
+	// Encoding selects Eq. 2a or 2b.
+	Encoding Encoding
+	// Quantize applies 1-bit (bipolar) quantization to outgoing queries.
+	Quantize bool
+	// MaskDims nullifies this many randomly chosen dimensions of every
+	// outgoing query (the same dimensions for all queries, chosen at
+	// setup).
+	MaskDims int
+	// MaskSeed seeds the mask choice.
+	MaskSeed uint64
+}
+
+// Edge prepares obfuscated queries on the device.
+type Edge struct {
+	cfg     EdgeConfig
+	encoder hdc.Encoder
+	mask    *prune.Mask // nil when MaskDims == 0
+}
+
+// NewEdge builds the edge-side encoder.
+func NewEdge(cfg EdgeConfig) (*Edge, error) {
+	if err := cfg.HD.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaskDims < 0 || cfg.MaskDims >= cfg.HD.Dim {
+		return nil, fmt.Errorf("core: MaskDims %d out of range [0,%d)", cfg.MaskDims, cfg.HD.Dim)
+	}
+	enc, err := newEncoder(Config{HD: cfg.HD, Encoding: cfg.Encoding, Quantizer: quant.Identity{}})
+	if err != nil {
+		return nil, err
+	}
+	e := &Edge{cfg: cfg, encoder: enc}
+	if cfg.MaskDims > 0 {
+		src := hrand.New(cfg.MaskSeed)
+		e.mask = prune.RandomMask(cfg.HD.Dim, cfg.MaskDims, src.SampleK)
+	}
+	return e, nil
+}
+
+// Encoder exposes the underlying encoder (shared setup with the cloud).
+func (e *Edge) Encoder() hdc.Encoder { return e.encoder }
+
+// Mask returns the query mask, or nil when masking is off.
+func (e *Edge) Mask() *prune.Mask { return e.mask }
+
+// Prepare returns the obfuscated query hypervector for one input — what
+// actually crosses the network.
+func (e *Edge) Prepare(x []float64) []float64 {
+	h := e.encoder.Encode(x)
+	if e.cfg.Quantize {
+		h = quant.Bipolar{}.Quantize(h)
+	}
+	if e.mask != nil {
+		e.mask.Apply(h)
+	}
+	return h
+}
+
+// PrepareBatch obfuscates a batch of inputs.
+func (e *Edge) PrepareBatch(X [][]float64, workers int) [][]float64 {
+	raw := hdc.EncodeBatch(e.encoder, X, workers)
+	out := make([][]float64, len(raw))
+	for i, h := range raw {
+		if e.cfg.Quantize {
+			h = quant.Bipolar{}.Quantize(h)
+		}
+		if e.mask != nil {
+			h = e.mask.AppliedCopy(h)
+		}
+		out[i] = h
+	}
+	return out
+}

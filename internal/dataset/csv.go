@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The synthetic stand-ins exist because this reproduction is offline; users
+// who do hold the real corpora (UCI ISOLET ships as CSV-like .data files)
+// can load them here and run every experiment unchanged.
+
+// CSVOptions controls parsing of a feature CSV.
+type CSVOptions struct {
+	// Name labels the resulting dataset.
+	Name string
+	// LabelColumn is the column index holding the class label; -1 means
+	// the last column (the UCI convention).
+	LabelColumn int
+	// HasHeader skips the first row.
+	HasHeader bool
+	// Normalize rescales every feature column to [0,1] by its min/max;
+	// without it, values must already be in [0,1] for the encoders'
+	// level mapping to behave.
+	Normalize bool
+	// LabelOffset is subtracted from each numeric label (ISOLET labels
+	// classes 1..26; the library wants 0..25).
+	LabelOffset int
+	// TestFraction carves the last fraction of rows into the test split
+	// (0 < TestFraction < 1). Rows are used in file order; shuffle
+	// upstream if the file is class-ordered.
+	TestFraction float64
+}
+
+// LoadCSV reads a delimited feature file into a Dataset.
+func LoadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	if opts.TestFraction <= 0 || opts.TestFraction >= 1 {
+		return nil, fmt.Errorf("dataset: TestFraction must be in (0,1), got %v", opts.TestFraction)
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if opts.HasHeader && len(rows) > 0 {
+		rows = rows[1:]
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("dataset: CSV has %d data rows, need at least 2", len(rows))
+	}
+	width := len(rows[0])
+	if width < 2 {
+		return nil, fmt.Errorf("dataset: CSV rows need at least 2 columns, got %d", width)
+	}
+	labelCol := opts.LabelColumn
+	if labelCol < 0 {
+		labelCol = width - 1
+	}
+	if labelCol >= width {
+		return nil, fmt.Errorf("dataset: label column %d out of range for %d columns", labelCol, width)
+	}
+
+	features := width - 1
+	var X [][]float64
+	var y []int
+	maxLabel := 0
+	for i, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, want %d", i, len(row), width)
+		}
+		x := make([]float64, 0, features)
+		for c, cell := range row {
+			if c == labelCol {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %d: %w", i, c, err)
+			}
+			x = append(x, v)
+		}
+		lf, err := strconv.ParseFloat(row[labelCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d label: %w", i, err)
+		}
+		label := int(lf) - opts.LabelOffset
+		if label < 0 {
+			return nil, fmt.Errorf("dataset: row %d label %d negative after offset", i, label)
+		}
+		if label > maxLabel {
+			maxLabel = label
+		}
+		X = append(X, x)
+		y = append(y, label)
+	}
+
+	if opts.Normalize {
+		normalizeColumns(X)
+	}
+
+	split := len(X) - int(opts.TestFraction*float64(len(X)))
+	if split <= 0 || split >= len(X) {
+		return nil, fmt.Errorf("dataset: TestFraction %v leaves an empty split", opts.TestFraction)
+	}
+	d := &Dataset{
+		Name:     opts.Name,
+		Features: features,
+		Classes:  maxLabel + 1,
+		TrainX:   X[:split],
+		TrainY:   y[:split],
+		TestX:    X[split:],
+		TestY:    y[split:],
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// normalizeColumns rescales each feature column to [0,1] in place; constant
+// columns map to 0.
+func normalizeColumns(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	width := len(X[0])
+	for c := 0; c < width; c++ {
+		lo, hi := X[0][c], X[0][c]
+		for _, row := range X {
+			if row[c] < lo {
+				lo = row[c]
+			}
+			if row[c] > hi {
+				hi = row[c]
+			}
+		}
+		span := hi - lo
+		for _, row := range X {
+			if span == 0 {
+				row[c] = 0
+			} else {
+				row[c] = (row[c] - lo) / span
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `0.1, 0.9, 1
+0.2, 0.8, 1
+0.3, 0.7, 2
+0.4, 0.6, 2
+0.5, 0.5, 1
+0.6, 0.4, 2
+`
+
+func TestLoadCSVBasic(t *testing.T) {
+	d, err := LoadCSV(strings.NewReader(sampleCSV), CSVOptions{
+		Name: "csv-test", LabelColumn: -1, LabelOffset: 1, TestFraction: 0.34,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Features != 2 || d.Classes != 2 {
+		t.Fatalf("geometry = (%d, %d)", d.Features, d.Classes)
+	}
+	if len(d.TrainX) != 4 || len(d.TestX) != 2 {
+		t.Fatalf("split = (%d, %d)", len(d.TrainX), len(d.TestX))
+	}
+	if d.TrainX[0][0] != 0.1 || d.TrainX[0][1] != 0.9 {
+		t.Errorf("row 0 = %v", d.TrainX[0])
+	}
+	if d.TrainY[0] != 0 || d.TrainY[2] != 1 {
+		t.Errorf("labels = %v", d.TrainY)
+	}
+}
+
+func TestLoadCSVHeaderAndNormalize(t *testing.T) {
+	in := "a,b,label\n10, 0, 5\n20, 50, 6\n30, 100, 5\n40, 100, 6\n"
+	d, err := LoadCSV(strings.NewReader(in), CSVOptions{
+		Name: "n", LabelColumn: -1, HasHeader: true, Normalize: true,
+		LabelOffset: 5, TestFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrainX[0][0] != 0 {
+		t.Errorf("min not normalized to 0: %v", d.TrainX[0][0])
+	}
+	// Max of column 0 is 40 (test row) → 1.0.
+	if d.TestX[0][0] != 1 {
+		t.Errorf("max not normalized to 1: %v", d.TestX[0][0])
+	}
+	if d.Classes != 2 {
+		t.Errorf("classes = %d", d.Classes)
+	}
+}
+
+func TestLoadCSVLabelColumnFirst(t *testing.T) {
+	in := "1, 0.5, 0.6\n0, 0.7, 0.8\n1, 0.1, 0.2\n0, 0.3, 0.4\n"
+	d, err := LoadCSV(strings.NewReader(in), CSVOptions{
+		Name: "first", LabelColumn: 0, TestFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Features != 2 {
+		t.Fatalf("features = %d", d.Features)
+	}
+	if d.TrainY[0] != 1 || d.TrainX[0][0] != 0.5 {
+		t.Errorf("first-column label parsing wrong: y=%v x=%v", d.TrainY[0], d.TrainX[0])
+	}
+}
+
+func TestLoadCSVConstantColumnNormalizesToZero(t *testing.T) {
+	in := "7, 0.1, 0\n7, 0.9, 1\n7, 0.5, 0\n7, 0.3, 1\n"
+	d, err := LoadCSV(strings.NewReader(in), CSVOptions{
+		Name: "const", LabelColumn: -1, Normalize: true, TestFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.TrainX {
+		if x[0] != 0 {
+			t.Errorf("constant column should normalize to 0, got %v", x[0])
+		}
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts CSVOptions
+	}{
+		{"bad fraction", sampleCSV, CSVOptions{TestFraction: 0}},
+		{"fraction one", sampleCSV, CSVOptions{TestFraction: 1}},
+		{"too few rows", "1,2,0\n", CSVOptions{TestFraction: 0.5}},
+		{"one column", "1\n2\n3\n", CSVOptions{TestFraction: 0.34}},
+		{"bad float", "x, 2, 0\n1, 2, 0\n1, 2, 1\n", CSVOptions{TestFraction: 0.34}},
+		{"bad label", "1, 2, z\n1, 2, 0\n3, 4, 1\n", CSVOptions{TestFraction: 0.34}},
+		{"negative label", "1, 2, 0\n1, 2, 1\n3, 4, 0\n", CSVOptions{LabelOffset: 5, TestFraction: 0.34}},
+		{"label col range", sampleCSV, CSVOptions{LabelColumn: 9, TestFraction: 0.34}},
+	}
+	for _, tc := range cases {
+		if _, err := LoadCSV(strings.NewReader(tc.in), tc.opts); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestLoadCSVRoundTripThroughPipeline(t *testing.T) {
+	// A CSV-loaded dataset must drop into the encoders unchanged.
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		c := i % 2
+		if c == 0 {
+			b.WriteString("0.2, 0.8, 0.3, 0\n")
+		} else {
+			b.WriteString("0.8, 0.2, 0.7, 1\n")
+		}
+	}
+	d, err := LoadCSV(strings.NewReader(b.String()), CSVOptions{
+		Name: "pipeline", LabelColumn: -1, TestFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Features != 3 || d.Classes != 2 {
+		t.Fatalf("geometry = (%d, %d)", d.Features, d.Classes)
+	}
+}

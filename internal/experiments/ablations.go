@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/hrand"
+	"privehd/internal/prune"
+	"privehd/internal/quant"
+	"privehd/internal/vecmath"
+)
+
+// Ablations runs the design-choice studies DESIGN.md §5 calls out. They are
+// not paper figures; they justify implementation decisions made by this
+// reproduction.
+func Ablations(r *Runner) ([]*Table, error) {
+	var tables []*Table
+	for _, f := range []func(*Runner) (*Table, error){
+		ablateEncodings,
+		ablatePruneCriterion,
+		ablateQuantizeOrder,
+		ablateNoisePlacement,
+	} {
+		t, err := f(r)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// ablateEncodings checks Eq. 2a vs Eq. 2b accuracy parity (the paper uses
+// them interchangeably, choosing 2b for hardware).
+func ablateEncodings(r *Runner) (*Table, error) {
+	t := &Table{
+		ID:      "ablate-encoding",
+		Title:   "Ablation: Eq. 2a scalar vs Eq. 2b level encoding",
+		Note:    "Expected: comparable accuracy; 2b is the hardware-friendly choice (single-bit partial products).",
+		Columns: []string{"dataset", "scalar (2a)", "level (2b)"},
+	}
+	for _, name := range []string{"isolet-s", "face-s", "mnist-s"} {
+		sSet, err := r.Scalar(name)
+		if err != nil {
+			return nil, err
+		}
+		lSet, err := r.Level(name)
+		if err != nil {
+			return nil, err
+		}
+		d := sSet.data
+		dim := r.ctx.MaxDim
+		sAcc, err := trainEval(sSet.train, d.TrainY, sSet.test, d.TestY, d.Classes, dim)
+		if err != nil {
+			return nil, err
+		}
+		lAcc, err := trainEval(lSet.train, d.TrainY, lSet.test, d.TestY, d.Classes, dim)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{name, pct(sAcc), pct(lAcc)})
+	}
+	return t, nil
+}
+
+// ablatePruneCriterion compares the paper-literal magnitude ranking with
+// the discriminative (class-centered) ranking this reproduction uses for
+// its pipeline (see prune.DiscriminativeMask).
+func ablatePruneCriterion(r *Runner) (*Table, error) {
+	set, err := r.Level("isolet-s")
+	if err != nil {
+		return nil, err
+	}
+	d := set.data
+	dim := r.ctx.MaxDim
+	t := &Table{
+		ID:    "ablate-prune",
+		Title: "Ablation: pruning criterion (paper-literal magnitude vs discriminative)",
+		Note: "Synthetic workloads carry a strong common-mode component that inflates raw " +
+			"|class value| on non-discriminative dimensions; centering by the class mean " +
+			"selects the dimensions that move the argmax. Accuracy after pruning half the " +
+			"dimensions and retraining 2 epochs.",
+		Columns: []string{"criterion", "accuracy"},
+	}
+	for _, c := range []struct {
+		name string
+		mk   func(*hdc.Model, int) *prune.Mask
+	}{
+		{"magnitude (paper)", prune.GlobalMagnitudeMask},
+		{"discriminative (this repo)", prune.DiscriminativeMask},
+	} {
+		model, err := hdc.Train(set.train, d.TrainY, d.Classes, dim)
+		if err != nil {
+			return nil, err
+		}
+		mask := c.mk(model, dim/2)
+		prune.PruneModel(model, mask)
+		accs := prune.MaskedRetrain(model, mask, set.train, d.TrainY,
+			prune.MaskBatch(mask, set.test), d.TestY, 2)
+		t.Rows = append(t.Rows, []string{c.name, pct(accs[len(accs)-1])})
+	}
+	return t, nil
+}
+
+// ablateQuantizeOrder compares the paper's quantize-then-bundle training
+// with bundling full-precision encodings and quantizing the class vectors
+// afterwards (the approach of prior work [17] that the paper improves on).
+func ablateQuantizeOrder(r *Runner) (*Table, error) {
+	set, err := r.Level("isolet-s")
+	if err != nil {
+		return nil, err
+	}
+	d := set.data
+	dim := r.ctx.MaxDim
+	t := &Table{
+		ID:    "ablate-quant-order",
+		Title: "Ablation: quantize encodings (paper) vs quantize class vectors (prior work)",
+		Note: "Paper §III-B2: keeping class vectors full-precision recovers most of the " +
+			"quantization loss (93.1% vs 88.1% in [17] at D=10k bipolar).",
+		Columns: []string{"scheme", "accuracy"},
+	}
+	// Paper: bundle bipolar-quantized encodings, classes stay integer sums.
+	qTrain := quant.QuantizeBatch(quant.Bipolar{}, set.train)
+	qTest := quant.QuantizeBatch(quant.Bipolar{}, set.test)
+	paperAcc, err := trainEval(qTrain, d.TrainY, qTest, d.TestY, d.Classes, dim)
+	if err != nil {
+		return nil, err
+	}
+	// Prior work: bundle full-precision encodings, then binarize classes
+	// AND queries.
+	m, err := hdc.Train(set.train, d.TrainY, d.Classes, dim)
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < m.NumClasses(); l++ {
+		q := quant.Bipolar{}.Quantize(m.Class(l))
+		copy(m.Class(l), q)
+	}
+	m.InvalidateAll()
+	priorAcc := hdc.Evaluate(m, qTest, d.TestY)
+	t.Rows = append(t.Rows,
+		[]string{"quantized encodings, full-precision classes (paper)", pct(paperAcc)},
+		[]string{"binarized classes too (prior work [17])", pct(priorAcc)},
+	)
+	return t, nil
+}
+
+// ablateNoisePlacement shows why the privatizer perturbs raw class sums:
+// normalizing class vectors before adding the same-σ noise destroys the
+// signal (class magnitudes shrink to 1 while the noise std stays ∆f·σ).
+func ablateNoisePlacement(r *Runner) (*Table, error) {
+	set, err := r.Level("face-s")
+	if err != nil {
+		return nil, err
+	}
+	d := set.data
+	dim := r.ctx.Dims[len(r.ctx.Dims)/2]
+	trainDim := quant.QuantizeBatch(quant.Ternary{}, sliceDims(set.train, dim))
+	testDim := quant.QuantizeBatch(quant.Ternary{}, sliceDims(set.test, dim))
+	params := dp.Params{Epsilon: 1, Delta: 1e-5}
+	sens := quant.AnalyticL2Sensitivity(quant.Ternary{}, dim)
+
+	t := &Table{
+		ID:    "ablate-noise-placement",
+		Title: "Ablation: Gaussian noise on raw class sums (paper) vs normalized classes",
+		Note: "Same ε, δ and sensitivity. Raw sums have magnitude ∝ bundled count, burying the " +
+			"noise (the Fig. 8d effect); normalized classes are annihilated by it.",
+		Columns: []string{"noise placement", "accuracy"},
+	}
+	for _, variant := range []string{"raw class sums (paper)", "normalized classes"} {
+		m, err := hdc.Train(trainDim, d.TrainY, d.Classes, dim)
+		if err != nil {
+			return nil, err
+		}
+		if variant == "normalized classes" {
+			for l := 0; l < m.NumClasses(); l++ {
+				c := m.Class(l)
+				if n := vecmath.Norm2(c); n > 0 {
+					vecmath.Scale(c, 1/n)
+				}
+			}
+			m.InvalidateAll()
+		}
+		src := hrand.New(r.ctx.Seed + uint64(len(variant)))
+		if err := dp.PrivatizeModel(src, m, sens, params); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{variant, pct(hdc.Evaluate(m, testDim, d.TestY))})
+	}
+	return t, nil
+}

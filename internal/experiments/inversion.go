@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"privehd/internal/attack"
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/hrand"
+	"privehd/internal/quant"
+	"privehd/internal/vecmath"
+)
+
+// InversionResult carries the model-inversion study.
+type InversionResult struct {
+	Table *Table
+	// Art renders one class prototype recovered from the clean and the
+	// DP-protected model.
+	Art []string
+}
+
+// ModelInversion extends the §III-A model-privacy analysis: a released
+// non-private model leaks each class's average member through the linear
+// Eq. 10 projection (Eq. 3 makes class vectors sums of encodings). The
+// table compares inversion quality against the per-class mean input for a
+// clean full-precision model, a quantized-training model, and a
+// differentially private release.
+func ModelInversion(r *Runner) (*InversionResult, error) {
+	set, err := r.Scalar("mnist-s")
+	if err != nil {
+		return nil, err
+	}
+	enc := set.scalarEncoder()
+	d := set.data
+	dim := r.ctx.MaxDim
+
+	// Ground truth: per-class mean of the level-quantized training images.
+	means := make([][]float64, d.Classes)
+	counts := make([]int, d.Classes)
+	for i, x := range d.TrainX {
+		c := d.TrainY[i]
+		if means[c] == nil {
+			means[c] = make([]float64, d.Features)
+		}
+		lt := levelTruth(enc, x)
+		vecmath.Add(means[c], lt)
+		counts[c]++
+	}
+	for c := range means {
+		if counts[c] > 0 {
+			vecmath.Scale(means[c], 1/float64(counts[c]))
+		}
+	}
+
+	cleanModel, err := hdc.Train(set.train, d.TrainY, d.Classes, dim)
+	if err != nil {
+		return nil, err
+	}
+	quantModel, err := hdc.Train(quant.QuantizeBatch(quant.Ternary{}, set.train), d.TrainY, d.Classes, dim)
+	if err != nil {
+		return nil, err
+	}
+	dpModel := quantModel.Clone()
+	sens := quant.AnalyticL2Sensitivity(quant.Ternary{}, dim)
+	if err := dp.PrivatizeModel(hrand.New(r.ctx.Seed+31), dpModel, sens,
+		dp.Params{Epsilon: 2, Delta: 1e-5}); err != nil {
+		return nil, err
+	}
+
+	res := &InversionResult{Table: &Table{
+		ID:    "model-inversion",
+		Title: "Model-inversion: class prototypes recovered from released models (§III-A extension)",
+		Note: "Average PSNR of the inverted class vectors against the per-class mean input. " +
+			"Reading: class prototypes are AGGREGATE statistics, so record-level (ε, δ)-DP " +
+			"does not (and should not) hide them — the inversion survives the Gaussian " +
+			"mechanism nearly unchanged. What the mechanism does bury is any INDIVIDUAL " +
+			"record's membership: see the model-difference attack tests, where the same " +
+			"noise makes adjacent releases indistinguishable. This table documents that " +
+			"distinction; a deployment wanting prototype secrecy needs group privacy " +
+			"(ε scaled by the class size), not record-level DP.",
+		Columns: []string{"released model", "mean PSNR (dB)"},
+	}}
+	demoClass := 3 % d.Classes
+	for _, v := range []struct {
+		name  string
+		model *hdc.Model
+	}{
+		{"full-precision, non-private", cleanModel},
+		{"ternary-quantized training, non-private", quantModel},
+		{"ternary + Gaussian mechanism (eps=2)", dpModel},
+	} {
+		recons, err := attack.ClassInversionScaled(enc, v.model)
+		if err != nil {
+			return nil, err
+		}
+		var psnrSum float64
+		n := 0
+		for c, recon := range recons {
+			if recon == nil || means[c] == nil {
+				continue
+			}
+			psnrSum += vecmath.PSNR(means[c], recon, 1)
+			n++
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("experiments: inversion produced no reconstructions")
+		}
+		res.Table.Rows = append(res.Table.Rows, []string{v.name, f2(psnrSum / float64(n))})
+		if d.ImageWidth > 0 && recons[demoClass] != nil {
+			res.Art = append(res.Art, fmt.Sprintf("class %d prototype from %s:\n%s",
+				demoClass, v.name, attack.RenderASCII(recons[demoClass], d.ImageWidth)))
+		}
+	}
+	return res, nil
+}

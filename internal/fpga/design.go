@@ -1,0 +1,66 @@
+package fpga
+
+import "fmt"
+
+// DesignReport summarizes a full Prive-HD encoder design point: the
+// resources and timing a D_hv-dimension, d_iv-feature bipolar encoder needs
+// on the modeled fabric. It connects the Eq. 15 LUT budget to the Table I
+// throughput model so design-space exploration (the sort §III-D motivates)
+// is one function call.
+type DesignReport struct {
+	// Features and Dim are the encoder geometry.
+	Features int
+	Dim      int
+	// LUTsPerDimension is the Eq. 15 approximate-majority budget for one
+	// output dimension.
+	LUTsPerDimension float64
+	// TotalLUTEvals is the LUT-evaluation count of one full encoding.
+	TotalLUTEvals float64
+	// ParallelDims is how many output dimensions fit the fabric budget
+	// simultaneously.
+	ParallelDims int
+	// CyclesPerInput is the pipelined initiation interval implied by
+	// time-multiplexing Dim dimensions over ParallelDims lanes.
+	CyclesPerInput int
+	// Throughput is inputs/second at the modeled clock.
+	Throughput float64
+	// EnergyPerInput is joules/input at the modeled power.
+	EnergyPerInput float64
+}
+
+// Design evaluates the modeled FPGA design point for the given encoder
+// geometry. It panics if the geometry is non-positive.
+func Design(features, dim int) DesignReport {
+	if features <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("fpga: Design(%d, %d): geometry must be positive", features, dim))
+	}
+	perDim := BipolarApproxLUTs(features)
+	parallel := int(float64(fpgaParallelLUTs) / perDim)
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > dim {
+		parallel = dim
+	}
+	cycles := (dim + parallel - 1) / parallel
+	p := PriveHDFPGA()
+	w := Workload{Features: features, Dim: dim}
+	return DesignReport{
+		Features:         features,
+		Dim:              dim,
+		LUTsPerDimension: perDim,
+		TotalLUTEvals:    float64(dim) * perDim,
+		ParallelDims:     parallel,
+		CyclesPerInput:   cycles,
+		Throughput:       p.Throughput(w),
+		EnergyPerInput:   p.EnergyPerInput(w),
+	}
+}
+
+// String renders the report for logs and CLI output.
+func (r DesignReport) String() string {
+	return fmt.Sprintf(
+		"fpga design d_iv=%d D_hv=%d: %.0f LUT6/dim, %d dims/cycle, %d cycles/input, %.3g inputs/s, %.3g J/input",
+		r.Features, r.Dim, r.LUTsPerDimension, r.ParallelDims, r.CyclesPerInput,
+		r.Throughput, r.EnergyPerInput)
+}

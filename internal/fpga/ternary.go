@@ -1,0 +1,110 @@
+package fpga
+
+import "fmt"
+
+// The Fig. 7b datapath sums d_iv ternary values {−1, 0, +1}. Stage 0 packs
+// each group of three 2-bit ternary inputs into an exact 3-bit sum in
+// [−3, +3] (three LUT-6s per group in hardware). The remaining stages are a
+// "saturated adder tree": each adder takes two 3-bit values, forms the
+// exact 4-bit sum, and truncates the least-significant bit, so the width
+// stays three while the represented magnitude doubles each stage. The final
+// output therefore approximates sum / 2^stages.
+
+// TernarySum3 is the exact stage-0 reduction: the sum of up to three
+// ternary values. It panics on non-ternary input.
+func TernarySum3(vals []int) int {
+	if len(vals) > 3 {
+		panic("fpga: TernarySum3 takes at most 3 values")
+	}
+	s := 0
+	for _, v := range vals {
+		if v < -1 || v > 1 {
+			panic(fmt.Sprintf("fpga: non-ternary value %d", v))
+		}
+		s += v
+	}
+	return s
+}
+
+// TruncatedTreeSum reduces the ternary inputs with the Fig. 7b circuit and
+// returns the approximate total reconstructed to input scale
+// (output << stages), plus the number of truncating stages used.
+//
+// Precision note: dropping one LSB per stage means the result's granularity
+// is 2^stages and the worst-case error is stages·2^(stages−1) (see
+// TruncatedTreeError). Truncation also biases the result toward −∞ — but
+// the bias applies near-identically to every class score in an HD argmax,
+// which is why the paper can afford it. The tests quantify both effects.
+func TruncatedTreeSum(vals []int) (approx int, stages int) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	// Stage 0: exact 3:1 packing.
+	var level []int
+	for off := 0; off < len(vals); off += 3 {
+		end := off + 3
+		if end > len(vals) {
+			end = len(vals)
+		}
+		level = append(level, TernarySum3(vals[off:end]))
+	}
+	// Truncating pairwise stages. Values at stage s represent
+	// (true value) / 2^s; floorDiv keeps the hardware's arithmetic-shift
+	// behaviour for negatives.
+	for len(level) > 1 {
+		stages++
+		var next []int
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, floorDiv2(level[i]+level[i+1]))
+			} else {
+				// Odd element passes through a stage: it must also be
+				// rescaled to match its peers.
+				next = append(next, floorDiv2(level[i]))
+			}
+		}
+		level = next
+	}
+	return level[0] << uint(stages), stages
+}
+
+// ExactSum is the reference reduction.
+func ExactSum(vals []int) int {
+	s := 0
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func floorDiv2(v int) int {
+	// Arithmetic shift right: rounds toward −∞, like dropping the LSB of a
+	// two's-complement register.
+	return v >> 1
+}
+
+// TruncatedTreeError returns the worst-case absolute error bound of
+// TruncatedTreeSum for n inputs. An adder at stage s (scale 2^(s−1)
+// inputs) drops one bit worth 2^(s−1)·1 of true value; stage s has
+// ⌈groups/2^s⌉ adders, so the total worst case is
+// Σ_{s=1..S} ⌈groups/2^s⌉·2^(s−1) ≤ S·groups/2 + small change. The bound
+// is computed exactly by walking the tree shape.
+func TruncatedTreeError(n int) int {
+	if n <= 3 {
+		return 0
+	}
+	groups := (n + 2) / 3
+	bound := 0
+	scale := 1
+	for w := groups; w > 1; w = (w + 1) / 2 {
+		// Every element of this stage passes through one adder (or a
+		// rescaling passthrough for an odd leftover), each of which can
+		// lose up to one unit at the current scale.
+		bound += (w / 2) * scale
+		if w%2 == 1 {
+			bound += scale // passthrough also floor-divides
+		}
+		scale *= 2
+	}
+	return bound
+}

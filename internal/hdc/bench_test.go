@@ -1,0 +1,93 @@
+package hdc
+
+import (
+	"testing"
+
+	"privehd/internal/hrand"
+)
+
+// Kernel benchmarks at the paper's geometry: ISOLET-shaped inputs
+// (617 features) into D_hv = 10,000 hypervectors.
+
+func benchFeatures(n int) []float64 {
+	src := hrand.New(100)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Float64()
+	}
+	return x
+}
+
+func BenchmarkLevelEncode617x10k(b *testing.B) {
+	enc, err := NewLevelEncoder(Config{Dim: 10000, Features: 617, Levels: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchFeatures(617)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.Encode(x)
+	}
+}
+
+func BenchmarkScalarEncode617x10k(b *testing.B) {
+	enc, err := NewScalarEncoder(Config{Dim: 10000, Features: 617, Levels: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchFeatures(617)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.Encode(x)
+	}
+}
+
+func BenchmarkPredict26x10k(b *testing.B) {
+	// Eq. 4 inference against an ISOLET-shaped model (26 classes).
+	src := hrand.New(101)
+	m := NewModel(26, 10000)
+	for l := 0; l < 26; l++ {
+		m.Add(l, src.NormalVec(10000, 0, 25))
+	}
+	q := src.NormalVec(10000, 0, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(q)
+	}
+}
+
+func BenchmarkRetrainEpoch(b *testing.B) {
+	src := hrand.New(102)
+	const classes, dim, samples = 8, 2000, 200
+	encoded := make([][]float64, samples)
+	labels := make([]int, samples)
+	for i := range encoded {
+		encoded[i] = src.NormalVec(dim, 0, 10)
+		labels[i] = i % classes
+	}
+	m, err := Train(encoded, labels, classes, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RetrainEpoch(m, encoded, labels)
+	}
+}
+
+func BenchmarkSequenceEncode(b *testing.B) {
+	enc, err := NewSequenceEncoder(hrand.New(103), 26, 10000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 64)
+	for i := range seq {
+		seq[i] = i % 26
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package hdc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"privehd/internal/bitvec"
+	"privehd/internal/hrand"
+)
+
+// ScalarEncoder implements paper Eq. 2a:
+//
+//	~H = Σ_k f(v_k) · ~B_k
+//
+// Each feature is quantized to its level value f ∈ F and multiplied into the
+// corresponding bipolar base hypervector. The encoding is linear in the
+// feature values, which is exactly what the Eq. 9–10 reconstruction attack
+// exploits.
+type ScalarEncoder struct {
+	cfg  Config
+	item *ItemMemory
+}
+
+// NewScalarEncoder builds a scalar (Eq. 2a) encoder for the configuration.
+func NewScalarEncoder(cfg Config) (*ScalarEncoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := hrand.New(cfg.Seed)
+	return &ScalarEncoder{
+		cfg:  cfg,
+		item: NewItemMemory(src.Split(0), cfg.Features, cfg.Dim),
+	}, nil
+}
+
+// Dim returns D_hv.
+func (e *ScalarEncoder) Dim() int { return e.cfg.Dim }
+
+// NumFeatures returns D_iv.
+func (e *ScalarEncoder) NumFeatures() int { return e.cfg.Features }
+
+// Levels returns ℓ_iv.
+func (e *ScalarEncoder) Levels() int { return e.cfg.Levels }
+
+// Base returns base hypervector B_k as shared ±1 floats.
+func (e *ScalarEncoder) Base(k int) []float64 { return e.item.Floats(k) }
+
+// Encode returns the Eq. 2a encoding of the given normalized features.
+// It panics if len(features) != NumFeatures().
+func (e *ScalarEncoder) Encode(features []float64) []float64 {
+	if len(features) != e.cfg.Features {
+		panic(fmt.Sprintf("hdc: ScalarEncoder.Encode got %d features, want %d",
+			len(features), e.cfg.Features))
+	}
+	h := make([]float64, e.cfg.Dim)
+	for k, v := range features {
+		f := LevelValue(LevelIndex(v, e.cfg.Levels), e.cfg.Levels)
+		if f == 0 {
+			continue
+		}
+		base := e.item.Floats(k)
+		for j, b := range base {
+			h[j] += f * b
+		}
+	}
+	return h
+}
+
+// LevelEncoder implements paper Eq. 2b:
+//
+//	~H = Σ_k ~L_{v_k} ⊙ ~B_k
+//
+// The level hypervector associated with each feature's quantization level is
+// XNOR-multiplied with the feature's base hypervector and the ±1 products
+// are accumulated. This is the encoding the FPGA implementation adopts
+// ("better optimization opportunity") because every partial product is a
+// single bit.
+type LevelEncoder struct {
+	cfg   Config
+	item  *ItemMemory
+	level *LevelMemory
+}
+
+// NewLevelEncoder builds a level (Eq. 2b) encoder for the configuration.
+func NewLevelEncoder(cfg Config) (*LevelEncoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := hrand.New(cfg.Seed)
+	return &LevelEncoder{
+		cfg:   cfg,
+		item:  NewItemMemory(src.Split(0), cfg.Features, cfg.Dim),
+		level: NewLevelMemory(src.Split(1), cfg.Levels, cfg.Dim),
+	}, nil
+}
+
+// Dim returns D_hv.
+func (e *LevelEncoder) Dim() int { return e.cfg.Dim }
+
+// NumFeatures returns D_iv.
+func (e *LevelEncoder) NumFeatures() int { return e.cfg.Features }
+
+// Levels returns ℓ_iv.
+func (e *LevelEncoder) Levels() int { return e.cfg.Levels }
+
+// Base returns base hypervector B_k as shared ±1 floats.
+func (e *LevelEncoder) Base(k int) []float64 { return e.item.Floats(k) }
+
+// LevelVector returns level hypervector L_i as shared ±1 floats.
+func (e *LevelEncoder) LevelVector(i int) []float64 { return e.level.Floats(i) }
+
+// Encode returns the Eq. 2b encoding of the given normalized features.
+// It panics if len(features) != NumFeatures().
+func (e *LevelEncoder) Encode(features []float64) []float64 {
+	if len(features) != e.cfg.Features {
+		panic(fmt.Sprintf("hdc: LevelEncoder.Encode got %d features, want %d",
+			len(features), e.cfg.Features))
+	}
+	h := make([]float64, e.cfg.Dim)
+	for k, v := range features {
+		lvl := e.level.Packed(LevelIndex(v, e.cfg.Levels))
+		bitvec.AccumulateXnorInto(lvl, e.item.Packed(k), h)
+	}
+	return h
+}
+
+// BitPlanes returns, for each feature k, the packed ±1 partial product
+// ~L_{v_k} ⊙ ~B_k. The element-wise popcount majority of these planes is
+// the sign-quantized encoding — the exact computation the Fig. 7a LUT
+// circuit performs. The fpga package consumes this.
+func (e *LevelEncoder) BitPlanes(features []float64) []*bitvec.Vector {
+	if len(features) != e.cfg.Features {
+		panic(fmt.Sprintf("hdc: LevelEncoder.BitPlanes got %d features, want %d",
+			len(features), e.cfg.Features))
+	}
+	planes := make([]*bitvec.Vector, len(features))
+	for k, v := range features {
+		lvl := e.level.Packed(LevelIndex(v, e.cfg.Levels))
+		planes[k] = bitvec.Xnor(lvl, e.item.Packed(k))
+	}
+	return planes
+}
+
+// EncodeBatch encodes every row of X concurrently and returns the encodings
+// in order. workers <= 0 selects GOMAXPROCS. The encoder must be safe for
+// concurrent reads, which both paper encoders are after construction
+// (warmed caches); EncodeBatch warms them before fanning out.
+func EncodeBatch(enc Encoder, X [][]float64, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(X) == 0 {
+		return nil
+	}
+	warmEncoder(enc)
+	out := make([][]float64, len(X))
+	var wg sync.WaitGroup
+	next := make(chan int, len(X))
+	for i := range X {
+		next <- i
+	}
+	close(next)
+	if workers > len(X) {
+		workers = len(X)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = enc.Encode(X[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// warmEncoder forces lazy float caches to materialize so concurrent Encode
+// calls only read shared state.
+func warmEncoder(enc Encoder) {
+	switch e := enc.(type) {
+	case *ScalarEncoder:
+		for k := 0; k < e.cfg.Features; k++ {
+			e.item.Floats(k)
+		}
+	case *LevelEncoder:
+		// LevelEncoder.Encode touches only packed vectors, which are
+		// immutable after construction; nothing to warm.
+	case interface{ Warm() }:
+		e.Warm()
+	}
+}

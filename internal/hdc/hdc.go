@@ -1,0 +1,94 @@
+// Package hdc implements the hyperdimensional computing substrate the paper
+// builds on: random base (item) memories, level memories, the two encodings
+// of Eq. 2, class-hypervector models (Eq. 3), cosine-similarity inference
+// (Eq. 4) and mispredict-driven retraining (Eq. 5).
+//
+// Everything downstream — quantization, pruning, differential privacy, the
+// reconstruction attack and the hardware path — operates on the types
+// defined here.
+package hdc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes the geometry of an HD encoding.
+type Config struct {
+	// Dim is the hypervector dimensionality D_hv (~10,000 in the paper).
+	Dim int
+	// Features is the input dimensionality D_iv (617 for ISOLET, 784 for
+	// MNIST, 608 for FACE).
+	Features int
+	// Levels is the number of feature quantization levels ℓ_iv of Eq. 1.
+	Levels int
+	// Seed determines the random base and level memories; equal configs
+	// with equal seeds produce identical encoders.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Dim <= 0:
+		return fmt.Errorf("hdc: Dim must be positive, got %d", c.Dim)
+	case c.Features <= 0:
+		return fmt.Errorf("hdc: Features must be positive, got %d", c.Features)
+	case c.Levels < 2:
+		return fmt.Errorf("hdc: Levels must be at least 2, got %d", c.Levels)
+	}
+	return nil
+}
+
+// ErrDimension is returned when a vector's length does not match the
+// encoder or model geometry.
+var ErrDimension = errors.New("hdc: dimension mismatch")
+
+// LevelIndex maps a normalized feature value v ∈ [0,1] to its quantization
+// level in [0, levels). Values outside [0,1] clamp, so denormalized inputs
+// degrade gracefully instead of corrupting memory lookups.
+func LevelIndex(v float64, levels int) int {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return levels - 1
+	}
+	idx := int(v * float64(levels))
+	if idx >= levels {
+		idx = levels - 1
+	}
+	return idx
+}
+
+// LevelValue returns the representative scalar f for a level index, i.e. the
+// member of the feature set F = {f_0 … f_{ℓ−1}} of Eq. 1. Levels are evenly
+// spaced on [0,1]: f_i = i/(ℓ−1), so f_0 = 0 and f_{ℓ−1} = 1.
+func LevelValue(idx, levels int) float64 {
+	if levels <= 1 {
+		return 0
+	}
+	return float64(idx) / float64(levels-1)
+}
+
+// Encoder maps a normalized feature vector to its encoded hypervector.
+// Both paper encodings implement it; so do the quantizing wrappers in the
+// quant package.
+type Encoder interface {
+	// Encode returns a fresh hypervector of length Dim for the given
+	// feature vector of length Features.
+	Encode(features []float64) []float64
+	// Dim returns the hypervector dimensionality D_hv.
+	Dim() int
+	// NumFeatures returns the input dimensionality D_iv.
+	NumFeatures() int
+}
+
+// BaseProvider is implemented by encoders whose base hypervectors are
+// exposed; the reconstruction attack (paper Eq. 9–10) needs them.
+type BaseProvider interface {
+	Encoder
+	// Base returns base hypervector B_k as ±1 floats. The returned slice
+	// is shared; callers must not modify it.
+	Base(k int) []float64
+}

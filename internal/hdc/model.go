@@ -1,0 +1,139 @@
+package hdc
+
+import (
+	"fmt"
+	"math"
+
+	"privehd/internal/vecmath"
+)
+
+// Model is the set of class hypervectors ~C_l of paper Eq. 3. Class vectors
+// are kept as raw (unnormalized) bundles; inference divides by the cached
+// class norm, implementing the Eq. 4 simplification that drops the
+// query-norm factor shared by every class.
+type Model struct {
+	dim     int
+	classes [][]float64
+	counts  []int // training vectors bundled per class, for diagnostics
+	norms   []float64
+	dirty   []bool
+}
+
+// NewModel returns an empty model with the given number of classes and
+// hypervector dimensionality.
+func NewModel(numClasses, dim int) *Model {
+	if numClasses <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("hdc: NewModel(%d, %d): arguments must be positive", numClasses, dim))
+	}
+	m := &Model{
+		dim:     dim,
+		classes: make([][]float64, numClasses),
+		counts:  make([]int, numClasses),
+		norms:   make([]float64, numClasses),
+		dirty:   make([]bool, numClasses),
+	}
+	for i := range m.classes {
+		m.classes[i] = make([]float64, dim)
+		m.dirty[i] = true
+	}
+	return m
+}
+
+// NumClasses returns the number of classes.
+func (m *Model) NumClasses() int { return len(m.classes) }
+
+// Dim returns the hypervector dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// Count returns how many encodings have been bundled into class l (adds
+// minus removes).
+func (m *Model) Count(l int) int { return m.counts[l] }
+
+// Class returns the raw class hypervector for label l. The returned slice
+// is the model's backing storage: mutating it requires calling Invalidate.
+func (m *Model) Class(l int) []float64 { return m.classes[l] }
+
+// Invalidate marks class l's cached norm stale after external mutation
+// (pruning and the DP privatizer edit class vectors in place).
+func (m *Model) Invalidate(l int) { m.dirty[l] = true }
+
+// InvalidateAll marks every cached norm stale.
+func (m *Model) InvalidateAll() {
+	for l := range m.dirty {
+		m.dirty[l] = true
+	}
+}
+
+// Add bundles encoding h into class l (Eq. 3 / first half of Eq. 5).
+func (m *Model) Add(l int, h []float64) {
+	if len(h) != m.dim {
+		panic(ErrDimension)
+	}
+	vecmath.Add(m.classes[l], h)
+	m.counts[l]++
+	m.dirty[l] = true
+}
+
+// Sub removes encoding h from class l (second half of Eq. 5).
+func (m *Model) Sub(l int, h []float64) {
+	if len(h) != m.dim {
+		panic(ErrDimension)
+	}
+	vecmath.Sub(m.classes[l], h)
+	m.counts[l]--
+	m.dirty[l] = true
+}
+
+// norm returns the cached ℓ2 norm of class l, refreshing it if stale.
+func (m *Model) norm(l int) float64 {
+	if m.dirty[l] {
+		m.norms[l] = vecmath.Norm2(m.classes[l])
+		m.dirty[l] = false
+	}
+	return m.norms[l]
+}
+
+// Scores returns the norm-adjusted similarity H·C_l/‖C_l‖ for every class.
+// Per Eq. 4 the query-norm factor is identical across classes and omitted,
+// so Scores are proportional to cosine similarity. Classes with zero norm
+// score −Inf so they never win the argmax.
+func (m *Model) Scores(h []float64) []float64 {
+	if len(h) != m.dim {
+		panic(ErrDimension)
+	}
+	out := make([]float64, len(m.classes))
+	for l := range m.classes {
+		n := m.norm(l)
+		if n == 0 {
+			out[l] = math.Inf(-1)
+			continue
+		}
+		out[l] = vecmath.Dot(h, m.classes[l]) / n
+	}
+	return out
+}
+
+// Predict returns the label with the highest similarity score for the
+// encoded query h.
+func (m *Model) Predict(h []float64) int {
+	return vecmath.ArgMax(m.Scores(h))
+}
+
+// Cosine returns the exact cosine similarity δ(H, C_l) of Eq. 4 (including
+// the query norm), used by the information-retention experiment (Fig. 3).
+func (m *Model) Cosine(h []float64, l int) float64 {
+	if len(h) != m.dim {
+		panic(ErrDimension)
+	}
+	return vecmath.Cosine(h, m.classes[l])
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := NewModel(len(m.classes), m.dim)
+	for l := range m.classes {
+		copy(c.classes[l], m.classes[l])
+		c.counts[l] = m.counts[l]
+	}
+	return c
+}

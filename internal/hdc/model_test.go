@@ -1,0 +1,194 @@
+package hdc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"privehd/internal/hrand"
+)
+
+func TestNewModel(t *testing.T) {
+	m := NewModel(3, 100)
+	if m.NumClasses() != 3 || m.Dim() != 100 {
+		t.Fatalf("geometry = (%d, %d)", m.NumClasses(), m.Dim())
+	}
+	for l := 0; l < 3; l++ {
+		if m.Count(l) != 0 {
+			t.Errorf("fresh class %d count = %d", l, m.Count(l))
+		}
+	}
+}
+
+func TestNewModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel(0, 100)
+}
+
+func TestAddSubCounts(t *testing.T) {
+	m := NewModel(2, 4)
+	h := []float64{1, 2, 3, 4}
+	m.Add(0, h)
+	m.Add(0, h)
+	m.Sub(0, h)
+	if m.Count(0) != 1 {
+		t.Errorf("count = %d, want 1", m.Count(0))
+	}
+	got := m.Class(0)
+	for i := range h {
+		if got[i] != h[i] {
+			t.Errorf("class vector = %v, want %v", got, h)
+		}
+	}
+}
+
+func TestPredictNearestClass(t *testing.T) {
+	m := NewModel(2, 4)
+	m.Add(0, []float64{1, 1, 0, 0})
+	m.Add(1, []float64{0, 0, 1, 1})
+	if got := m.Predict([]float64{2, 1, 0, 0}); got != 0 {
+		t.Errorf("Predict = %d, want 0", got)
+	}
+	if got := m.Predict([]float64{0, 0.5, 2, 1}); got != 1 {
+		t.Errorf("Predict = %d, want 1", got)
+	}
+}
+
+func TestScoresNormAdjusted(t *testing.T) {
+	// A class with a large raw magnitude must not win just by magnitude:
+	// Scores divide by the class norm.
+	m := NewModel(2, 2)
+	m.Add(0, []float64{100, 0}) // same direction as query, large norm
+	m.Add(1, []float64{1, 0})   // same direction, small norm
+	s := m.Scores([]float64{1, 0})
+	if math.Abs(s[0]-s[1]) > 1e-12 {
+		t.Errorf("norm adjustment failed: scores %v", s)
+	}
+}
+
+func TestScoresEmptyClass(t *testing.T) {
+	m := NewModel(2, 3)
+	m.Add(0, []float64{1, 0, 0})
+	s := m.Scores([]float64{1, 0, 0})
+	if !math.IsInf(s[1], -1) {
+		t.Errorf("empty class score = %v, want -Inf", s[1])
+	}
+	if m.Predict([]float64{1, 0, 0}) != 0 {
+		t.Error("prediction should never pick an empty class")
+	}
+}
+
+func TestInvalidateAfterExternalMutation(t *testing.T) {
+	m := NewModel(1, 2)
+	m.Add(0, []float64{3, 4})
+	_ = m.Scores([]float64{1, 0}) // warm the norm cache
+	c := m.Class(0)
+	c[0], c[1] = 0, 1 // external mutation (what pruning/DP do)
+	m.Invalidate(0)
+	s := m.Scores([]float64{0, 1})
+	if math.Abs(s[0]-1) > 1e-12 {
+		t.Errorf("score after invalidate = %v, want 1", s[0])
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	m := NewModel(2, 2)
+	m.Add(0, []float64{1, 0})
+	m.Add(1, []float64{0, 1})
+	_ = m.Scores([]float64{1, 1})
+	for l := 0; l < 2; l++ {
+		c := m.Class(l)
+		c[0] *= 10
+		c[1] *= 10
+	}
+	m.InvalidateAll()
+	s := m.Scores([]float64{1, 0})
+	if math.Abs(s[0]-1) > 1e-12 {
+		t.Errorf("scores after InvalidateAll = %v", s)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	m := NewModel(1, 2)
+	m.Add(0, []float64{1, 0})
+	if got := m.Cosine([]float64{1, 0}, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine = %v, want 1", got)
+	}
+	if got := m.Cosine([]float64{0, 1}, 0); got != 0 {
+		t.Errorf("Cosine orthogonal = %v, want 0", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewModel(1, 2)
+	m.Add(0, []float64{1, 2})
+	c := m.Clone()
+	c.Add(0, []float64{1, 1})
+	if m.Class(0)[0] != 1 || m.Class(0)[1] != 2 {
+		t.Error("Clone shares storage with original")
+	}
+	if c.Count(0) != 2 || m.Count(0) != 1 {
+		t.Error("Clone counts wrong")
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	m := NewModel(1, 3)
+	for _, f := range []func(){
+		func() { m.Add(0, []float64{1}) },
+		func() { m.Sub(0, []float64{1}) },
+		func() { m.Scores([]float64{1}) },
+		func() { m.Cosine([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected dimension panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := hrand.New(50)
+	m := NewModel(4, 64)
+	for l := 0; l < 4; l++ {
+		for i := 0; i < 3; i++ {
+			m.Add(l, src.NormalVec(64, 0, 1))
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClasses() != 4 || got.Dim() != 64 {
+		t.Fatalf("loaded geometry = (%d, %d)", got.NumClasses(), got.Dim())
+	}
+	for l := 0; l < 4; l++ {
+		if got.Count(l) != m.Count(l) {
+			t.Errorf("class %d count = %d, want %d", l, got.Count(l), m.Count(l))
+		}
+		a, b := m.Class(l), got.Class(l)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("class %d differs at dim %d", l, j)
+			}
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewBufferString("not a gob")); err == nil {
+		t.Error("expected error for garbage input")
+	}
+}

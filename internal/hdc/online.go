@@ -1,0 +1,100 @@
+package hdc
+
+import (
+	"fmt"
+
+	"privehd/internal/vecmath"
+)
+
+// OnlineTrain performs similarity-weighted single-pass training, the
+// "OnlineHD" refinement of Eq. 3/5 from the HD literature: instead of
+// bundling every encoding with weight 1, each sample is added with a weight
+// proportional to how badly the current model handles it, and subtracted
+// from a wrongly-winning class likewise:
+//
+//	correct prediction:  C_true += (1 − δ_true)·H        (reinforce weakly-known samples)
+//	wrong prediction:    C_true += (1 − δ_true)·H
+//	                     C_pred −= (1 − δ_pred)·H
+//
+// where δ is the cosine similarity of H to the class. One online pass
+// typically matches one-shot training plus one or two Eq. 5 retraining
+// epochs, at the same cost — useful when the training set streams and
+// cannot be revisited.
+//
+// Privacy note: weighted bundling changes the DP sensitivity analysis —
+// a single record's contribution is no longer bounded by ‖H‖ but by
+// (1+max weight)·‖H‖ ≤ 2‖H‖ per update. OnlineTrain reports the observed
+// worst-case single-sample ℓ2 contribution so a privatizer can calibrate
+// against it honestly.
+func OnlineTrain(m *Model, encoded [][]float64, labels []int) (maxContribution float64, err error) {
+	if len(encoded) != len(labels) {
+		return 0, fmt.Errorf("hdc: OnlineTrain got %d encodings but %d labels", len(encoded), len(labels))
+	}
+	for i, h := range encoded {
+		if len(h) != m.Dim() {
+			return 0, fmt.Errorf("hdc: OnlineTrain encoding %d has dim %d, want %d", i, len(h), m.Dim())
+		}
+		want := labels[i]
+		if want < 0 || want >= m.NumClasses() {
+			return 0, fmt.Errorf("hdc: OnlineTrain label %d out of range", want)
+		}
+		scores := m.Scores(h)
+		pred := vecmath.ArgMax(scores)
+		hNorm := vecmath.Norm2(h)
+		var contribution float64
+		wTrue := 1 - m.Cosine(h, want)
+		if wTrue < 0 {
+			wTrue = 0
+		}
+		if wTrue > 1 {
+			// Anti-correlated sample: clamp per the standard formulation.
+			wTrue = 1
+		}
+		addScaled(m, want, wTrue, h)
+		contribution = wTrue * hNorm
+		if pred != want && pred >= 0 {
+			wPred := 1 - m.Cosine(h, pred)
+			if wPred < 0 {
+				wPred = 0
+			}
+			if wPred > 1 {
+				wPred = 1
+			}
+			subScaled(m, pred, wPred, h)
+			contribution += wPred * hNorm
+		}
+		if contribution > maxContribution {
+			maxContribution = contribution
+		}
+	}
+	return maxContribution, nil
+}
+
+// addScaled and subScaled update a class vector with a weighted encoding,
+// keeping the model's caches coherent. Counts track whole samples, so
+// weighted updates count as one add (the bundle-size semantics the
+// inversion attack divides by remain approximate under online training —
+// another reason released online models still need the Gaussian mechanism).
+func addScaled(m *Model, l int, w float64, h []float64) {
+	if w == 0 {
+		return
+	}
+	c := m.Class(l)
+	for j, v := range h {
+		c[j] += w * v
+	}
+	m.counts[l]++
+	m.Invalidate(l)
+}
+
+func subScaled(m *Model, l int, w float64, h []float64) {
+	if w == 0 {
+		return
+	}
+	c := m.Class(l)
+	for j, v := range h {
+		c[j] -= w * v
+	}
+	m.counts[l]--
+	m.Invalidate(l)
+}

@@ -1,0 +1,108 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"privehd/internal/hrand"
+)
+
+func TestOnlineTrainLearnsSeparableTask(t *testing.T) {
+	cfg := Config{Dim: 2000, Features: 40, Levels: 16, Seed: 201}
+	enc := mustLevel(t, cfg)
+	X, y := syntheticTask(t, 202, 4, cfg.Features, 30, 0.1)
+	encoded := EncodeBatch(enc, X, 0)
+	m := NewModel(4, cfg.Dim)
+	if _, err := OnlineTrain(m, encoded, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Evaluate(m, encoded, y); acc < 0.9 {
+		t.Errorf("online accuracy = %v, want ≥ 0.9", acc)
+	}
+}
+
+func TestOnlineTrainBeatsOneShotOnHardTask(t *testing.T) {
+	// The point of similarity weighting: on a noisy task one online pass
+	// should match or beat plain one-shot bundling.
+	cfg := Config{Dim: 1000, Features: 30, Levels: 8, Seed: 203}
+	enc := mustLevel(t, cfg)
+	X, y := syntheticTask(t, 204, 6, cfg.Features, 40, 0.3)
+	encoded := EncodeBatch(enc, X, 0)
+
+	oneShot, err := Train(encoded, y, 6, cfg.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := NewModel(6, cfg.Dim)
+	if _, err := OnlineTrain(online, encoded, y); err != nil {
+		t.Fatal(err)
+	}
+	accOneShot := Evaluate(oneShot, encoded, y)
+	accOnline := Evaluate(online, encoded, y)
+	if accOnline < accOneShot-0.05 {
+		t.Errorf("online %v clearly below one-shot %v", accOnline, accOneShot)
+	}
+}
+
+func TestOnlineTrainContributionBound(t *testing.T) {
+	// The reported worst-case single-sample contribution must bound 2‖H‖
+	// and be positive once any update happens.
+	cfg := Config{Dim: 500, Features: 20, Levels: 8, Seed: 205}
+	enc := mustLevel(t, cfg)
+	X, y := syntheticTask(t, 206, 3, cfg.Features, 10, 0.2)
+	encoded := EncodeBatch(enc, X, 0)
+	m := NewModel(3, cfg.Dim)
+	maxContrib, err := OnlineTrain(m, encoded, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxContrib <= 0 {
+		t.Error("expected positive contribution after training")
+	}
+	var worstNorm float64
+	for _, h := range encoded {
+		var s float64
+		for _, v := range h {
+			s += v * v
+		}
+		if s > worstNorm {
+			worstNorm = s
+		}
+	}
+	bound := 2 * math.Sqrt(worstNorm)
+	if maxContrib > bound+1e-9 {
+		t.Errorf("contribution %v exceeds 2·max‖H‖ = %v", maxContrib, bound)
+	}
+}
+
+func TestOnlineTrainErrors(t *testing.T) {
+	m := NewModel(2, 4)
+	if _, err := OnlineTrain(m, [][]float64{{1, 2, 3, 4}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := OnlineTrain(m, [][]float64{{1}}, []int{0}); err == nil {
+		t.Error("wrong dim should fail")
+	}
+	if _, err := OnlineTrain(m, [][]float64{{1, 2, 3, 4}}, []int{7}); err == nil {
+		t.Error("bad label should fail")
+	}
+}
+
+func TestOnlineTrainWeightsShrinkForKnownSamples(t *testing.T) {
+	// Feeding the same sample twice: the second update must contribute
+	// less (the model already knows it).
+	src := hrand.New(207)
+	h := src.NormalVec(300, 0, 2)
+	m := NewModel(2, 300)
+	first, err := OnlineTrain(m, [][]float64{h}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := OnlineTrain(m, [][]float64{h}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second >= first {
+		t.Errorf("second-pass contribution %v should be below first %v", second, first)
+	}
+}

@@ -1,0 +1,48 @@
+package hdc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelWire is the gob wire format for Model. Keeping it separate from the
+// in-memory type lets the cached norms stay private and the format stay
+// stable if internals change.
+type modelWire struct {
+	Dim     int
+	Classes [][]float64
+	Counts  []int
+}
+
+// Save writes the model to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{Dim: m.dim, Classes: m.classes, Counts: m.counts}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("hdc: saving model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model previously written with Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("hdc: loading model: %w", err)
+	}
+	if wire.Dim <= 0 || len(wire.Classes) == 0 {
+		return nil, fmt.Errorf("hdc: loaded model is malformed (dim=%d, classes=%d)",
+			wire.Dim, len(wire.Classes))
+	}
+	m := NewModel(len(wire.Classes), wire.Dim)
+	for l, c := range wire.Classes {
+		if len(c) != wire.Dim {
+			return nil, fmt.Errorf("hdc: loaded class %d has dim %d, want %d", l, len(c), wire.Dim)
+		}
+		copy(m.classes[l], c)
+		if l < len(wire.Counts) {
+			m.counts[l] = wire.Counts[l]
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,114 @@
+package hdl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"privehd/internal/fpga"
+	"privehd/internal/hrand"
+	"privehd/internal/netlist"
+)
+
+func buildXor(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("xor2")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	xor := fpga.FuncLUT6(2, func(in []bool) bool { return in[0] != in[1] })
+	n.MarkOutput(n.AddLUT("y", xor, a, b))
+	return n
+}
+
+func TestWriteVerilogXor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, buildXor(t)); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module xor2 (",
+		"input  wire a,",
+		"input  wire b,",
+		"output wire y0",
+		"LUT6 #(.INIT(64'h", // primitive instance
+		".I0(a)",
+		".I1(b)",
+		".I2(1'b0)", // unused inputs tied off
+		"assign y0 = n0;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestWriteVerilogXorTruthTable(t *testing.T) {
+	// FuncLUT6 ignores unused input lines, so the 2-input XOR pattern 0x6
+	// replicates across every I2..I5 combination: INIT = 0x666...6. That
+	// makes the primitive's output independent of the tie-off value.
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, buildXor(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "64'h6666666666666666") {
+		t.Errorf("expected replicated XOR INIT 0x666...6, got:\n%s", buf.String())
+	}
+}
+
+func TestWriteVerilogDeterministic(t *testing.T) {
+	nl, _ := netlist.BuildBipolarApprox(30, hrand.New(5))
+	var a, b bytes.Buffer
+	if err := WriteVerilog(&a, nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&b, nl); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("emission must be deterministic")
+	}
+}
+
+func TestWriteVerilogMajorityCircuit(t *testing.T) {
+	nl := netlist.BuildBipolarExact(13, true)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	// Structure reflected in the header comment.
+	if !strings.Contains(v, "13 inputs") {
+		t.Errorf("header missing input count:\n%s", v[:200])
+	}
+	// Every LUT in the netlist appears as a primitive.
+	if got := strings.Count(v, "LUT6 #(.INIT("); got != nl.NumLUTs() {
+		t.Errorf("emitted %d LUT6 instances, netlist has %d", got, nl.NumLUTs())
+	}
+	// All 13 inputs declared.
+	for i := 0; i < 13; i++ {
+		if !strings.Contains(v, "input  wire x"+itoa(i)) {
+			t.Errorf("missing input x%d", i)
+		}
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i%10)) // only used for small indices in tests
+}
+
+func TestSanitize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"abc", "abc"},
+		{"a-b.c", "a_b_c"},
+		{"0start", "_0start"},
+		{"", "unnamed"},
+		{"pc_g0_cnt1", "pc_g0_cnt1"},
+	}
+	for _, tt := range tests {
+		if got := sanitize(tt.in); got != tt.want {
+			t.Errorf("sanitize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package netlist
+
+import (
+	"fmt"
+
+	"privehd/internal/fpga"
+)
+
+// This file synthesizes the Fig. 7b ternary datapath structurally: each
+// group of three 2-bit ternary inputs {−1,0,+1} enters three LUT-6s that
+// produce an exact 3-bit two's-complement sum in [−3,+3]; the remaining
+// stages are truncating ("saturated") adders that keep 3-bit width by
+// dropping the LSB of each 4-bit intermediate sum. The output is the 3-bit
+// value whose reconstruction (<< stages) fpga.TruncatedTreeSum models
+// behaviorally.
+//
+// Ternary input encoding on wires: two bits per value, v = {sign, mag}
+// with (0,0) = 0, (0,1) = +1, (1,1) = −1 ((1,0) is unused and reads as 0).
+
+// signedNumber is a little-endian two's-complement vector of wire IDs.
+type signedNumber []NodeID
+
+// ternDecode converts a (sign, mag) wire pair at truth-table level.
+func ternDecode(sign, mag bool) int {
+	if !mag {
+		return 0
+	}
+	if sign {
+		return -1
+	}
+	return 1
+}
+
+// addTernaryCompressor sums up to three ternary inputs (each two wires)
+// into an exact 3-bit two's-complement number: one LUT per output bit, fed
+// by all six input wires.
+func addTernaryCompressor(n *Netlist, tag string, pairs [][2]NodeID) signedNumber {
+	if len(pairs) == 0 || len(pairs) > 3 {
+		panic(fmt.Sprintf("netlist: ternary compressor over %d values", len(pairs)))
+	}
+	var fan []NodeID
+	for _, p := range pairs {
+		fan = append(fan, p[0], p[1]) // sign, mag
+	}
+	out := make(signedNumber, 3)
+	for b := 0; b < 3; b++ {
+		bit := b
+		lut := fpga.FuncLUT6(len(fan), func(in []bool) bool {
+			sum := 0
+			for k := 0; k+1 < len(in); k += 2 {
+				sum += ternDecode(in[k], in[k+1])
+			}
+			return (sum>>uint(bit))&1 == 1 // two's complement bit pattern
+		})
+		out[b] = n.AddLUT(fmt.Sprintf("%s_b%d", tag, b), lut, fan...)
+	}
+	return out
+}
+
+// addTruncatingAdder adds two 3-bit two's-complement values and drops the
+// LSB: out = (a + b) >> 1, still 3 bits. Each output bit costs one LUT over
+// the six input wires.
+func addTruncatingAdder(n *Netlist, tag string, a, b signedNumber) signedNumber {
+	if len(a) != 3 || len(b) != 3 {
+		panic("netlist: truncating adder needs 3-bit inputs")
+	}
+	fan := []NodeID{a[0], a[1], a[2], b[0], b[1], b[2]}
+	out := make(signedNumber, 3)
+	for bitIdx := 0; bitIdx < 3; bitIdx++ {
+		bit := bitIdx
+		lut := fpga.FuncLUT6(6, func(in []bool) bool {
+			av := signedFromBits(in[0], in[1], in[2])
+			bv := signedFromBits(in[3], in[4], in[5])
+			s := (av + bv) >> 1 // arithmetic shift, like the hardware
+			return (s>>uint(bit))&1 == 1
+		})
+		out[bitIdx] = n.AddLUT(fmt.Sprintf("%s_b%d", tag, bitIdx), lut, fan...)
+	}
+	return out
+}
+
+// addTruncatingPass rescales an odd leftover value by one stage:
+// out = a >> 1.
+func addTruncatingPass(n *Netlist, tag string, a signedNumber) signedNumber {
+	fan := []NodeID{a[0], a[1], a[2]}
+	out := make(signedNumber, 3)
+	for bitIdx := 0; bitIdx < 3; bitIdx++ {
+		bit := bitIdx
+		lut := fpga.FuncLUT6(3, func(in []bool) bool {
+			v := signedFromBits(in[0], in[1], in[2]) >> 1
+			return (v>>uint(bit))&1 == 1
+		})
+		out[bitIdx] = n.AddLUT(fmt.Sprintf("%s_b%d", tag, bitIdx), lut, fan...)
+	}
+	return out
+}
+
+// signedFromBits decodes a 3-bit two's-complement value.
+func signedFromBits(b0, b1, b2 bool) int {
+	v := 0
+	if b0 {
+		v |= 1
+	}
+	if b1 {
+		v |= 2
+	}
+	if b2 {
+		v -= 4
+	}
+	return v
+}
+
+// TernaryTree is a synthesized Fig. 7b reduction with its evaluation
+// metadata.
+type TernaryTree struct {
+	Netlist *Netlist
+	// Inputs is the ternary value count.
+	Inputs int
+	// Stages is the number of truncating stages; the 3-bit output
+	// represents (approximate sum) >> Stages.
+	Stages int
+}
+
+// BuildTernaryTree synthesizes the saturated adder tree over n ternary
+// values. The netlist has 2n inputs (sign/mag pairs, interleaved) and three
+// outputs (the 3-bit two's-complement result, LSB first).
+func BuildTernaryTree(n int) *TernaryTree {
+	if n < 1 {
+		panic("netlist: ternary tree needs at least one input")
+	}
+	nl := New(fmt.Sprintf("ternary_tree_%d", n))
+	pairs := make([][2]NodeID, n)
+	for i := range pairs {
+		pairs[i][0] = nl.AddInput(fmt.Sprintf("s%d", i))
+		pairs[i][1] = nl.AddInput(fmt.Sprintf("m%d", i))
+	}
+	var nums []signedNumber
+	for off, g := 0, 0; off < n; off, g = off+3, g+1 {
+		end := off + 3
+		if end > n {
+			end = n
+		}
+		nums = append(nums, addTernaryCompressor(nl, fmt.Sprintf("c%d", g), pairs[off:end]))
+	}
+	stages := 0
+	for len(nums) > 1 {
+		var next []signedNumber
+		for i := 0; i < len(nums); i += 2 {
+			if i+1 < len(nums) {
+				next = append(next, addTruncatingAdder(nl, fmt.Sprintf("a%d_%d", stages, i/2), nums[i], nums[i+1]))
+			} else {
+				next = append(next, addTruncatingPass(nl, fmt.Sprintf("p%d_%d", stages, i/2), nums[i]))
+			}
+		}
+		nums = next
+		stages++
+	}
+	for _, id := range nums[0] {
+		nl.MarkOutput(id)
+	}
+	return &TernaryTree{Netlist: nl, Inputs: n, Stages: stages}
+}
+
+// Eval runs the circuit on the given ternary values and returns the
+// reconstructed approximate sum (output << Stages). It panics on
+// non-ternary input.
+func (t *TernaryTree) Eval(vals []int) int {
+	if len(vals) != t.Inputs {
+		panic(fmt.Sprintf("netlist: ternary tree got %d values, want %d", len(vals), t.Inputs))
+	}
+	in := make([]bool, 2*t.Inputs)
+	for i, v := range vals {
+		switch v {
+		case 0:
+		case 1:
+			in[2*i+1] = true
+		case -1:
+			in[2*i] = true
+			in[2*i+1] = true
+		default:
+			panic(fmt.Sprintf("netlist: non-ternary value %d", v))
+		}
+	}
+	out := t.Netlist.Eval(in)
+	return signedFromBits(out[0], out[1], out[2]) << uint(t.Stages)
+}

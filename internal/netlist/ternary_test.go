@@ -1,0 +1,115 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privehd/internal/fpga"
+	"privehd/internal/hrand"
+)
+
+func randTernary(src *hrand.Source, n int) []int {
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = src.IntN(3) - 1
+	}
+	return vals
+}
+
+func TestTernaryTreeSmallExact(t *testing.T) {
+	// ≤3 inputs: single compressor, no truncation — exact.
+	for _, vals := range [][]int{{1}, {-1}, {0}, {1, 1}, {1, -1, 1}, {-1, -1, -1}} {
+		tree := BuildTernaryTree(len(vals))
+		want := fpga.ExactSum(vals)
+		if got := tree.Eval(vals); got != want {
+			t.Errorf("Eval(%v) = %d, want %d", vals, got, want)
+		}
+		if tree.Stages != 0 {
+			t.Errorf("stages = %d, want 0", tree.Stages)
+		}
+	}
+}
+
+func TestTernaryTreeMatchesBehavioral(t *testing.T) {
+	// The structural circuit must agree bit-for-bit with
+	// fpga.TruncatedTreeSum — same design, two abstraction levels.
+	for _, n := range []int{4, 7, 9, 10, 24, 33, 60} {
+		tree := BuildTernaryTree(n)
+		src := hrand.New(uint64(n) * 31)
+		for trial := 0; trial < 50; trial++ {
+			vals := randTernary(src, n)
+			want, stages := fpga.TruncatedTreeSum(vals)
+			if got := tree.Eval(vals); got != want {
+				t.Fatalf("n=%d: netlist %d, behavioral %d (vals %v)", n, got, want, vals)
+			}
+			if stages != tree.Stages {
+				t.Fatalf("n=%d: stage count mismatch %d vs %d", n, tree.Stages, stages)
+			}
+		}
+	}
+}
+
+func TestTernaryTreeEquivalenceProperty(t *testing.T) {
+	tree := BuildTernaryTree(45)
+	f := func(seed uint64) bool {
+		vals := randTernary(hrand.New(seed), 45)
+		want, _ := fpga.TruncatedTreeSum(vals)
+		return tree.Eval(vals) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTernaryTreeErrorWithinBound(t *testing.T) {
+	const n = 90
+	tree := BuildTernaryTree(n)
+	bound := fpga.TruncatedTreeError(n)
+	src := hrand.New(77)
+	for trial := 0; trial < 100; trial++ {
+		vals := randTernary(src, n)
+		got := tree.Eval(vals)
+		exact := fpga.ExactSum(vals)
+		if d := got - exact; d > bound || d < -bound {
+			t.Fatalf("error %d exceeds bound %d", d, bound)
+		}
+	}
+}
+
+func TestTernaryTreeLUTBudget(t *testing.T) {
+	// §III-D: the saturated tree uses ≈2·d_iv LUTs. The synthesized count
+	// must land near the model (each compressor: 3 LUTs per 3 inputs = 1
+	// LUT/input; each truncating adder: 3 LUTs per pair of numbers).
+	for _, n := range []int{60, 120, 360} {
+		tree := BuildTernaryTree(n)
+		model := fpga.TernaryApproxLUTs(n)
+		ratio := float64(tree.Netlist.NumLUTs()) / model
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("n=%d: synthesized %d LUTs vs model %.0f (ratio %.2f)",
+				n, tree.Netlist.NumLUTs(), model, ratio)
+		}
+	}
+}
+
+func TestTernaryTreeEvalPanics(t *testing.T) {
+	tree := BuildTernaryTree(3)
+	for _, bad := range [][]int{{1, 1}, {2, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval(%v) should panic", bad)
+				}
+			}()
+			tree.Eval(bad)
+		}()
+	}
+}
+
+func TestBuildTernaryTreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero inputs")
+		}
+	}()
+	BuildTernaryTree(0)
+}

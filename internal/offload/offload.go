@@ -1,0 +1,298 @@
+// Package offload implements the cloud-hosted inference split of Prive-HD
+// §III-C as a working network protocol: the edge encodes, quantizes and
+// masks a query hypervector locally (core.Edge) and ships only the
+// obfuscated vector; the server holds the full-precision model and returns
+// the predicted label.
+//
+// The protocol is length-free gob over a stream connection. What crosses
+// the wire is exactly the query hypervector — which is the point: the
+// experiments eavesdrop on it (attack.Decode) to quantify leakage with and
+// without the paper's obfuscation.
+package offload
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"privehd/internal/hdc"
+)
+
+// Query is the client→server message: one encoded (and obfuscated) query
+// hypervector. Exactly one of Vector and Packed is set.
+type Query struct {
+	// Vector is the offloaded query hypervector in full precision.
+	Vector []float64
+	// Packed carries a small-alphabet (quantized) query as one byte per
+	// dimension — an 8× wire saving that §III-C's quantization makes
+	// possible ("transferring the least amount of information"). Values
+	// are the int8 symbol values (−2…+1 cover every scheme in quant).
+	Packed []int8
+}
+
+// vector returns the query as float64s regardless of wire form.
+func (q Query) vector() []float64 {
+	if q.Vector != nil {
+		return q.Vector
+	}
+	out := make([]float64, len(q.Packed))
+	for i, v := range q.Packed {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// PackQuery converts a quantized hypervector to the compact wire form.
+// It returns false if any value is not an integer in [−128, 127] — i.e.
+// the query was not actually quantized and must travel full-precision.
+func PackQuery(h []float64) ([]int8, bool) {
+	out := make([]int8, len(h))
+	for i, v := range h {
+		iv := int(v)
+		if float64(iv) != v || iv < -128 || iv > 127 {
+			return nil, false
+		}
+		out[i] = int8(iv)
+	}
+	return out, true
+}
+
+// Response is the server→client reply.
+type Response struct {
+	// Label is the predicted class.
+	Label int
+	// Scores are the per-class similarity scores (norm-adjusted dot
+	// products of Eq. 4); returned so clients can gauge confidence.
+	Scores []float64
+	// Err carries a server-side validation failure, empty on success.
+	Err string
+}
+
+// Server serves classification over a listener with a fixed model.
+type Server struct {
+	model *hdc.Model
+
+	mu      sync.Mutex
+	lis     net.Listener
+	served  int
+	closing bool
+}
+
+// NewServer returns a server around the given (typically full-precision)
+// model.
+func NewServer(model *hdc.Model) *Server {
+	return &Server{model: model}
+}
+
+// Served returns how many queries have been answered.
+func (s *Server) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Serve accepts connections until the listener closes. Each connection may
+// stream any number of queries. Serve returns nil after Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return fmt.Errorf("offload: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener; in-flight connections finish their current
+// query.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closing = true
+	if s.lis != nil {
+		return s.lis.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var q Query
+		if err := dec.Decode(&q); err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp := s.answer(q)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) answer(q Query) Response {
+	v := q.vector()
+	if len(v) != s.model.Dim() {
+		return Response{Err: fmt.Sprintf("offload: query dim %d, model dim %d", len(v), s.model.Dim())}
+	}
+	scores := s.model.Scores(v)
+	label := 0
+	for l, v := range scores {
+		if v > scores[label] {
+			label = l
+		}
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	return Response{Label: label, Scores: scores}
+}
+
+// Client is the edge-side connection to a classification server.
+type Client struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects to a server.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("offload: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (useful with net.Pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+}
+
+// Classify sends one prepared (already obfuscated) query and returns the
+// predicted label and scores. Quantized queries automatically take the
+// compact one-byte-per-dimension wire form.
+func (c *Client) Classify(prepared []float64) (int, []float64, error) {
+	q := Query{Vector: prepared}
+	if packed, ok := PackQuery(prepared); ok {
+		q = Query{Packed: packed}
+	}
+	if err := c.enc.Encode(q); err != nil {
+		return 0, nil, fmt.Errorf("offload: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, fmt.Errorf("offload: server closed the connection")
+		}
+		return 0, nil, fmt.Errorf("offload: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return 0, nil, errors.New(resp.Err)
+	}
+	return resp.Label, resp.Scores, nil
+}
+
+// ClassifyBatch streams a batch of prepared queries over the connection and
+// returns the predicted labels in order. It stops at the first failure.
+func (c *Client) ClassifyBatch(prepared [][]float64) ([]int, error) {
+	labels := make([]int, 0, len(prepared))
+	for i, q := range prepared {
+		label, _, err := c.Classify(q)
+		if err != nil {
+			return labels, fmt.Errorf("offload: query %d: %w", i, err)
+		}
+		labels = append(labels, label)
+	}
+	return labels, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Wiretap records the queries that cross a connection — the honest-but-
+// curious channel observer of §I that the obfuscation defends against.
+// Wrap the client side of a connection with Tap and hand the wrapped conn
+// to NewClient; every outgoing query vector is then also delivered to the
+// tap.
+type Wiretap struct {
+	mu      sync.Mutex
+	queries [][]float64
+}
+
+// Queries returns copies of every query vector seen so far.
+func (w *Wiretap) Queries() [][]float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([][]float64, len(w.queries))
+	for i, q := range w.queries {
+		out[i] = append([]float64(nil), q...)
+	}
+	return out
+}
+
+func (w *Wiretap) record(v []float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.queries = append(w.queries, append([]float64(nil), v...))
+}
+
+// tappedConn duplicates decoded traffic to the wiretap. Interception
+// happens at the message layer (gob re-decode) rather than raw bytes: the
+// eavesdropper knows the protocol, as any network observer of a published
+// schema would.
+type tappedConn struct {
+	net.Conn
+	tap *Wiretap
+	pr  *io.PipeReader
+	pw  *io.PipeWriter
+}
+
+// Tap wraps conn so every Query written through it is also recorded by the
+// returned Wiretap.
+func Tap(conn net.Conn) (net.Conn, *Wiretap) {
+	tap := &Wiretap{}
+	pr, pw := io.Pipe()
+	t := &tappedConn{Conn: conn, tap: tap, pr: pr, pw: pw}
+	go func() {
+		dec := gob.NewDecoder(pr)
+		for {
+			var q Query
+			if err := dec.Decode(&q); err != nil {
+				return
+			}
+			tap.record(q.vector())
+		}
+	}()
+	return t, tap
+}
+
+// Write forwards to the real connection and mirrors bytes into the
+// tap's decoder.
+func (t *tappedConn) Write(p []byte) (int, error) {
+	n, err := t.Conn.Write(p)
+	if n > 0 {
+		// Pipe errors (reader done) must not break the real connection.
+		_, _ = t.pw.Write(p[:n])
+	}
+	return n, err
+}
+
+// Close closes both the real connection and the mirror pipe.
+func (t *tappedConn) Close() error {
+	_ = t.pw.Close()
+	return t.Conn.Close()
+}

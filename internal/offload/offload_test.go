@@ -1,0 +1,385 @@
+package offload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"privehd/internal/attack"
+	"privehd/internal/core"
+	"privehd/internal/dataset"
+	"privehd/internal/hdc"
+	"privehd/internal/vecmath"
+)
+
+// startServer runs a server on a loopback listener and returns its address
+// and a shutdown func.
+func startServer(t *testing.T, m *hdc.Model) (string, *Server, func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	cleanup := func() {
+		srv.Close()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+	return lis.Addr().String(), srv, cleanup
+}
+
+func toyModel() *hdc.Model {
+	m := hdc.NewModel(2, 4)
+	m.Add(0, []float64{1, 1, 0, 0})
+	m.Add(1, []float64{0, 0, 1, 1})
+	return m
+}
+
+func TestClassifyOverTCP(t *testing.T) {
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	label, scores, err := c.Classify([]float64{2, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 0 {
+		t.Errorf("label = %d, want 0", label)
+	}
+	if len(scores) != 2 || scores[0] <= scores[1] {
+		t.Errorf("scores = %v", scores)
+	}
+	// Stream another query on the same connection.
+	label, _, err = c.Classify([]float64{0, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 1 {
+		t.Errorf("label = %d, want 1", label)
+	}
+	if srv.Served() != 2 {
+		t.Errorf("Served = %d, want 2", srv.Served())
+	}
+}
+
+func TestServerRejectsWrongDim(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Classify([]float64{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	const clients, queries = 8, 10
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			c, err := Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for q := 0; q < queries; q++ {
+				if _, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Served() != clients*queries {
+		t.Errorf("Served = %d, want %d", srv.Served(), clients*queries)
+	}
+}
+
+func TestClassifyBatch(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	labels, err := c.ClassifyBatch([][]float64{
+		{2, 1, 0, 0},
+		{0, 0, 1, 2},
+		{3, 3, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("labels = %v, want %v", labels, want)
+		}
+	}
+	// A bad query mid-batch returns the labels so far plus an error.
+	labels, err = c.ClassifyBatch([][]float64{{1, 1, 0, 0}, {1}})
+	if err == nil {
+		t.Error("expected error for bad dimension")
+	}
+	if len(labels) != 1 {
+		t.Errorf("partial labels = %v", labels)
+	}
+}
+
+func TestPackQuery(t *testing.T) {
+	packed, ok := PackQuery([]float64{-2, -1, 0, 1})
+	if !ok {
+		t.Fatal("integer query should pack")
+	}
+	want := []int8{-2, -1, 0, 1}
+	for i := range want {
+		if packed[i] != want[i] {
+			t.Fatalf("packed = %v", packed)
+		}
+	}
+	if _, ok := PackQuery([]float64{0.5}); ok {
+		t.Error("fractional query must not pack")
+	}
+	if _, ok := PackQuery([]float64{1000}); ok {
+		t.Error("out-of-range query must not pack")
+	}
+}
+
+func TestPackedQueryClassifiesIdentically(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A quantized (integer) query takes the packed path; a fractional one
+	// takes the float path. Both must classify correctly.
+	label, _, err := c.Classify([]float64{1, 1, -1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 0 {
+		t.Errorf("packed-path label = %d, want 0", label)
+	}
+	label, _, err = c.Classify([]float64{0.1, 0.2, 1.5, 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 1 {
+		t.Errorf("float-path label = %d, want 1", label)
+	}
+}
+
+func TestPackedWireIsSmaller(t *testing.T) {
+	// The point of packing: a quantized 10k-dim query costs ~1 byte per
+	// dimension on the wire vs 8 for float64.
+	dim := 10000
+	qFloat := make([]float64, dim)
+	qInt := make([]float64, dim)
+	for i := range qFloat {
+		// Full-mantissa values, as real (unquantized) encodings have.
+		qFloat[i] = 0.1234567890123 * float64(i+1)
+		qInt[i] = float64(i%3 - 1)
+	}
+	sizeOf := func(q Query) int {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(q); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	packed, ok := PackQuery(qInt)
+	if !ok {
+		t.Fatal("should pack")
+	}
+	floatBytes := sizeOf(Query{Vector: qFloat})
+	packedBytes := sizeOf(Query{Packed: packed})
+	if packedBytes*4 > floatBytes {
+		t.Errorf("packed %dB vs float %dB: expected ≥4× saving", packedBytes, floatBytes)
+	}
+}
+
+func TestWiretapSeesPackedQueries(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped, tap := Tap(raw)
+	c := NewClient(tapped)
+	defer c.Close()
+	want := []float64{1, -1, 0, 1} // integer → packed wire form
+	if _, _, err := c.Classify(want); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		qs := tap.Queries()
+		if len(qs) == 1 {
+			for j := range want {
+				if qs[0][j] != want[j] {
+					t.Fatalf("tapped packed query = %v, want %v", qs[0], want)
+				}
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("tap captured %d queries", len(qs))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestWiretapSeesQueries(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped, tap := Tap(raw)
+	c := NewClient(tapped)
+	defer c.Close()
+	want := []float64{1, 1, 0, 0}
+	if _, _, err := c.Classify(want); err != nil {
+		t.Fatal(err)
+	}
+	// The tap decodes asynchronously; poll briefly.
+	deadline := time.After(2 * time.Second)
+	for {
+		qs := tap.Queries()
+		if len(qs) == 1 {
+			for j := range want {
+				if qs[0][j] != want[j] {
+					t.Fatalf("tapped query = %v, want %v", qs[0], want)
+				}
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("tap captured %d queries, want 1", len(qs))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestEndToEndObfuscatedInference(t *testing.T) {
+	// Full §III-C round trip: train a full-precision model, serve it,
+	// classify through an obfuscating edge, and verify (a) accuracy
+	// survives and (b) the eavesdropped queries reconstruct poorly.
+	if testing.Short() {
+		t.Skip("end-to-end offload test is slow")
+	}
+	d, err := dataset.Gaussian(dataset.GaussianSpec{
+		Name: "offload-e2e", Features: 40, Classes: 3, TrainPer: 30, TestPer: 8,
+		Separation: 0.25, Noise: 0.07, ActiveFraction: 0.5, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdcfg := hdc.Config{Dim: 4000, Features: 40, Levels: 16, Seed: 22}
+	// Cloud: full-precision model over plain encodings.
+	enc, err := hdc.NewScalarEncoder(hdcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainEnc := hdc.EncodeBatch(enc, d.TrainX, 0)
+	model, err := hdc.Train(trainEnc, d.TrainY, d.Classes, hdcfg.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startServer(t, model)
+	defer cleanup()
+
+	// Edge: quantize + mask 25% of dims.
+	edge, err := core.NewEdge(core.EdgeConfig{
+		HD: hdcfg, Encoding: core.EncodingScalar, Quantize: true, MaskDims: 1000, MaskSeed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped, tap := Tap(raw)
+	client := NewClient(tapped)
+	defer client.Close()
+
+	correct := 0
+	for i, x := range d.TestX {
+		label, _, err := client.Classify(edge.Prepare(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label == d.TestY[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(d.TestX))
+	if acc < 0.8 {
+		t.Errorf("obfuscated accuracy = %v, want ≥ 0.8", acc)
+	}
+
+	// Eavesdropper: wait for all taps, reconstruct, compare with the
+	// reconstruction from unobfuscated queries.
+	deadline := time.After(2 * time.Second)
+	for len(tap.Queries()) < len(d.TestX) {
+		select {
+		case <-deadline:
+			t.Fatalf("tap captured %d/%d queries", len(tap.Queries()), len(d.TestX))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	queries := tap.Queries()
+	var obfMSE, cleanMSE float64
+	for i, x := range d.TestX {
+		truth := make([]float64, len(x))
+		for k, v := range x {
+			truth[k] = hdc.LevelValue(hdc.LevelIndex(v, hdcfg.Levels), hdcfg.Levels)
+		}
+		obfRecon, err := attack.DecodeScaled(enc, queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanRecon, err := attack.DecodeScaled(enc, enc.Encode(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		obfMSE += vecmath.MSE(truth, obfRecon)
+		cleanMSE += vecmath.MSE(truth, cleanRecon)
+	}
+	if obfMSE <= cleanMSE {
+		t.Errorf("eavesdropper MSE with obfuscation (%v) should exceed clean (%v)", obfMSE, cleanMSE)
+	}
+}

@@ -1,0 +1,47 @@
+package quant
+
+import (
+	"testing"
+
+	"privehd/internal/hrand"
+)
+
+func benchVector() []float64 {
+	return hrand.New(200).NormalVec(10000, 0, 25)
+}
+
+func BenchmarkBipolar10k(b *testing.B) {
+	h := benchVector()
+	q := Bipolar{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Quantize(h)
+	}
+}
+
+func BenchmarkTernary10k(b *testing.B) {
+	h := benchVector()
+	q := Ternary{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Quantize(h)
+	}
+}
+
+func BenchmarkBiasedTernary10k(b *testing.B) {
+	h := benchVector()
+	q := BiasedTernary{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Quantize(h)
+	}
+}
+
+func BenchmarkTwoBit10k(b *testing.B) {
+	h := benchVector()
+	q := TwoBit{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Quantize(h)
+	}
+}

@@ -1,0 +1,46 @@
+package quant
+
+import "privehd/internal/hdc"
+
+// Encoder wraps an hdc.Encoder so every encoding is quantized on the way
+// out — the training-side configuration of Eq. 13, where class hypervectors
+// are bundled from quantized encodings. It implements hdc.Encoder, so it
+// drops into hdc.Train / hdc.EncodeBatch unchanged.
+type Encoder struct {
+	inner hdc.Encoder
+	q     Quantizer
+}
+
+// NewEncoder wraps inner so its encodings pass through q.
+func NewEncoder(inner hdc.Encoder, q Quantizer) *Encoder {
+	return &Encoder{inner: inner, q: q}
+}
+
+// Encode returns q.Quantize(inner.Encode(features)).
+func (e *Encoder) Encode(features []float64) []float64 {
+	return e.q.Quantize(e.inner.Encode(features))
+}
+
+// Dim returns the wrapped encoder's hypervector dimensionality.
+func (e *Encoder) Dim() int { return e.inner.Dim() }
+
+// NumFeatures returns the wrapped encoder's input dimensionality.
+func (e *Encoder) NumFeatures() int { return e.inner.NumFeatures() }
+
+// Inner returns the wrapped encoder (e.g. for base access in attacks).
+func (e *Encoder) Inner() hdc.Encoder { return e.inner }
+
+// Quantizer returns the wrapped quantization scheme.
+func (e *Encoder) Quantizer() Quantizer { return e.q }
+
+// QuantizeBatch quantizes every encoding in place-order, returning fresh
+// slices. It is the inference-side path (paper §III-C): encodings produced
+// by a full-precision encoder are quantized before offloading, while the
+// model stays full precision.
+func QuantizeBatch(q Quantizer, encodings [][]float64) [][]float64 {
+	out := make([][]float64, len(encodings))
+	for i, h := range encodings {
+		out[i] = q.Quantize(h)
+	}
+	return out
+}

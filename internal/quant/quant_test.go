@@ -1,0 +1,247 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privehd/internal/hrand"
+	"privehd/internal/vecmath"
+)
+
+func randVec(seed uint64, n int) []float64 {
+	return hrand.New(seed).NormalVec(n, 0, 25)
+}
+
+func occupancy(h []float64, symbol float64) float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range h {
+		if x == symbol {
+			count++
+		}
+	}
+	return float64(count) / float64(len(h))
+}
+
+func TestBipolarValues(t *testing.T) {
+	q := Bipolar{}
+	got := q.Quantize([]float64{3, -2, 0, 0.1, -0.1})
+	want := []float64{1, -1, 1, 1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Quantize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBipolarOccupancy(t *testing.T) {
+	h := randVec(1, 10000)
+	g := Bipolar{}.Quantize(h)
+	p1 := occupancy(g, 1)
+	if math.Abs(p1-0.5) > 0.03 {
+		t.Errorf("bipolar p(+1) = %v, want ≈0.5", p1)
+	}
+}
+
+func TestTernaryOccupancy(t *testing.T) {
+	h := randVec(2, 9999)
+	g := Ternary{}.Quantize(h)
+	for _, s := range []float64{-1, 0, 1} {
+		p := occupancy(g, s)
+		if math.Abs(p-1.0/3.0) > 0.03 {
+			t.Errorf("ternary p(%v) = %v, want ≈1/3", s, p)
+		}
+	}
+}
+
+func TestBiasedTernaryOccupancy(t *testing.T) {
+	h := randVec(3, 10000)
+	g := BiasedTernary{}.Quantize(h)
+	if p := occupancy(g, 0); math.Abs(p-0.5) > 0.03 {
+		t.Errorf("biased ternary p(0) = %v, want ≈1/2", p)
+	}
+	for _, s := range []float64{-1, 1} {
+		if p := occupancy(g, s); math.Abs(p-0.25) > 0.03 {
+			t.Errorf("biased ternary p(%v) = %v, want ≈1/4", s, p)
+		}
+	}
+}
+
+func TestTwoBitOccupancy(t *testing.T) {
+	h := randVec(4, 10000)
+	g := TwoBit{}.Quantize(h)
+	for _, s := range []float64{-2, -1, 0, 1} {
+		if p := occupancy(g, s); math.Abs(p-0.25) > 0.03 {
+			t.Errorf("2bit p(%v) = %v, want ≈1/4", s, p)
+		}
+	}
+}
+
+func TestQuantizersEmitOnlyAlphabet(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := randVec(seed, 512)
+		for _, q := range Schemes() {
+			alphabet := map[float64]bool{}
+			for _, a := range q.Alphabet() {
+				alphabet[a] = true
+			}
+			for _, x := range q.Quantize(h) {
+				if !alphabet[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizersPreserveLength(t *testing.T) {
+	for _, q := range append(Schemes(), Quantizer(Identity{})) {
+		for _, n := range []int{0, 1, 7, 100} {
+			h := randVec(uint64(n)+9, n)
+			if got := len(q.Quantize(h)); got != n {
+				t.Errorf("%s: len = %d, want %d", q.Name(), got, n)
+			}
+		}
+	}
+}
+
+func TestQuantizersDoNotMutateInput(t *testing.T) {
+	h := randVec(5, 200)
+	orig := vecmath.Clone(h)
+	for _, q := range append(Schemes(), Quantizer(Identity{})) {
+		_ = q.Quantize(h)
+		for i := range h {
+			if h[i] != orig[i] {
+				t.Fatalf("%s mutated its input", q.Name())
+			}
+		}
+	}
+}
+
+func TestQuantizerSignConsistency(t *testing.T) {
+	// Ternary schemes never flip the sign of a value: nonzero outputs share
+	// the input's sign.
+	f := func(seed uint64) bool {
+		h := randVec(seed, 300)
+		for _, q := range []Quantizer{Ternary{}, BiasedTernary{}} {
+			g := q.Quantize(h)
+			for i, x := range g {
+				if x == 1 && h[i] <= 0 {
+					return false
+				}
+				if x == -1 && h[i] >= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizerMonotonicity(t *testing.T) {
+	// All schemes are monotone maps: h[i] <= h[j] implies q(h)[i] <= q(h)[j].
+	f := func(seed uint64) bool {
+		h := randVec(seed, 200)
+		for _, q := range Schemes() {
+			g := q.Quantize(h)
+			for i := 0; i < len(h); i++ {
+				for j := i + 1; j < len(h); j++ {
+					if h[i] < h[j] && g[i] > g[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	h := []float64{1.5, -2.5}
+	g := Identity{}.Quantize(h)
+	for i := range h {
+		if g[i] != h[i] {
+			t.Fatal("Identity changed values")
+		}
+	}
+	g[0] = 99
+	if h[0] == 99 {
+		t.Error("Identity aliased its input")
+	}
+}
+
+func TestTernaryDegenerateInputs(t *testing.T) {
+	// All-zero input quantizes to all zeros without NaN or panic.
+	zeros := make([]float64, 100)
+	for _, q := range []Quantizer{Ternary{}, BiasedTernary{}} {
+		for _, x := range q.Quantize(zeros) {
+			if x != 0 {
+				t.Errorf("%s on zeros emitted %v", q.Name(), x)
+			}
+		}
+	}
+	// Constant positive input: no zeros possible below threshold; values
+	// stay in alphabet.
+	ones := make([]float64, 100)
+	for i := range ones {
+		ones[i] = 5
+	}
+	for _, q := range Schemes() {
+		for _, x := range q.Quantize(ones) {
+			ok := false
+			for _, a := range q.Alphabet() {
+				if x == a {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s on constant input emitted %v", q.Name(), x)
+			}
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, name := range []string{"full", "bipolar", "ternary", "ternary-biased", "2bit"} {
+		q, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", name, err)
+			continue
+		}
+		if q.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q", name, q.Name())
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse(bogus) should fail")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, q := range Schemes() {
+		var s float64
+		probs := q.Probabilities()
+		if len(probs) != len(q.Alphabet()) {
+			t.Errorf("%s: %d probs for %d symbols", q.Name(), len(probs), len(q.Alphabet()))
+		}
+		for _, p := range probs {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("%s probabilities sum to %v", q.Name(), s)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package quant
+
+import (
+	"math"
+
+	"privehd/internal/vecmath"
+)
+
+// The sensitivity of HD training is the norm of a single encoded
+// hypervector: adjacent datasets differ in one input, so the trained models
+// differ by exactly that input's encoding bundled into one class (paper
+// §III-B).
+
+// RawL1Sensitivity returns the ℓ1 sensitivity of un-quantized Eq. 2
+// encoding, paper Eq. 11:
+//
+//	∆f = ‖~H‖₁ = sqrt(2·D_iv/π) · D_hv
+//
+// derived from the folded-normal mean of an encoding dimension, which is
+// approximately N(0, D_iv) by the central limit theorem.
+func RawL1Sensitivity(dhv, div int) float64 {
+	return math.Sqrt(2*float64(div)/math.Pi) * float64(dhv)
+}
+
+// RawL2Sensitivity returns the ℓ2 sensitivity of un-quantized Eq. 2
+// encoding, paper Eq. 12:
+//
+//	∆f = ‖~H‖₂ = sqrt(D_hv · D_iv)
+//
+// from the chi-square mean of the squared dimensions.
+func RawL2Sensitivity(dhv, div int) float64 {
+	return math.Sqrt(float64(dhv) * float64(div))
+}
+
+// AnalyticL2Sensitivity returns the ℓ2 sensitivity of a quantized encoding,
+// paper Eq. 14:
+//
+//	∆f = ( Σ_{k∈|q|} p_k · D_hv · k² )^{1/2}
+//
+// After quantization the input feature count D_iv no longer matters — only
+// the alphabet occupancy does.
+func AnalyticL2Sensitivity(q Quantizer, dhv int) float64 {
+	alphabet := q.Alphabet()
+	probs := q.Probabilities()
+	if alphabet == nil {
+		// Identity: fall back to the unquantized bound is impossible
+		// without D_iv; report NaN so misuse is loud.
+		return math.NaN()
+	}
+	var s float64
+	for i, k := range alphabet {
+		s += probs[i] * float64(dhv) * k * k
+	}
+	return math.Sqrt(s)
+}
+
+// EmpiricalL2Sensitivity returns the maximum ℓ2 norm across a batch of
+// (possibly quantized) encodings — the measured counterpart of Eq. 12/14
+// used to validate the analytic bounds.
+func EmpiricalL2Sensitivity(encodings [][]float64) float64 {
+	var worst float64
+	for _, h := range encodings {
+		if n := vecmath.Norm2(h); n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+// Occupancy returns the empirical probability of each alphabet symbol in a
+// quantized hypervector, in Alphabet() order — the measured counterpart of
+// Probabilities(), used to validate the Eq. 14 occupancy assumptions on
+// real encodings. Returns nil for schemes without a finite alphabet.
+func Occupancy(q Quantizer, quantized []float64) []float64 {
+	alphabet := q.Alphabet()
+	if alphabet == nil || len(quantized) == 0 {
+		return nil
+	}
+	counts := make([]float64, len(alphabet))
+	for _, v := range quantized {
+		for i, a := range alphabet {
+			if v == a {
+				counts[i]++
+				break
+			}
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(len(quantized))
+	}
+	return counts
+}
+
+// BiasedTernaryGain returns the sensitivity ratio biased/uniform ternary at
+// equal dimension, the paper's "reduces the sensitivity by a factor of
+// 0.87×":
+//
+//	sqrt(D/4 + D/4) / sqrt(D/3 + D/3) = sqrt(3)/2 ≈ 0.866
+func BiasedTernaryGain() float64 {
+	return math.Sqrt(3) / 2
+}
