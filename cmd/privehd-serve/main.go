@@ -1,35 +1,47 @@
 // Command privehd-serve is the cloud side of the §III-C offloaded
-// inference demo: it trains (or loads) a full-precision HD model and serves
-// classification over TCP. Pair it with examples/cloud_inference or any
-// offload.Client.
+// inference demo: it trains (or loads) a pipeline and serves
+// classification over TCP with the versioned privehd protocol. Pair it
+// with `privehd infer`, examples/cloud_inference, or any privehd.Dial
+// client. SIGINT/SIGTERM trigger a graceful shutdown that finishes
+// in-flight requests.
 //
 // Usage:
 //
-//	privehd-serve [-addr :7311] [-dataset isolet-s] [-dim 10000] [-model model.gob]
+//	privehd-serve [-addr :7311] [-dataset isolet-s] [-dim 10000]
+//	              [-model pipeline.gob] [-max-batch 256]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"privehd/internal/dataset"
-	"privehd/internal/hdc"
-	"privehd/internal/offload"
+	"privehd"
 )
 
 func main() {
 	addr := flag.String("addr", ":7311", "listen address")
-	name := flag.String("dataset", "isolet-s", "workload to train the served model on")
+	name := flag.String("dataset", "isolet-s",
+		"workload to train the served model on: "+strings.Join(privehd.DatasetNames(), ", "))
 	dim := flag.Int("dim", 10000, "hypervector dimensionality")
 	levels := flag.Int("levels", 100, "feature quantization levels")
 	seed := flag.Uint64("seed", 1, "random seed (must match the clients' encoder seed)")
-	modelPath := flag.String("model", "", "load a saved model instead of training")
+	pipePath := flag.String("model", "", "load a saved pipeline instead of training")
 	small := flag.Bool("small", false, "train on the small dataset scale")
+	maxBatch := flag.Int("max-batch", 256, "largest query batch accepted per request")
+	// Scalar default: the self-trained model stays full precision, and
+	// 1-bit edge queries only track a full-precision model under the
+	// Eq. 2a form — matching `privehd infer`'s default.
+	encName := flag.String("encoding", "scalar",
+		"paper encoding for the self-trained model: level (Eq. 2b) or scalar (Eq. 2a); clients must match")
 	flag.Parse()
 
-	model, err := buildModel(*modelPath, *name, *dim, *levels, *seed, *small)
+	pipe, err := buildPipeline(*pipePath, *name, *dim, *levels, *seed, *small, *encName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
@@ -39,36 +51,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d-class model (D=%d) on %s\n", model.NumClasses(), model.Dim(), lis.Addr())
-	srv := offload.NewServer(model)
-	if err := srv.Serve(lis); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("serving %d-class pipeline (D=%d, %s encoding, protocol v%d) on %s\n",
+		pipe.Classes(), pipe.Dim(), pipe.Encoding(), privehd.ProtocolVersion, lis.Addr())
+	fmt.Printf("clients must encode with: -dim %d -encoding %s\n", pipe.Dim(), pipe.Encoding())
+	if err := privehd.Serve(ctx, lis, pipe, privehd.WithMaxBatch(*maxBatch)); err != nil {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
 	}
+	fmt.Println("privehd-serve: shut down cleanly")
 }
 
-func buildModel(path, name string, dim, levels int, seed uint64, small bool) (*hdc.Model, error) {
+func buildPipeline(path, name string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Pipeline, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return hdc.LoadModel(f)
+		return privehd.Load(f)
 	}
-	scale := dataset.Full
-	if small {
-		scale = dataset.Small
-	}
-	d, err := dataset.ByName(name, scale)
+	d, err := privehd.LoadDataset(name, small)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := hdc.NewScalarEncoder(hdc.Config{Dim: dim, Features: d.Features, Levels: levels, Seed: seed})
+	enc := privehd.Level
+	switch encName {
+	case "level":
+	case "scalar":
+		enc = privehd.Scalar
+	default:
+		return nil, fmt.Errorf("unknown encoding %q (valid: level, scalar)", encName)
+	}
+	// The served model stays full precision ("our technique does not need
+	// to modify or access the trained model"); clients obfuscate on their
+	// side.
+	pipe, err := privehd.New(
+		privehd.WithDim(dim),
+		privehd.WithLevels(levels),
+		privehd.WithSeed(seed),
+		privehd.WithEncoding(enc),
+		privehd.WithQuantizer("full"),
+		privehd.WithRetrain(0),
+	)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Printf("training full-precision model on %s (%d samples)...\n", d.Name, len(d.TrainX))
-	encoded := hdc.EncodeBatch(enc, d.TrainX, 0)
-	return hdc.Train(encoded, d.TrainY, d.Classes, dim)
+	if err := pipe.Train(d.TrainX, d.TrainY); err != nil {
+		return nil, err
+	}
+	return pipe, nil
 }

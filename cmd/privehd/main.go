@@ -1,6 +1,7 @@
 // Command privehd is the Prive-HD command line: train differentially
 // private HD models on the standard workloads, demonstrate the
-// reconstruction attack, and inspect privacy reports.
+// reconstruction attack, and inspect privacy reports. It is built entirely
+// on the public privehd package.
 //
 // Usage:
 //
@@ -9,21 +10,18 @@
 //	privehd attack [-dataset mnist-s] [-dim 10000] [-quantize] [-mask 0]
 //	privehd report [-dataset isolet-s] [-dim 10000] [-quant ternary-biased]
 //	               [-keep 1000] [-eps 1] [-delta 1e-5]
+//	privehd infer  [-addr 127.0.0.1:7311] [-dataset isolet-s] [-quantize] [-mask 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"privehd/internal/attack"
-	"privehd/internal/core"
-	"privehd/internal/dataset"
-	"privehd/internal/dp"
-	"privehd/internal/hdc"
-	"privehd/internal/offload"
-	"privehd/internal/quant"
+	"privehd"
 )
 
 func main() {
@@ -76,11 +74,28 @@ type commonFlags struct {
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
 	c := &commonFlags{}
-	fs.StringVar(&c.dataset, "dataset", "isolet-s", "workload: isolet-s, face-s or mnist-s")
+	fs.StringVar(&c.dataset, "dataset", "isolet-s",
+		"workload: "+strings.Join(privehd.DatasetNames(), ", "))
 	fs.IntVar(&c.dim, "dim", 10000, "hypervector dimensionality D_hv")
 	fs.IntVar(&c.levels, "levels", 100, "feature quantization levels ℓ_iv")
 	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
 	return c
+}
+
+// addEncoding registers the -encoding flag; the default differs per
+// subcommand (the attack analysis is written against the scalar form).
+func addEncoding(fs *flag.FlagSet, def string) *string {
+	return fs.String("encoding", def, "paper encoding: level (Eq. 2b) or scalar (Eq. 2a); edge and server must match")
+}
+
+func parseEncoding(name string) (privehd.Encoding, error) {
+	switch name {
+	case "level":
+		return privehd.Level, nil
+	case "scalar":
+		return privehd.Scalar, nil
+	}
+	return 0, fmt.Errorf("unknown encoding %q (valid: level, scalar)", name)
 }
 
 func runTrain(args []string) error {
@@ -91,47 +106,50 @@ func runTrain(args []string) error {
 	epochs := fs.Int("epochs", 2, "retraining epochs")
 	eps := fs.Float64("eps", 0, "differential privacy ε (0 = non-private)")
 	delta := fs.Float64("delta", 1e-5, "differential privacy δ")
-	out := fs.String("out", "", "write the trained model (gob) to this path")
+	out := fs.String("out", "", "write the trained pipeline (gob) to this path")
 	small := fs.Bool("small", false, "use the small dataset scale (quick demo)")
+	encName := addEncoding(fs, "level")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	scale := dataset.Full
-	if *small {
-		scale = dataset.Small
-	}
-	d, err := dataset.ByName(c.dataset, scale)
+	d, err := privehd.LoadDataset(c.dataset, *small)
 	if err != nil {
 		return err
 	}
-	q, err := quant.Parse(*quantName)
+	enc, err := parseEncoding(*encName)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{
-		HD:            hdc.Config{Dim: c.dim, Features: d.Features, Levels: c.levels, Seed: c.seed},
-		Quantizer:     q,
-		KeepDims:      *keep,
-		RetrainEpochs: *epochs,
-		NoiseSeed:     c.seed + 1,
-	}
-	if *eps > 0 {
-		cfg.DP = &dp.Params{Epsilon: *eps, Delta: *delta}
+	pipe, err := privehd.New(
+		privehd.WithDim(c.dim),
+		privehd.WithLevels(c.levels),
+		privehd.WithSeed(c.seed),
+		privehd.WithEncoding(enc),
+		privehd.WithQuantizer(*quantName),
+		privehd.WithPruning(*keep),
+		privehd.WithRetrain(*epochs),
+		privehd.WithNoise(*eps, *delta),
+	)
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()
-	p, err := core.Train(cfg, d)
-	if err != nil {
+	if err := pipe.Train(d.TrainX, d.TrainY); err != nil {
 		return err
 	}
 	trainTime := time.Since(start)
-	acc := p.Evaluate(d)
+	acc, err := pipe.Evaluate(d.TestX, d.TestY)
+	if err != nil {
+		return err
+	}
 
-	r := p.Report()
+	r := pipe.Report()
 	fmt.Printf("dataset      %s (%d train / %d test, %d features, %d classes)\n",
 		d.Name, len(d.TrainX), len(d.TestX), d.Features, d.Classes)
-	fmt.Printf("model        D=%d kept=%d quant=%s epochs=%d\n", r.Dim, r.KeptDims, r.Quantizer, *epochs)
+	fmt.Printf("model        D=%d kept=%d quant=%s encoding=%s epochs=%d\n",
+		r.Dim, r.KeptDims, r.Quantizer, pipe.Encoding(), *epochs)
 	if r.Private {
 		fmt.Printf("privacy      (ε=%g, δ=%g)  ∆f=%.2f  σ=%.2f  noise std=%.2f\n",
 			r.Epsilon, r.Delta, r.Sensitivity, r.SigmaFactor, r.NoiseStd)
@@ -147,10 +165,10 @@ func runTrain(args []string) error {
 			return err
 		}
 		defer f.Close()
-		if err := p.Model().Save(f); err != nil {
+		if err := pipe.Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("model saved  %s\n", *out)
+		fmt.Printf("pipeline saved  %s\n", *out)
 	}
 	return nil
 }
@@ -161,26 +179,34 @@ func runAttack(args []string) error {
 	quantize := fs.Bool("quantize", false, "apply the §III-C 1-bit defence to the query")
 	mask := fs.Int("mask", 0, "mask this many query dimensions (defence strength)")
 	samples := fs.Int("samples", 3, "how many test inputs to attack")
+	encName := addEncoding(fs, "scalar")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	d, err := dataset.ByName(c.dataset, dataset.Small)
+	d, err := privehd.LoadDataset(c.dataset, true)
 	if err != nil {
 		return err
 	}
-	edge, err := core.NewEdge(core.EdgeConfig{
-		HD:       hdc.Config{Dim: c.dim, Features: d.Features, Levels: c.levels, Seed: c.seed},
-		Encoding: core.EncodingScalar,
-		Quantize: *quantize,
-		MaskDims: *mask,
-		MaskSeed: c.seed + 2,
-	})
+	enc, err := parseEncoding(*encName)
 	if err != nil {
 		return err
 	}
-	enc := edge.Encoder().(hdc.BaseProvider)
-	scalarEnc := edge.Encoder().(*hdc.ScalarEncoder)
+	edgeOpts := []privehd.Option{
+		privehd.WithDim(c.dim),
+		privehd.WithLevels(c.levels),
+		privehd.WithSeed(c.seed),
+		privehd.WithFeatures(d.Features),
+		privehd.WithEncoding(enc),
+		privehd.WithQueryMask(*mask),
+	}
+	if !*quantize {
+		edgeOpts = append(edgeOpts, privehd.WithRawQueries())
+	}
+	edge, err := privehd.NewEdge(edgeOpts...)
+	if err != nil {
+		return err
+	}
 
 	n := *samples
 	if n > len(d.TestX) {
@@ -188,21 +214,21 @@ func runAttack(args []string) error {
 	}
 	for i := 0; i < n; i++ {
 		x := d.TestX[i]
-		truth := make([]float64, len(x))
-		for k, v := range x {
-			truth[k] = hdc.LevelValue(hdc.LevelIndex(v, scalarEnc.Levels()), scalarEnc.Levels())
-		}
-		query := edge.Prepare(x)
-		recon, err := attack.DecodeScaled(enc, query)
+		truth := edge.QuantizeTruth(x)
+		query, err := edge.Prepare(x)
 		if err != nil {
 			return err
 		}
-		m := attack.Measure(truth, recon)
+		recon, err := edge.Reconstruct(query)
+		if err != nil {
+			return err
+		}
+		m := privehd.MeasureReconstruction(truth, recon)
 		fmt.Printf("sample %d (label %d): MSE %.4f, PSNR %.1f dB\n", i, d.TestY[i], m.MSE, m.PSNR)
 		if d.ImageWidth > 0 {
-			orig := attack.RenderASCII(truth, d.ImageWidth)
-			rec := attack.RenderASCII(recon, d.ImageWidth)
-			fmt.Println(attack.SideBySide(orig, rec, " | "))
+			orig := privehd.RenderASCII(truth, d.ImageWidth)
+			rec := privehd.RenderASCII(recon, d.ImageWidth)
+			fmt.Println(privehd.SideBySide(orig, rec, " | "))
 		}
 	}
 	return nil
@@ -215,36 +241,52 @@ func runInfer(args []string) error {
 	quantize := fs.Bool("quantize", true, "1-bit quantize queries before offloading (§III-C)")
 	mask := fs.Int("mask", 0, "mask this many query dimensions before offloading")
 	samples := fs.Int("samples", 50, "how many test inputs to classify")
+	timeout := fs.Duration("timeout", 10*time.Second, "dial/handshake timeout")
+	// Scalar default: 1-bit offloaded queries against a full-precision
+	// model (the plain privehd-serve pairing) need the Eq. 2a form; when
+	// serving a level-encoded pipeline (-model), pass -encoding level to
+	// match — the server banner says which.
+	encName := addEncoding(fs, "scalar")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := dataset.ByName(c.dataset, dataset.Small)
+	d, err := privehd.LoadDataset(c.dataset, true)
 	if err != nil {
 		return err
 	}
-	edge, err := core.NewEdge(core.EdgeConfig{
-		HD:       hdc.Config{Dim: c.dim, Features: d.Features, Levels: c.levels, Seed: c.seed},
-		Encoding: core.EncodingScalar,
-		Quantize: *quantize,
-		MaskDims: *mask,
-		MaskSeed: c.seed + 2,
-	})
+	enc, err := parseEncoding(*encName)
 	if err != nil {
 		return err
 	}
-	client, err := offload.Dial("tcp", *addr)
+	edgeOpts := []privehd.Option{
+		privehd.WithDim(c.dim),
+		privehd.WithLevels(c.levels),
+		privehd.WithSeed(c.seed),
+		privehd.WithFeatures(d.Features),
+		privehd.WithEncoding(enc),
+		privehd.WithQueryMask(*mask),
+	}
+	if !*quantize {
+		edgeOpts = append(edgeOpts, privehd.WithRawQueries())
+	}
+	edge, err := privehd.NewEdge(edgeOpts...)
 	if err != nil {
 		return err
 	}
-	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	remote, err := privehd.Dial(ctx, "tcp", *addr, edge)
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
 
 	n := *samples
 	if n > len(d.TestX) {
 		n = len(d.TestX)
 	}
-	queries := edge.PrepareBatch(d.TestX[:n], 0)
 	start := time.Now()
-	labels, err := client.ClassifyBatch(queries)
+	labels, err := remote.PredictBatch(d.TestX[:n])
 	if err != nil {
 		return err
 	}
@@ -254,9 +296,9 @@ func runInfer(args []string) error {
 			correct++
 		}
 	}
-	fmt.Printf("classified %d queries in %v: %.1f%% correct (quantize=%v, mask=%d)\n",
+	fmt.Printf("classified %d queries in %v: %.1f%% correct (quantize=%v, mask=%d, server D=%d classes=%d)\n",
 		n, time.Since(start).Round(time.Millisecond),
-		100*float64(correct)/float64(n), *quantize, *mask)
+		100*float64(correct)/float64(n), *quantize, *mask, remote.Dim(), remote.Classes())
 	return nil
 }
 
@@ -270,41 +312,36 @@ func runReport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := dataset.ByName(c.dataset, dataset.Small)
+	d, err := privehd.LoadDataset(c.dataset, true)
 	if err != nil {
 		return err
 	}
-	q, err := quant.Parse(*quantName)
+	pipe, err := privehd.New(
+		privehd.WithDim(c.dim),
+		privehd.WithLevels(c.levels),
+		privehd.WithFeatures(d.Features),
+		privehd.WithQuantizer(*quantName),
+		privehd.WithPruning(*keep),
+		privehd.WithNoise(*eps, *delta),
+	)
 	if err != nil {
 		return err
 	}
-	kept := c.dim
-	if *keep > 0 && *keep < kept {
-		kept = *keep
-	}
-	var sens float64
-	if _, ok := q.(quant.Identity); ok {
-		sens = quant.RawL2Sensitivity(kept, d.Features)
-	} else {
-		sens = quant.AnalyticL2Sensitivity(q, kept)
-	}
-	params := dp.Params{Epsilon: *eps, Delta: *delta}
-	sigma, err := dp.SigmaFactor(params)
+	cal, err := pipe.Calibration()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("dataset        %s (%d features)\n", d.Name, d.Features)
-	fmt.Printf("geometry       D=%d, kept=%d, quant=%s\n", c.dim, kept, q.Name())
-	fmt.Printf("sensitivity    ∆f = %.2f", sens)
-	if _, ok := q.(quant.Identity); ok {
+	fmt.Printf("geometry       D=%d, kept=%d, quant=%s\n", cal.Dim, cal.KeptDims, cal.Quantizer)
+	fmt.Printf("sensitivity    ∆f = %.2f", cal.Sensitivity)
+	if cal.Quantizer == "full" {
 		fmt.Printf("  (Eq. 12, unquantized)\n")
 	} else {
 		fmt.Printf("  (Eq. 14)\n")
 	}
-	fmt.Printf("budget         (ε=%g, δ=%g)\n", *eps, *delta)
-	fmt.Printf("noise          σ=%.3f, per-dimension std = ∆f·σ = %.2f\n", sigma, sens*sigma)
-	raw := quant.RawL2Sensitivity(c.dim, d.Features)
+	fmt.Printf("budget         (ε=%g, δ=%g)\n", cal.Epsilon, cal.Delta)
+	fmt.Printf("noise          σ=%.3f, per-dimension std = ∆f·σ = %.2f\n", cal.SigmaFactor, cal.NoiseStd)
 	fmt.Printf("vs unquantized ∆f would be %.0f at full dimension — %.0f× more noise\n",
-		raw, raw/sens)
+		cal.RawSensitivity, cal.RawSensitivity/cal.Sensitivity)
 	return nil
 }

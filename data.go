@@ -1,0 +1,25 @@
+package privehd
+
+import "privehd/internal/dataset"
+
+// Dataset is a self-contained train/test classification task with
+// normalized features in [0,1]. The standard workloads are synthetic
+// stand-ins matching the paper's evaluation geometry (see the dataset
+// package documentation): "isolet-s" (617 features, 26 classes), "face-s"
+// (608 features, binary) and "mnist-s" (28×28 procedural digit images).
+type Dataset = dataset.Dataset
+
+// LoadDataset returns a standard workload by name ("isolet-s", "face-s" or
+// "mnist-s"). The small scale is a fast subsample for demos and tests; the
+// full scale matches the reproduction's experiment sizing.
+func LoadDataset(name string, small bool) (*Dataset, error) {
+	scale := dataset.Full
+	if small {
+		scale = dataset.Small
+	}
+	return dataset.ByName(name, scale)
+}
+
+// DatasetNames lists the standard workloads in the order the paper
+// tabulates them.
+func DatasetNames() []string { return []string{"isolet-s", "face-s", "mnist-s"} }

@@ -1,24 +1,45 @@
 // Package privehd is a from-scratch Go reproduction of "Prive-HD:
 // Privacy-Preserved Hyperdimensional Computing" (Khaleghi, Imani, Rosing —
-// DAC 2020, arXiv:2005.06716).
+// DAC 2020, arXiv:2005.06716), exposed as a single public API.
 //
-// The library lives under internal/ (see README.md for the map):
+// This root package is the supported surface. Build a pipeline with the
+// functional-options constructor, train it, and use it locally or over the
+// network:
 //
-//   - internal/hdc — hyperdimensional computing substrate (encodings,
-//     class-vector models, retraining)
-//   - internal/quant, internal/prune, internal/dp — the paper's three
-//     privacy levers: encoding quantization, model pruning, calibrated
-//     Gaussian noise
-//   - internal/attack — the Eq. 10 reconstruction and model-difference
-//     membership attacks the defences are measured against
-//   - internal/core — the assembled Prive-HD training/inference pipelines
-//   - internal/offload — edge→cloud inference over TCP with a wiretap
-//     harness
-//   - internal/fpga, internal/netlist, internal/hdl — the §III-D hardware
-//     path: LUT-6 circuit models, structural netlists, Verilog emission
-//   - internal/experiments — regenerators for every paper table and figure
+//	pipe, err := privehd.New(
+//	    privehd.WithDim(10000),
+//	    privehd.WithQuantizer("ternary-biased"), // Eq. 13 encoding quantization
+//	    privehd.WithPruning(5000),               // §III-B1 dimension pruning
+//	    privehd.WithNoise(8, 1e-5),              // Eq. 8 (ε,δ)-DP Gaussian noise
+//	)
+//	err = pipe.Train(X, y)
+//	label, err := pipe.Predict(x)
+//	labels, err := pipe.PredictBatch(X)          // goroutine-parallel
+//	err = pipe.Save(w)                           // versioned; privehd.Load restores
 //
-// The root package holds only this documentation and the benchmark harness
-// (bench_test.go), which regenerates each paper artifact under `go test
-// -bench`.
+// The §III-C offloaded-inference split is privehd.Serve and privehd.Dial: a
+// versioned wire protocol (magic + version byte + geometry handshake) with
+// goroutine-per-connection concurrency, context cancellation, graceful
+// shutdown and batched queries on a packed one-byte-per-dimension form.
+// The client side pairs a connection with a Pipeline.Edge — the on-device
+// obfuscator (1-bit quantization plus WithQueryMask dimension masking)
+// whose output is all that ever crosses the wire:
+//
+//	go privehd.Serve(ctx, lis, pipe)
+//	edge, err := pipe.Edge(privehd.WithQueryMask(1000))
+//	remote, err := privehd.Dial(ctx, "tcp", addr, edge)
+//	labels, err := remote.PredictBatch(X)
+//
+// LoadDataset serves the paper's synthetic stand-in workloads,
+// Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper
+// analysis, Pipeline.Hardware and the netlist builders expose the §III-D
+// FPGA path, and RunExperiments regenerates every paper table and figure.
+// See README.md for the package map and a tour.
+//
+// Everything under internal/ — the hdc substrate, the quant/prune/dp
+// privacy levers, the attack implementations, the offload wire protocol,
+// the fpga/netlist/hdl hardware path and the experiment regenerators — is
+// implementation detail: importable only from inside this module and free
+// to change between versions. The wire protocol and the Save format are
+// versioned independently of the Go API.
 package privehd

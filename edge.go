@@ -1,0 +1,148 @@
+package privehd
+
+import (
+	"errors"
+	"fmt"
+
+	"privehd/internal/attack"
+	"privehd/internal/core"
+	"privehd/internal/hdc"
+)
+
+// Edge prepares obfuscated queries on the device side of the §III-C
+// inference split: it encodes locally, 1-bit quantizes (unless
+// WithRawQueries) and masks (WithQueryMask) each query before anything
+// crosses the network. The cloud-side model is neither accessed nor
+// modified.
+type Edge struct {
+	cfg  config
+	core *core.Edge
+}
+
+// NewEdge builds a standalone edge encoder from functional options. The
+// geometry (WithFeatures, WithDim, WithLevels, WithEncoding, WithSeed)
+// must match the serving model's encoder — base hypervectors are shared
+// public setup — so WithFeatures is required here.
+func NewEdge(opts ...Option) (*Edge, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate("NewEdge", cfg.pipeOnly); err != nil {
+		return nil, err
+	}
+	if cfg.features <= 0 {
+		return nil, errors.New("privehd: NewEdge requires WithFeatures (the encoder geometry is shared setup with the server)")
+	}
+	ce, err := core.NewEdge(core.EdgeConfig{
+		HD:       hdc.Config{Dim: cfg.dim, Features: cfg.features, Levels: cfg.levels, Seed: cfg.seed},
+		Encoding: core.Encoding(cfg.encoding),
+		Quantize: !cfg.rawQueries,
+		MaskDims: cfg.maskDims,
+		MaskSeed: cfg.seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Edge{cfg: cfg, core: ce}, nil
+}
+
+// Edge derives the client-side obfuscating encoder for this pipeline's
+// geometry: same dimension, levels, encoding and seed, so its queries are
+// compatible with the pipeline's model wherever it is served. Extra
+// options layer the §III-C defences on top (WithQueryMask,
+// WithRawQueries).
+func (p *Pipeline) Edge(opts ...Option) (*Edge, error) {
+	p.mu.RLock()
+	cfg := p.cfg
+	p.mu.RUnlock()
+	if cfg.features <= 0 {
+		return nil, errors.New("privehd: Pipeline.Edge needs the feature width (train first or pass WithFeatures to New)")
+	}
+	base := []Option{
+		WithDim(cfg.dim),
+		WithLevels(cfg.levels),
+		WithFeatures(cfg.features),
+		WithEncoding(cfg.encoding),
+		WithSeed(cfg.seed),
+		WithWorkers(cfg.workers),
+	}
+	return NewEdge(append(base, opts...)...)
+}
+
+// Dim returns the hypervector dimensionality.
+func (e *Edge) Dim() int { return e.cfg.dim }
+
+// Features returns the input dimensionality.
+func (e *Edge) Features() int { return e.cfg.features }
+
+// Prepare returns the obfuscated query hypervector for one input — what
+// actually crosses the network.
+func (e *Edge) Prepare(x []float64) ([]float64, error) {
+	if len(x) != e.cfg.features {
+		return nil, fmt.Errorf("privehd: Prepare got %d features, edge encodes %d", len(x), e.cfg.features)
+	}
+	return e.core.Prepare(x), nil
+}
+
+// PrepareBatch obfuscates a batch of inputs in parallel.
+func (e *Edge) PrepareBatch(X [][]float64) ([][]float64, error) {
+	for i, x := range X {
+		if len(x) != e.cfg.features {
+			return nil, fmt.Errorf("privehd: PrepareBatch sample %d has %d features, edge encodes %d",
+				i, len(x), e.cfg.features)
+		}
+	}
+	return e.core.PrepareBatch(X, e.cfg.workers), nil
+}
+
+// Encode returns the raw, unobfuscated encoding of x — the undefended
+// baseline the eavesdropper experiments compare against.
+func (e *Edge) Encode(x []float64) []float64 {
+	return e.core.Encoder().Encode(x)
+}
+
+// QuantizeTruth maps the input features onto their Eq. 1 level
+// representatives — the best reconstruction any Eq. 10 decoder could
+// achieve, used as ground truth when measuring an attack.
+func (e *Edge) QuantizeTruth(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for k, v := range x {
+		out[k] = hdc.LevelValue(hdc.LevelIndex(v, e.cfg.levels), e.cfg.levels)
+	}
+	return out
+}
+
+// Reconstruct runs the paper's Eq. 10 reconstruction attack against a
+// query hypervector (obfuscated or not) using the edge's public base
+// hypervectors — the eavesdropper's point of view on whatever crossed the
+// wire.
+func (e *Edge) Reconstruct(query []float64) ([]float64, error) {
+	bp, ok := e.core.Encoder().(hdc.BaseProvider)
+	if !ok {
+		return nil, errors.New("privehd: encoder does not expose base hypervectors")
+	}
+	return attack.DecodeScaled(bp, query)
+}
+
+// ReconstructionError quantifies how well a reconstruction matches the
+// ground truth (MSE and PSNR in dB).
+type ReconstructionError = attack.ReconstructionError
+
+// MeasureReconstruction compares an attack's reconstruction against the
+// ground-truth features.
+func MeasureReconstruction(truth, recon []float64) ReconstructionError {
+	return attack.Measure(truth, recon)
+}
+
+// RenderASCII renders a pixel vector as an ASCII-art image of the given
+// row width — enough to judge reconstruction quality by eye, as the
+// paper's Fig. 2/6 do.
+func RenderASCII(pixels []float64, width int) string {
+	return attack.RenderASCII(pixels, width)
+}
+
+// SideBySide joins two ASCII renderings line by line.
+func SideBySide(left, right, gutter string) string {
+	return attack.SideBySide(left, right, gutter)
+}

@@ -1,22 +1,20 @@
-// Cloud inference: the full §III-C story over a real TCP connection. A
-// server hosts a full-precision model; an edge client encodes, 1-bit
-// quantizes and masks its queries before offloading; an eavesdropper taps
-// the wire and tries the Eq. 10 reconstruction on what it sees.
+// Cloud inference: the full §III-C story over a real TCP connection with
+// the versioned privehd protocol. A server hosts a full-precision model;
+// an edge client encodes, 1-bit quantizes and masks its queries before
+// offloading; an eavesdropper taps the wire and tries the Eq. 10
+// reconstruction on what it sees.
 //
 //	go run ./examples/cloud_inference
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
-	"privehd/internal/attack"
-	"privehd/internal/core"
-	"privehd/internal/dataset"
-	"privehd/internal/hdc"
-	"privehd/internal/offload"
+	"privehd"
 )
 
 func main() {
@@ -25,42 +23,47 @@ func main() {
 		levels = 16
 		seed   = 99
 	)
-	// A custom-size MNIST-S keeps the demo fast while giving the model
-	// enough data for solid margins.
-	data, err := dataset.MNIST(dataset.MNISTSpec{
-		Name: "mnist-s", TrainPer: 60, TestPer: 20, Jitter: 3, Noise: 0.24, Seed: 0x31157,
-	})
+	// A tenth of the full MNIST-S corpus (60 samples per digit) keeps the
+	// demo fast while giving the model enough data for solid margins.
+	full, err := privehd.LoadDataset("mnist-s", false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hdCfg := hdc.Config{Dim: dim, Features: data.Features, Levels: levels, Seed: seed}
+	data := full.Subset(0.1)
 
 	// --- Cloud: train a full-precision model and serve it. -------------
-	enc, err := hdc.NewScalarEncoder(hdCfg)
+	pipeline, err := privehd.New(
+		privehd.WithDim(dim),
+		privehd.WithLevels(levels),
+		privehd.WithSeed(seed),
+		privehd.WithEncoding(privehd.Scalar),
+		privehd.WithQuantizer("full"),
+		privehd.WithRetrain(0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trainEnc := hdc.EncodeBatch(enc, data.TrainX, 0)
-	model, err := hdc.Train(trainEnc, data.TrainY, data.Classes, dim)
-	if err != nil {
+	if err := pipeline.Train(data.TrainX, data.TrainY); err != nil {
 		log.Fatal(err)
 	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := offload.NewServer(model)
-	go server.Serve(lis)
-	defer server.Close()
-	fmt.Printf("cloud: serving %d-class model on %s\n", data.Classes, lis.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := privehd.Serve(ctx, lis, pipeline); err != nil {
+			log.Println("serve:", err)
+		}
+	}()
+	fmt.Printf("cloud: serving %d-class model on %s (protocol v%d)\n",
+		pipeline.Classes(), lis.Addr(), privehd.ProtocolVersion)
 
 	// --- Edge: obfuscating encoder (quantize + mask 1/6 of the dims).
 	// MNIST tolerates only modest masking (paper Fig. 9: "accuracy loss is
 	// abrupt"), but even a 1k-dim mask pushes reconstruction below ~15 dB.
-	edge, err := core.NewEdge(core.EdgeConfig{
-		HD: hdCfg, Encoding: core.EncodingScalar,
-		Quantize: true, MaskDims: dim / 6, MaskSeed: seed + 1,
-	})
+	edge, err := pipeline.Edge(privehd.WithQueryMask(dim / 6))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,20 +73,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tapped, tap := offload.Tap(raw)
-	client := offload.NewClient(tapped)
-	defer client.Close()
+	tapped, tap := privehd.Tap(raw)
+	remote, err := privehd.NewRemote(tapped, edge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
 
 	n := 20
 	if n > len(data.TestX) {
 		n = len(data.TestX)
 	}
+	labels, err := remote.PredictBatch(data.TestX[:n])
+	if err != nil {
+		log.Fatal(err)
+	}
 	correct := 0
-	for i := 0; i < n; i++ {
-		label, _, err := client.Classify(edge.Prepare(data.TestX[i]))
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, label := range labels {
 		if label == data.TestY[i] {
 			correct++
 		}
@@ -96,26 +102,23 @@ func main() {
 	}
 
 	// --- Eavesdropper: reconstruct the first query. ---------------------
-	truth := make([]float64, data.Features)
-	for k, v := range data.TestX[0] {
-		truth[k] = hdc.LevelValue(hdc.LevelIndex(v, levels), levels)
-	}
+	truth := edge.QuantizeTruth(data.TestX[0])
 	stolen := tap.Queries()[0]
-	obfRecon, err := attack.DecodeScaled(enc, stolen)
+	obfRecon, err := edge.Reconstruct(stolen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cleanRecon, err := attack.DecodeScaled(enc, enc.Encode(data.TestX[0]))
+	cleanRecon, err := edge.Reconstruct(edge.Encode(data.TestX[0]))
 	if err != nil {
 		log.Fatal(err)
 	}
-	obf := attack.Measure(truth, obfRecon)
-	clean := attack.Measure(truth, cleanRecon)
+	obf := privehd.MeasureReconstruction(truth, obfRecon)
+	clean := privehd.MeasureReconstruction(truth, cleanRecon)
 	fmt.Printf("eavesdropper: clean-encoding PSNR %.1f dB → obfuscated PSNR %.1f dB (MSE ×%.1f)\n",
 		clean.PSNR, obf.PSNR, obf.MSE/clean.MSE)
 
 	fmt.Println("\nwhat the eavesdropper sees (original | stolen reconstruction):")
-	fmt.Println(attack.SideBySide(
-		attack.RenderASCII(truth, data.ImageWidth),
-		attack.RenderASCII(obfRecon, data.ImageWidth), " | "))
+	fmt.Println(privehd.SideBySide(
+		privehd.RenderASCII(truth, data.ImageWidth),
+		privehd.RenderASCII(obfRecon, data.ImageWidth), " | "))
 }

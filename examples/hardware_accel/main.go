@@ -1,8 +1,8 @@
-// Hardware acceleration: the §III-D path end-to-end. Builds the Fig. 7a
-// LUT-6 partial-majority circuit for the ISOLET geometry, measures its
-// accuracy impact against the exact popcount on real queries, compares
-// measured LUT budgets with the paper's Eq. 15, models Table I throughput/
-// energy, and dumps synthesizable Verilog.
+// Hardware acceleration: the §III-D path end-to-end through the public
+// API. Builds the Fig. 7a LUT-6 partial-majority circuit for the ISOLET
+// geometry, measures its accuracy impact against the exact popcount on
+// real queries, compares measured LUT budgets with the paper's Eq. 15,
+// models Table I throughput/energy, and dumps synthesizable Verilog.
 //
 //	go run ./examples/hardware_accel
 package main
@@ -12,49 +12,58 @@ import (
 	"log"
 	"os"
 
-	"privehd/internal/dataset"
-	"privehd/internal/fpga"
-	"privehd/internal/hdc"
-	"privehd/internal/hdl"
-	"privehd/internal/hrand"
-	"privehd/internal/netlist"
+	"privehd"
 )
 
 func main() {
 	// Full-scale data: the <1% approximation claim needs real margins
 	// (weak small-sample models amplify near-tie bit flips).
-	data, err := dataset.ISOLETS(dataset.Full)
+	data, err := privehd.LoadDataset("isolet-s", false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	const dim = 8000
-	cfg := hdc.Config{Dim: dim, Features: data.Features, Levels: 100, Seed: 5}
-	enc, err := hdc.NewLevelEncoder(cfg)
+
+	// Train a full-precision model; queries will be hardware-quantized.
+	pipeline, err := privehd.New(
+		privehd.WithDim(dim),
+		privehd.WithLevels(100),
+		privehd.WithSeed(5),
+		privehd.WithEncoding(privehd.Level),
+		privehd.WithQuantizer("full"),
+		privehd.WithRetrain(0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Train a full-precision model; queries will be hardware-quantized.
-	trainEnc := hdc.EncodeBatch(enc, data.TrainX, 0)
-	model, err := hdc.Train(trainEnc, data.TrainY, data.Classes, dim)
-	if err != nil {
+	if err := pipeline.Train(data.TrainX, data.TrainY); err != nil {
 		log.Fatal(err)
 	}
 
 	// Bit-exact simulation: exact popcount majority vs the Fig. 7a
 	// approximate circuit on the same partial-product planes.
-	circuit := fpga.NewBipolarCircuit(data.Features, hrand.New(6))
+	hw, err := pipeline.Hardware(6)
+	if err != nil {
+		log.Fatal(err)
+	}
 	n := 36
 	if n > len(data.TestX) {
 		n = len(data.TestX)
 	}
 	exactOK, approxOK := 0, 0
 	for i := 0; i < n; i++ {
-		planes := enc.BitPlanes(data.TestX[i])
-		if model.Predict(fpga.ExactQuantizeEncoding(planes, true)) == data.TestY[i] {
+		exact, err := pipeline.PredictVector(hw.ExactQuantize(data.TestX[i]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if exact == data.TestY[i] {
 			exactOK++
 		}
-		if model.Predict(circuit.QuantizeEncoding(planes)) == data.TestY[i] {
+		approx, err := pipeline.PredictVector(hw.ApproxQuantize(data.TestX[i]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if approx == data.TestY[i] {
 			approxOK++
 		}
 	}
@@ -63,31 +72,40 @@ func main() {
 
 	// LUT budgets: Eq. 15 vs synthesized netlists.
 	div := data.Features
-	approxNl, _ := netlist.BuildBipolarApprox(div, hrand.New(7))
-	exactNl := netlist.BuildBipolarExact(div, true)
+	approxNl, err := privehd.BuildBipolarApprox(div, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactNl, err := privehd.BuildBipolarExact(div)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("LUT-6 per dimension at d_iv=%d: approx %d (Eq. 15: %.0f), exact %d (model: %.0f) "+
 		"— %.1f%% saving\n",
-		div, approxNl.NumLUTs(), fpga.BipolarApproxLUTs(div),
-		exactNl.NumLUTs(), fpga.BipolarExactLUTs(div),
+		div, approxNl.NumLUTs(), privehd.BipolarApproxLUTs(div),
+		exactNl.NumLUTs(), privehd.BipolarExactLUTs(div),
 		100*(1-float64(approxNl.NumLUTs())/float64(exactNl.NumLUTs())))
 	fmt.Printf("logic depth: approx %d levels, exact %d levels\n", approxNl.Depth(), exactNl.Depth())
 
 	// Table I platform models.
-	w := fpga.Workload{Name: "ISOLET", Features: 617, Dim: 10000, Classes: 26}
+	w := privehd.Workload{Name: "ISOLET", Features: 617, Dim: 10000, Classes: 26}
 	fmt.Println("\nmodeled platform comparison (paper Table I structure):")
-	for _, p := range fpga.Platforms() {
+	for _, p := range privehd.Platforms() {
 		fmt.Printf("  %-16s %12.3g inputs/s  %12.3g J/input\n",
 			p.Name, p.Throughput(w), p.EnergyPerInput(w))
 	}
 
 	// Emit Verilog for a small instance of the Fig. 7a block.
-	demo, _ := netlist.BuildBipolarApprox(36, hrand.New(8))
+	demo, err := privehd.BuildBipolarApprox(36, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	f, err := os.Create("bipolar_approx_36.v")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := hdl.WriteVerilog(f, demo); err != nil {
+	if err := privehd.WriteVerilog(f, demo); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwrote bipolar_approx_36.v (%d LUT6 primitives, Xilinx-style)\n", demo.NumLUTs())

@@ -11,39 +11,19 @@ import (
 	"fmt"
 	"log"
 
-	"privehd/internal/core"
-	"privehd/internal/dataset"
-	"privehd/internal/dp"
-	"privehd/internal/hdc"
-	"privehd/internal/quant"
+	"privehd"
 )
 
+const dim = 2000
+
 func main() {
-	full, err := dataset.FACES(dataset.Full)
+	full, err := privehd.LoadDataset("face-s", false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Half the corpus keeps this demo quick; the size sweep below shows
 	// what the other half would buy.
 	data := full.Subset(0.5)
-	const dim = 2000
-
-	train := func(d *dataset.Dataset, eps float64) *core.Pipeline {
-		cfg := core.Config{
-			HD:            hdc.Config{Dim: dim, Features: d.Features, Levels: 50, Seed: 7},
-			Quantizer:     quant.Ternary{},
-			RetrainEpochs: 1,
-			NoiseSeed:     uint64(1000 * eps),
-		}
-		if eps > 0 {
-			cfg.DP = &dp.Params{Epsilon: eps, Delta: 1e-5}
-		}
-		p, err := core.Train(cfg, d)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p
-	}
 
 	fmt.Printf("privacy budget sweep (%s, %d train samples, D=%d):\n", data.Name, len(data.TrainX), dim)
 	for _, eps := range []float64{0, 0.5, 1, 4, 8} {
@@ -52,7 +32,11 @@ func main() {
 		if eps > 0 {
 			label = fmt.Sprintf("eps=%g", eps)
 		}
-		fmt.Printf("  %-12s accuracy %.1f%%", label, 100*p.Evaluate(data))
+		acc, err := p.Evaluate(data.TestX, data.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s accuracy %.1f%%", label, 100*acc)
 		if r := p.Report(); r.Private {
 			fmt.Printf("   (noise std %.0f per dimension)", r.NoiseStd)
 		}
@@ -63,16 +47,41 @@ func main() {
 	for _, frac := range []float64{0.25, 0.5, 1.0} {
 		sub := full.Subset(frac)
 		p := train(sub, 1)
+		acc, err := p.Evaluate(full.TestX, full.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %4.0f%% of data (%4d samples): accuracy %.1f%%\n",
-			100*frac, len(sub.TrainX), 100*p.Evaluate(full))
+			100*frac, len(sub.TrainX), 100*acc)
 	}
 
 	// The calibration arithmetic behind those numbers.
 	p := train(data, 1)
 	r := p.Report()
+	cal, err := p.Calibration()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nat D=%d, ε=1: ∆f=%.1f (Eq. 14 ternary), σ=%.2f, noise std=%.1f\n",
 		dim, r.Sensitivity, r.SigmaFactor, r.NoiseStd)
 	fmt.Printf("unquantized Eq. 12 would need ∆f=%.0f — %.0f× the noise for the same budget\n",
-		quant.RawL2Sensitivity(dim, data.Features),
-		quant.RawL2Sensitivity(dim, data.Features)/r.Sensitivity)
+		cal.RawSensitivity, cal.RawSensitivity/r.Sensitivity)
+}
+
+func train(d *privehd.Dataset, eps float64) *privehd.Pipeline {
+	p, err := privehd.New(
+		privehd.WithDim(dim),
+		privehd.WithLevels(50),
+		privehd.WithSeed(7),
+		privehd.WithQuantizer("ternary"),
+		privehd.WithRetrain(1),
+		privehd.WithNoise(eps, 1e-5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Train(d.TrainX, d.TrainY); err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

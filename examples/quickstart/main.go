@@ -1,5 +1,5 @@
 // Quickstart: train a differentially private Prive-HD classifier on the
-// ISOLET stand-in and evaluate it — the 30-line tour of the library.
+// ISOLET stand-in and evaluate it — the 30-line tour of the public API.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,16 +8,12 @@ import (
 	"fmt"
 	"log"
 
-	"privehd/internal/core"
-	"privehd/internal/dataset"
-	"privehd/internal/dp"
-	"privehd/internal/hdc"
-	"privehd/internal/quant"
+	"privehd"
 )
 
 func main() {
 	// 1. A workload: 617 features, 26 classes (synthetic ISOLET stand-in).
-	data, err := dataset.ISOLETS(dataset.Full)
+	data, err := privehd.LoadDataset("isolet-s", false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,28 +24,38 @@ func main() {
 	//    itself reports for ISOLET (Fig. 8a); DP noise scales with √dims
 	//    but the signal scales with the training count, so tighter budgets
 	//    need more data (Fig. 8d).
-	pipeline, err := core.Train(core.Config{
-		HD:            hdc.Config{Dim: 2000, Features: data.Features, Levels: 50, Seed: 42},
-		Quantizer:     quant.BiasedTernary{},
-		KeepDims:      1000,
-		RetrainEpochs: 2,
-		DP:            &dp.Params{Epsilon: 8, Delta: 1e-5},
-		NoiseSeed:     43,
-	}, data)
+	pipeline, err := privehd.New(
+		privehd.WithDim(2000),
+		privehd.WithLevels(50),
+		privehd.WithSeed(42),
+		privehd.WithQuantizer("ternary-biased"),
+		privehd.WithPruning(1000),
+		privehd.WithRetrain(2),
+		privehd.WithNoise(8, 1e-5),
+	)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Train(data.TrainX, data.TrainY); err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Results: accuracy plus the privacy calibration that produced it.
 	report := pipeline.Report()
-	fmt.Printf("accuracy: %.1f%% on %d test samples\n",
-		100*pipeline.Evaluate(data), len(data.TestX))
+	acc, err := pipeline.Evaluate(data.TestX, data.TestY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy: %.1f%% on %d test samples\n", 100*acc, len(data.TestX))
 	fmt.Printf("privacy:  (ε=%g, δ=%g) — sensitivity %.1f, noise std %.1f per dimension\n",
 		report.Epsilon, report.Delta, report.Sensitivity, report.NoiseStd)
 	fmt.Printf("model:    %d dims (%d kept after pruning), %s-quantized encodings\n",
 		report.Dim, report.KeptDims, report.Quantizer)
 
 	// 4. Single predictions work too.
-	fmt.Printf("sample 0: predicted class %d, true class %d\n",
-		pipeline.Predict(data.TestX[0]), data.TestY[0])
+	label, err := pipeline.Predict(data.TestX[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sample 0: predicted class %d, true class %d\n", label, data.TestY[0])
 }

@@ -1,0 +1,3 @@
+module privehd
+
+go 1.22

@@ -135,19 +135,35 @@ type Pipeline struct {
 
 // Train runs the full §III-B pipeline on the dataset's training split.
 func Train(cfg Config, d *dataset.Dataset) (*Pipeline, error) {
+	if d.Features != cfg.HD.Features {
+		return nil, fmt.Errorf("core: dataset has %d features, config %d", d.Features, cfg.HD.Features)
+	}
+	return TrainData(cfg, d.TrainX, d.TrainY, d.Classes)
+}
+
+// TrainData runs the full §III-B pipeline on raw samples and labels; classes
+// is the number of distinct labels. This is the dataset-free entry point the
+// public facade builds on.
+func TrainData(cfg Config, X [][]float64, y []int, classes int) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if d.Features != cfg.HD.Features {
-		return nil, fmt.Errorf("core: dataset has %d features, config %d", d.Features, cfg.HD.Features)
+	if len(X) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("core: %d samples, %d labels", len(X), len(y))
+	}
+	if len(X[0]) != cfg.HD.Features {
+		return nil, fmt.Errorf("core: samples have %d features, config %d", len(X[0]), cfg.HD.Features)
 	}
 	enc, err := newEncoder(cfg)
 	if err != nil {
 		return nil, err
 	}
-	raw := hdc.EncodeBatch(enc, d.TrainX, cfg.Workers)
+	raw := hdc.EncodeBatch(enc, X, cfg.Workers)
 	encoded := quant.QuantizeBatch(cfg.Quantizer, raw)
-	model, err := hdc.Train(encoded, d.TrainY, d.Classes, cfg.HD.Dim)
+	model, err := hdc.Train(encoded, y, classes, cfg.HD.Dim)
 	if err != nil {
 		return nil, err
 	}
@@ -161,11 +177,11 @@ func Train(cfg Config, d *dataset.Dataset) (*Pipeline, error) {
 		p.mask = prune.DiscriminativeMask(model, cfg.HD.Dim-cfg.KeepDims)
 		prune.PruneModel(model, p.mask)
 		if cfg.RetrainEpochs > 0 {
-			prune.MaskedRetrain(model, p.mask, encoded, d.TrainY, nil, nil, cfg.RetrainEpochs)
+			prune.MaskedRetrain(model, p.mask, encoded, y, nil, nil, cfg.RetrainEpochs)
 		}
 	} else if cfg.RetrainEpochs > 0 {
 		for e := 0; e < cfg.RetrainEpochs; e++ {
-			if hdc.RetrainEpoch(model, encoded, d.TrainY) == 0 {
+			if hdc.RetrainEpoch(model, encoded, y) == 0 {
 				break
 			}
 		}
@@ -204,6 +220,31 @@ func Train(cfg Config, d *dataset.Dataset) (*Pipeline, error) {
 	return p, nil
 }
 
+// Restore reassembles a trained pipeline from previously released parts: a
+// validated config, the (possibly privatized) model, the pruning mask (nil
+// when unpruned) and the privacy report recorded at training time. The
+// encoder is rebuilt deterministically from cfg. Serialization lives in the
+// public facade; this is its inverse constructor.
+func Restore(cfg Config, model *hdc.Model, mask *prune.Mask, report PrivacyReport) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: Restore needs a model")
+	}
+	if model.Dim() != cfg.HD.Dim {
+		return nil, fmt.Errorf("core: model dim %d, config %d", model.Dim(), cfg.HD.Dim)
+	}
+	if mask != nil && mask.Dim() != cfg.HD.Dim {
+		return nil, fmt.Errorf("core: mask dim %d, config %d", mask.Dim(), cfg.HD.Dim)
+	}
+	enc, err := newEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg, encoder: enc, model: model, mask: mask, report: report}, nil
+}
+
 // Report returns the pipeline's privacy summary.
 func (p *Pipeline) Report() PrivacyReport { return p.report }
 
@@ -236,14 +277,19 @@ func (p *Pipeline) Predict(x []float64) int {
 
 // Evaluate returns accuracy over the dataset's test split.
 func (p *Pipeline) Evaluate(d *dataset.Dataset) float64 {
-	queries := hdc.EncodeBatch(p.encoder, d.TestX, p.cfg.Workers)
+	return p.EvaluateData(d.TestX, d.TestY)
+}
+
+// EvaluateData returns accuracy over raw samples and labels.
+func (p *Pipeline) EvaluateData(X [][]float64, y []int) float64 {
+	queries := hdc.EncodeBatch(p.encoder, X, p.cfg.Workers)
 	correct := 0
 	for i, raw := range queries {
 		h := p.cfg.Quantizer.Quantize(raw)
 		if p.mask != nil {
 			p.mask.Apply(h)
 		}
-		if p.model.Predict(h) == d.TestY[i] {
+		if p.model.Predict(h) == y[i] {
 			correct++
 		}
 	}

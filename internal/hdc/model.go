@@ -93,6 +93,17 @@ func (m *Model) norm(l int) float64 {
 	return m.norms[l]
 }
 
+// Precompute refreshes every cached class norm so that subsequent Scores and
+// Predict calls are read-only — a requirement for serving one model from
+// many goroutines. Mutating the model (Add, Sub, Invalidate) after
+// Precompute reintroduces lazy refresh and is not safe concurrently with
+// inference.
+func (m *Model) Precompute() {
+	for l := range m.classes {
+		m.norm(l)
+	}
+}
+
 // Scores returns the norm-adjusted similarity H·C_l/‖C_l‖ for every class.
 // Per Eq. 4 the query-norm factor is identical across classes and omitted,
 // so Scores are proportional to cosine similarity. Classes with zero norm

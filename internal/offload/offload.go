@@ -1,35 +1,152 @@
 // Package offload implements the cloud-hosted inference split of Prive-HD
-// §III-C as a working network protocol: the edge encodes, quantizes and
+// §III-C as a versioned network protocol: the edge encodes, quantizes and
 // masks a query hypervector locally (core.Edge) and ships only the
 // obfuscated vector; the server holds the full-precision model and returns
 // the predicted label.
 //
-// The protocol is length-free gob over a stream connection. What crosses
-// the wire is exactly the query hypervector — which is the point: the
-// experiments eavesdrop on it (attack.Decode) to quantify leakage with and
-// without the paper's obfuscation.
+// # Wire protocol (version 2)
+//
+// A connection opens with a fixed 4-byte header from the client — the magic
+// bytes "PHD" plus one protocol version byte — followed by a gob-encoded
+// Hello advertising the client's encoder geometry. The server answers with
+// a ServerHello that either accepts (echoing its model geometry, batch
+// limit and packed-symbol alphabet) or rejects with a typed code: peers
+// with a mismatched version or geometry are refused at the handshake
+// instead of gob-decoding garbage mid-stream.
+//
+// After the handshake the client streams Request frames, each carrying up
+// to MaxBatch query hypervectors, and the server answers each frame with
+// one Reply carrying the per-query labels and scores. Quantized queries
+// travel packed (one byte per dimension); the server validates every packed
+// symbol against the advertised alphabet.
+//
+// What crosses the wire is exactly the query hypervector — which is the
+// point: the experiments eavesdrop on it (attack.Decode) to quantify
+// leakage with and without the paper's obfuscation.
 package offload
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"privehd/internal/hdc"
 )
 
-// Query is the client→server message: one encoded (and obfuscated) query
-// hypervector. Exactly one of Vector and Packed is set.
+// ProtocolVersion is the wire protocol version this package speaks. Peers
+// advertising any other version are rejected during the handshake.
+const ProtocolVersion = 2
+
+// magic opens every connection, so a server can tell a protocol peer from a
+// stray scanner before decoding anything.
+var magic = [3]byte{'P', 'H', 'D'}
+
+// DefaultMaxBatch is the per-request query limit a server advertises unless
+// configured otherwise.
+const DefaultMaxBatch = 256
+
+// MinSymbol and MaxSymbol bound the packed-query alphabet: −2…+1 covers
+// every quantization scheme in the quant package (bipolar, ternary, biased
+// ternary and 2-bit). Servers advertise these bounds in the handshake and
+// reject packed symbols outside them.
+const (
+	MinSymbol int8 = -2
+	MaxSymbol int8 = 1
+)
+
+// Typed protocol failures. Errors returned by Dial, NewClient, Classify and
+// ClassifyBatch wrap these sentinels; test with errors.Is.
+var (
+	// ErrVersionMismatch reports a peer speaking a different protocol
+	// version.
+	ErrVersionMismatch = errors.New("offload: protocol version mismatch")
+	// ErrGeometryMismatch reports a client whose encoder dimensionality or
+	// class count does not match the served model.
+	ErrGeometryMismatch = errors.New("offload: encoder geometry mismatch")
+	// ErrBadMagic reports a peer that is not speaking the privehd protocol
+	// at all.
+	ErrBadMagic = errors.New("offload: peer is not speaking the privehd protocol")
+	// ErrSymbolOutOfRange reports a packed query carrying a symbol outside
+	// the advertised alphabet.
+	ErrSymbolOutOfRange = errors.New("offload: packed symbol outside advertised alphabet")
+	// ErrBatchTooLarge reports a request exceeding the server's advertised
+	// batch limit.
+	ErrBatchTooLarge = errors.New("offload: batch exceeds server limit")
+)
+
+// Reply/ServerHello failure codes carried on the wire.
+const (
+	codeBadMagic = "bad-magic"
+	codeVersion  = "version-mismatch"
+	codeGeometry = "geometry-mismatch"
+	codeBatch    = "batch-too-large"
+	codeDim      = "dimension-mismatch"
+	codeSymbol   = "symbol-out-of-range"
+)
+
+// codeError maps a wire failure code to its sentinel error.
+func codeError(code, detail string) error {
+	var base error
+	switch code {
+	case codeVersion:
+		base = ErrVersionMismatch
+	case codeGeometry:
+		base = ErrGeometryMismatch
+	case codeBadMagic:
+		base = ErrBadMagic
+	case codeBatch:
+		base = ErrBatchTooLarge
+	case codeSymbol:
+		base = ErrSymbolOutOfRange
+	default:
+		return fmt.Errorf("offload: server error %s: %s", code, detail)
+	}
+	if detail == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, detail)
+}
+
+// Hello is the client half of the handshake: the geometry of the encoder
+// behind the queries to come. Classes may be zero when the client does not
+// know the label space (a pure edge encoder).
+type Hello struct {
+	Dim     int
+	Classes int
+}
+
+// ServerHello is the server half of the handshake. Code is empty on accept;
+// on reject it names the failure and Detail elaborates.
+type ServerHello struct {
+	Code    string
+	Detail  string
+	Version byte
+	// Dim and Classes describe the served model.
+	Dim     int
+	Classes int
+	// MaxBatch is the largest query count the server accepts per Request.
+	MaxBatch int
+	// MinSymbol and MaxSymbol bound the accepted packed-query alphabet.
+	MinSymbol int8
+	MaxSymbol int8
+}
+
+// Query is one encoded (and obfuscated) query hypervector. Exactly one of
+// Vector and Packed is set.
 type Query struct {
 	// Vector is the offloaded query hypervector in full precision.
 	Vector []float64
 	// Packed carries a small-alphabet (quantized) query as one byte per
 	// dimension — an 8× wire saving that §III-C's quantization makes
-	// possible ("transferring the least amount of information"). Values
-	// are the int8 symbol values (−2…+1 cover every scheme in quant).
+	// possible ("transferring the least amount of information"). Servers
+	// only accept symbols within the alphabet advertised in their
+	// ServerHello ([MinSymbol, MaxSymbol], i.e. −2…+1); anything else is
+	// rejected with ErrSymbolOutOfRange.
 	Packed []int8
 }
 
@@ -45,14 +162,15 @@ func (q Query) vector() []float64 {
 	return out
 }
 
-// PackQuery converts a quantized hypervector to the compact wire form.
-// It returns false if any value is not an integer in [−128, 127] — i.e.
-// the query was not actually quantized and must travel full-precision.
+// PackQuery converts a quantized hypervector to the compact wire form. It
+// returns false if any value is not an integer within the protocol alphabet
+// [MinSymbol, MaxSymbol] — i.e. the query was not actually quantized by one
+// of the paper's schemes and must travel full-precision.
 func PackQuery(h []float64) ([]int8, bool) {
 	out := make([]int8, len(h))
 	for i, v := range h {
 		iv := int(v)
-		if float64(iv) != v || iv < -128 || iv > 127 {
+		if float64(iv) != v || iv < int(MinSymbol) || iv > int(MaxSymbol) {
 			return nil, false
 		}
 		out[i] = int8(iv)
@@ -60,31 +178,67 @@ func PackQuery(h []float64) ([]int8, bool) {
 	return out, true
 }
 
-// Response is the server→client reply.
-type Response struct {
+// Request is one client→server frame: a batch of queries answered together
+// in a single round trip.
+type Request struct {
+	Queries []Query
+}
+
+// Result is the classification of one query.
+type Result struct {
 	// Label is the predicted class.
 	Label int
 	// Scores are the per-class similarity scores (norm-adjusted dot
 	// products of Eq. 4); returned so clients can gauge confidence.
 	Scores []float64
-	// Err carries a server-side validation failure, empty on success.
-	Err string
 }
 
-// Server serves classification over a listener with a fixed model.
+// Reply is one server→client frame answering a Request. Code is empty on
+// success; on failure it names the protocol error and no Results are
+// returned.
+type Reply struct {
+	Code    string
+	Detail  string
+	Results []Result
+}
+
+// Server serves classification over a listener with a fixed model, one
+// goroutine per connection.
 type Server struct {
-	model *hdc.Model
+	model    *hdc.Model
+	maxBatch int
 
 	mu      sync.Mutex
 	lis     net.Listener
+	conns   map[*srvConn]struct{}
 	served  int
 	closing bool
+	wg      sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxBatch sets the per-request query limit the server advertises and
+// enforces.
+func WithMaxBatch(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
 }
 
 // NewServer returns a server around the given (typically full-precision)
-// model.
-func NewServer(model *hdc.Model) *Server {
-	return &Server{model: model}
+// model. The model's norm caches are precomputed here; it must not be
+// mutated while the server runs.
+func NewServer(model *hdc.Model, opts ...ServerOption) *Server {
+	model.Precompute()
+	s := &Server{model: model, maxBatch: DefaultMaxBatch, conns: make(map[*srvConn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Served returns how many queries have been answered.
@@ -94,130 +248,421 @@ func (s *Server) Served() int {
 	return s.served
 }
 
-// Serve accepts connections until the listener closes. Each connection may
-// stream any number of queries. Serve returns nil after Close.
-func (s *Server) Serve(lis net.Listener) error {
+// srvConn tracks one client connection's lifecycle for graceful shutdown.
+type srvConn struct {
+	conn net.Conn
+
+	mu            sync.Mutex
+	busy          bool
+	closeWhenIdle bool
+}
+
+// enterBusy marks the connection as answering a request; it reports false
+// if shutdown already asked the connection to close.
+func (c *srvConn) enterBusy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeWhenIdle {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+// exitBusy marks the request finished and reports whether the connection
+// should now close because a shutdown is in progress.
+func (c *srvConn) exitBusy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = false
+	return c.closeWhenIdle
+}
+
+// askClose requests a graceful close: idle connections close immediately,
+// busy ones right after their in-flight reply.
+func (c *srvConn) askClose() {
+	c.mu.Lock()
+	idle := !c.busy
+	c.closeWhenIdle = true
+	c.mu.Unlock()
+	if idle {
+		c.conn.Close()
+	}
+}
+
+// Serve accepts connections until the listener closes, the context is
+// cancelled, or Close/Shutdown is called. Each connection may stream any
+// number of Request frames. Serve returns nil after a clean stop.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("offload: server already closed")
+	}
 	s.lis = lis
 	s.mu.Unlock()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			s.Shutdown(sctx)
+		case <-stop:
+		}
+	}()
+
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closing := s.closing
 			s.mu.Unlock()
-			if closing {
+			if closing || ctx.Err() != nil {
+				// Don't return (and let the caller exit) until the
+				// shutdown path has drained in-flight handlers; Close and
+				// Shutdown guarantee every handler terminates, so this
+				// wait is bounded.
+				s.wg.Wait()
 				return nil
 			}
 			return fmt.Errorf("offload: accept: %w", err)
 		}
-		go s.handle(conn)
+		sc := &srvConn{conn: conn}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			s.wg.Wait()
+			return nil
+		}
+		s.conns[sc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer s.forget(sc)
+			s.handle(sc)
+		}()
 	}
 }
 
-// Close stops the listener; in-flight connections finish their current
-// query.
+func (s *Server) forget(sc *srvConn) {
+	sc.conn.Close()
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+}
+
+// Close stops the listener and closes every connection immediately,
+// dropping in-flight requests.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closing = true
+	var err error
 	if s.lis != nil {
-		return s.lis.Close()
+		err = s.lis.Close()
 	}
-	return nil
+	for sc := range s.conns {
+		sc.conn.Close()
+	}
+	s.mu.Unlock()
+	return err
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var q Query
-		if err := dec.Decode(&q); err != nil {
-			return // EOF or broken peer: drop the connection
+// Shutdown stops accepting new connections, lets every in-flight request
+// finish its reply, then closes the connections. It returns ctx.Err() if
+// the context expires first, force-closing whatever remains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for sc := range s.conns {
+		go sc.askClose()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.conn.Close()
 		}
-		resp := s.answer(q)
-		if err := enc.Encode(resp); err != nil {
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// handle runs the handshake then answers Request frames until the peer
+// hangs up or shutdown closes the connection.
+func (s *Server) handle(sc *srvConn) {
+	conn := sc.conn
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	enc := gob.NewEncoder(conn)
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] {
+		enc.Encode(ServerHello{Code: codeBadMagic, Version: ProtocolVersion})
+		return
+	}
+	if hdr[3] != ProtocolVersion {
+		enc.Encode(ServerHello{
+			Code:    codeVersion,
+			Detail:  fmt.Sprintf("server speaks v%d, client sent v%d", ProtocolVersion, hdr[3]),
+			Version: ProtocolVersion,
+		})
+		return
+	}
+	dec := gob.NewDecoder(conn)
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if hello.Dim != s.model.Dim() ||
+		(hello.Classes != 0 && hello.Classes != s.model.NumClasses()) {
+		enc.Encode(ServerHello{
+			Code: codeGeometry,
+			Detail: fmt.Sprintf("server model is %d-dimensional with %d classes, client advertised dim %d classes %d",
+				s.model.Dim(), s.model.NumClasses(), hello.Dim, hello.Classes),
+			Version: ProtocolVersion,
+			Dim:     s.model.Dim(),
+			Classes: s.model.NumClasses(),
+		})
+		return
+	}
+	err := enc.Encode(ServerHello{
+		Version:   ProtocolVersion,
+		Dim:       s.model.Dim(),
+		Classes:   s.model.NumClasses(),
+		MaxBatch:  s.maxBatch,
+		MinSymbol: MinSymbol,
+		MaxSymbol: MaxSymbol,
+	})
+	if err != nil {
+		return
+	}
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF, broken peer, or shutdown closed the conn
+		}
+		if !sc.enterBusy() {
+			return
+		}
+		reply := s.answer(req)
+		err := enc.Encode(reply)
+		if sc.exitBusy() || err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) answer(q Query) Response {
-	v := q.vector()
-	if len(v) != s.model.Dim() {
-		return Response{Err: fmt.Sprintf("offload: query dim %d, model dim %d", len(v), s.model.Dim())}
+// answer classifies one request batch.
+func (s *Server) answer(req Request) Reply {
+	if len(req.Queries) > s.maxBatch {
+		return Reply{Code: codeBatch,
+			Detail: fmt.Sprintf("%d queries, limit %d", len(req.Queries), s.maxBatch)}
 	}
-	scores := s.model.Scores(v)
-	label := 0
-	for l, v := range scores {
-		if v > scores[label] {
-			label = l
+	results := make([]Result, len(req.Queries))
+	for i, q := range req.Queries {
+		for j, sym := range q.Packed {
+			if sym < MinSymbol || sym > MaxSymbol {
+				return Reply{Code: codeSymbol,
+					Detail: fmt.Sprintf("query %d dimension %d carries symbol %d, alphabet is [%d,%d]",
+						i, j, sym, MinSymbol, MaxSymbol)}
+			}
 		}
+		v := q.vector()
+		if len(v) != s.model.Dim() {
+			return Reply{Code: codeDim,
+				Detail: fmt.Sprintf("query %d has dim %d, model dim %d", i, len(v), s.model.Dim())}
+		}
+		scores := s.model.Scores(v)
+		label := 0
+		for l, sc := range scores {
+			if sc > scores[label] {
+				label = l
+			}
+		}
+		results[i] = Result{Label: label, Scores: scores}
 	}
 	s.mu.Lock()
-	s.served++
+	s.served += len(req.Queries)
 	s.mu.Unlock()
-	return Response{Label: label, Scores: scores}
+	return Reply{Results: results}
 }
 
 // Client is the edge-side connection to a classification server.
 type Client struct {
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	conn  net.Conn
+	dec   *gob.Decoder
+	enc   *gob.Encoder
+	hello ServerHello
 }
 
-// Dial connects to a server.
-func Dial(network, addr string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
+// Dial connects to a server and performs the handshake, advertising the
+// client encoder's dimensionality (and class count, when known; pass 0
+// otherwise). The context bounds connection establishment and the
+// handshake.
+func Dial(ctx context.Context, network, addr string, dim, classes int) (*Client, error) {
+	var d net.Dialer
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	conn, err := d.DialContext(ctx, network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("offload: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	// A deadline alone doesn't cover cancellable contexts: abort a hung
+	// handshake by closing the conn when ctx is cancelled mid-handshake.
+	handshakeDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-handshakeDone:
+		}
+	}()
+	c, err := NewClient(conn, dim, classes)
+	close(handshakeDone)
+	if err != nil {
+		conn.Close()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("offload: handshake: %w", ctx.Err())
+		}
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
 }
 
-// NewClient wraps an existing connection (useful with net.Pipe in tests).
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+// NewClient performs the protocol handshake over an existing connection
+// (useful with net.Pipe or a tapped conn in tests) and returns the client.
+// On handshake rejection the returned error wraps ErrVersionMismatch,
+// ErrGeometryMismatch or ErrBadMagic.
+func NewClient(conn net.Conn, dim, classes int) (*Client, error) {
+	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	hdr := [4]byte{magic[0], magic[1], magic[2], ProtocolVersion}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("offload: handshake: %w", err)
+	}
+	if err := c.enc.Encode(Hello{Dim: dim, Classes: classes}); err != nil {
+		return nil, fmt.Errorf("offload: handshake: %w", err)
+	}
+	if err := c.dec.Decode(&c.hello); err != nil {
+		return nil, fmt.Errorf("offload: handshake: %w", err)
+	}
+	if c.hello.Code != "" {
+		return nil, codeError(c.hello.Code, c.hello.Detail)
+	}
+	if c.hello.Version != ProtocolVersion {
+		return nil, fmt.Errorf("%w: server speaks v%d, client v%d",
+			ErrVersionMismatch, c.hello.Version, ProtocolVersion)
+	}
+	return c, nil
 }
+
+// Dim returns the served model's dimensionality, learned in the handshake.
+func (c *Client) Dim() int { return c.hello.Dim }
+
+// Classes returns the served model's class count, learned in the handshake.
+func (c *Client) Classes() int { return c.hello.Classes }
+
+// MaxBatch returns the server's advertised per-request query limit.
+func (c *Client) MaxBatch() int { return c.hello.MaxBatch }
 
 // Classify sends one prepared (already obfuscated) query and returns the
 // predicted label and scores. Quantized queries automatically take the
 // compact one-byte-per-dimension wire form.
 func (c *Client) Classify(prepared []float64) (int, []float64, error) {
-	q := Query{Vector: prepared}
-	if packed, ok := PackQuery(prepared); ok {
-		q = Query{Packed: packed}
+	results, err := c.roundTrip([][]float64{prepared})
+	if err != nil {
+		return 0, nil, err
 	}
-	if err := c.enc.Encode(q); err != nil {
-		return 0, nil, fmt.Errorf("offload: send: %w", err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return 0, nil, fmt.Errorf("offload: server closed the connection")
-		}
-		return 0, nil, fmt.Errorf("offload: receive: %w", err)
-	}
-	if resp.Err != "" {
-		return 0, nil, errors.New(resp.Err)
-	}
-	return resp.Label, resp.Scores, nil
+	return results[0].Label, results[0].Scores, nil
 }
 
-// ClassifyBatch streams a batch of prepared queries over the connection and
-// returns the predicted labels in order. It stops at the first failure.
+// ClassifyBatch classifies a batch of prepared queries, batching up to
+// MaxBatch vectors per round trip, and returns the predicted labels in
+// order. It stops at the first failure, returning the labels answered so
+// far.
 func (c *Client) ClassifyBatch(prepared [][]float64) ([]int, error) {
-	labels := make([]int, 0, len(prepared))
-	for i, q := range prepared {
-		label, _, err := c.Classify(q)
-		if err != nil {
-			return labels, fmt.Errorf("offload: query %d: %w", i, err)
-		}
-		labels = append(labels, label)
+	results, err := c.ClassifyBatchScores(prepared)
+	labels := make([]int, len(results))
+	for i, r := range results {
+		labels[i] = r.Label
 	}
-	return labels, nil
+	return labels, err
+}
+
+// ClassifyBatchScores is ClassifyBatch returning full results.
+func (c *Client) ClassifyBatchScores(prepared [][]float64) ([]Result, error) {
+	out := make([]Result, 0, len(prepared))
+	chunk := c.hello.MaxBatch
+	if chunk <= 0 {
+		chunk = DefaultMaxBatch
+	}
+	for start := 0; start < len(prepared); start += chunk {
+		end := start + chunk
+		if end > len(prepared) {
+			end = len(prepared)
+		}
+		results, err := c.roundTrip(prepared[start:end])
+		if err != nil {
+			return out, fmt.Errorf("offload: batch at query %d: %w", start, err)
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// roundTrip sends one Request frame and decodes its Reply.
+func (c *Client) roundTrip(prepared [][]float64) ([]Result, error) {
+	req := Request{Queries: make([]Query, len(prepared))}
+	for i, v := range prepared {
+		if packed, ok := PackQuery(v); ok {
+			req.Queries[i] = Query{Packed: packed}
+		} else {
+			req.Queries[i] = Query{Vector: v}
+		}
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("offload: send: %w", err)
+	}
+	var reply Reply
+	if err := c.dec.Decode(&reply); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("offload: server closed the connection")
+		}
+		return nil, fmt.Errorf("offload: receive: %w", err)
+	}
+	if reply.Code != "" {
+		return nil, codeError(reply.Code, reply.Detail)
+	}
+	if len(reply.Results) != len(prepared) {
+		return nil, fmt.Errorf("offload: server answered %d of %d queries",
+			len(reply.Results), len(prepared))
+	}
+	return reply.Results, nil
 }
 
 // Close closes the connection.
@@ -251,9 +696,9 @@ func (w *Wiretap) record(v []float64) {
 }
 
 // tappedConn duplicates decoded traffic to the wiretap. Interception
-// happens at the message layer (gob re-decode) rather than raw bytes: the
-// eavesdropper knows the protocol, as any network observer of a published
-// schema would.
+// happens at the message layer (header skip + gob re-decode) rather than
+// raw bytes: the eavesdropper knows the protocol, as any network observer
+// of a published schema would.
 type tappedConn struct {
 	net.Conn
 	tap *Wiretap
@@ -268,13 +713,23 @@ func Tap(conn net.Conn) (net.Conn, *Wiretap) {
 	pr, pw := io.Pipe()
 	t := &tappedConn{Conn: conn, tap: tap, pr: pr, pw: pw}
 	go func() {
+		var hdr [4]byte
+		if _, err := io.ReadFull(pr, hdr[:]); err != nil {
+			return
+		}
 		dec := gob.NewDecoder(pr)
+		var hello Hello
+		if err := dec.Decode(&hello); err != nil {
+			return
+		}
 		for {
-			var q Query
-			if err := dec.Decode(&q); err != nil {
+			var req Request
+			if err := dec.Decode(&req); err != nil {
 				return
 			}
-			tap.record(q.vector())
+			for _, q := range req.Queries {
+				tap.record(q.vector())
+			}
 		}
 	}()
 	return t, tap

@@ -2,8 +2,11 @@ package offload
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,19 +19,22 @@ import (
 
 // startServer runs a server on a loopback listener and returns its address
 // and a shutdown func.
-func startServer(t *testing.T, m *hdc.Model) (string, *Server, func()) {
+func startServer(t *testing.T, m *hdc.Model, opts ...ServerOption) (string, *Server, func()) {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(m)
+	srv := NewServer(m, opts...)
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve(lis) }()
+	go func() { done <- srv.Serve(context.Background(), lis) }()
 	cleanup := func() {
 		srv.Close()
 		select {
-		case <-done:
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
 		case <-time.After(2 * time.Second):
 			t.Error("server did not shut down")
 		}
@@ -43,14 +49,23 @@ func toyModel() *hdc.Model {
 	return m
 }
 
-func TestClassifyOverTCP(t *testing.T) {
-	addr, srv, cleanup := startServer(t, toyModel())
-	defer cleanup()
-	c, err := Dial("tcp", addr)
+func dialToy(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(context.Background(), "tcp", addr, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return c
+}
+
+func TestClassifyOverTCP(t *testing.T) {
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c := dialToy(t, addr)
 	defer c.Close()
+	if c.Dim() != 4 || c.Classes() != 2 || c.MaxBatch() != DefaultMaxBatch {
+		t.Errorf("handshake advertised dim=%d classes=%d maxBatch=%d", c.Dim(), c.Classes(), c.MaxBatch())
+	}
 	label, scores, err := c.Classify([]float64{2, 1, 0, 0})
 	if err != nil {
 		t.Fatal(err)
@@ -74,15 +89,165 @@ func TestClassifyOverTCP(t *testing.T) {
 	}
 }
 
-func TestServerRejectsWrongDim(t *testing.T) {
+func TestHandshakeRejectsWrongDim(t *testing.T) {
 	addr, _, cleanup := startServer(t, toyModel())
 	defer cleanup()
-	c, err := Dial("tcp", addr)
+	_, err := Dial(context.Background(), "tcp", addr, 5, 0)
+	if !errors.Is(err, ErrGeometryMismatch) {
+		t.Errorf("dim-5 client against dim-4 model: err = %v, want ErrGeometryMismatch", err)
+	}
+}
+
+func TestHandshakeRejectsWrongClasses(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	_, err := Dial(context.Background(), "tcp", addr, 4, 7)
+	if !errors.Is(err, ErrGeometryMismatch) {
+		t.Errorf("7-class client against 2-class model: err = %v, want ErrGeometryMismatch", err)
+	}
+	// Classes 0 means "unknown" and is accepted.
+	c, err := Dial(context.Background(), "tcp", addr, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestHandshakeRejectsWrongVersion(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Hand-rolled handshake from a hypothetical v3 client.
+	if _, err := conn.Write([]byte{'P', 'H', 'D', ProtocolVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var hello ServerHello
+	if err := gob.NewDecoder(conn).Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != codeVersion {
+		t.Errorf("hello.Code = %q, want %q", hello.Code, codeVersion)
+	}
+	if err := codeError(hello.Code, hello.Detail); !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("codeError = %v, want ErrVersionMismatch", err)
+	}
+	if hello.Version != ProtocolVersion {
+		t.Errorf("server advertised v%d, want v%d", hello.Version, ProtocolVersion)
+	}
+}
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A legacy (v1) peer opens with a gob stream, not the magic.
+	if err := gob.NewEncoder(conn).Encode(Query{Vector: []float64{1, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	var hello ServerHello
+	if err := gob.NewDecoder(conn).Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != codeBadMagic {
+		t.Errorf("hello.Code = %q, want %q", hello.Code, codeBadMagic)
+	}
+}
+
+func TestServerRejectsOutOfAlphabetSymbols(t *testing.T) {
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(conn, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.Classify([]float64{1}); err == nil {
+	// Craft a request whose packed symbols escape the advertised −2…+1
+	// alphabet; an honest PackQuery would refuse to build it.
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(Request{Queries: []Query{{Packed: []int8{5, 0, 0, 0}}}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != codeSymbol {
+		t.Errorf("reply.Code = %q, want %q", reply.Code, codeSymbol)
+	}
+	if err := codeError(reply.Code, reply.Detail); !errors.Is(err, ErrSymbolOutOfRange) {
+		t.Errorf("codeError = %v, want ErrSymbolOutOfRange", err)
+	}
+	if srv.Served() != 0 {
+		t.Errorf("rejected query counted as served: %d", srv.Served())
+	}
+}
+
+func TestServerRejectsOversizedBatch(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel(), WithMaxBatch(2))
+	defer cleanup()
+	c := dialToy(t, addr)
+	defer c.Close()
+	if c.MaxBatch() != 2 {
+		t.Fatalf("advertised MaxBatch = %d, want 2", c.MaxBatch())
+	}
+	// The client honors the advertised limit by chunking, so a 5-query
+	// batch succeeds through multiple round trips.
+	labels, err := c.ClassifyBatch([][]float64{
+		{2, 1, 0, 0}, {0, 0, 1, 2}, {3, 3, 0, 0}, {0, 0, 2, 2}, {1, 2, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1, 0}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	// A misbehaving client that ignores the limit is rejected.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewClient(raw, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	req := Request{Queries: make([]Query, 3)}
+	for i := range req.Queries {
+		req.Queries[i] = Query{Vector: []float64{1, 0, 0, 0}}
+	}
+	if err := gob.NewEncoder(raw).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := gob.NewDecoder(raw).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := codeError(reply.Code, reply.Detail); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversized batch: %v, want ErrBatchTooLarge", err)
+	}
+}
+
+func TestServerRejectsWrongDimQuery(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c := dialToy(t, addr)
+	defer c.Close()
+	if _, _, err := c.Classify([]float64{0.5}); err == nil {
 		t.Error("expected dimension error")
 	}
 }
@@ -94,7 +259,7 @@ func TestConcurrentClients(t *testing.T) {
 	errs := make(chan error, clients)
 	for i := 0; i < clients; i++ {
 		go func() {
-			c, err := Dial("tcp", addr)
+			c, err := Dial(context.Background(), "tcp", addr, 4, 2)
 			if err != nil {
 				errs <- err
 				return
@@ -119,13 +284,87 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
-func TestClassifyBatch(t *testing.T) {
-	addr, _, cleanup := startServer(t, toyModel())
-	defer cleanup()
-	c, err := Dial("tcp", addr)
+func TestContextCancelStopsServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv := NewServer(toyModel())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, lis) }()
+
+	c, err := Dial(context.Background(), "tcp", lis.Addr().String(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve after cancel = %v, want nil", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	// The open connection is closed by the shutdown.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection still served after shutdown")
+		}
+	}
+}
+
+func TestGracefulShutdownFinishesInFlight(t *testing.T) {
+	addr, srv, _ := startServer(t, toyModel())
+	var wg sync.WaitGroup
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(context.Background(), "tcp", addr, 4, 0)
+			if err != nil {
+				results <- err
+				return
+			}
+			defer c.Close()
+			if _, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil {
+				results <- err
+				return
+			}
+			results <- nil
+		}()
+	}
+	wg.Wait()
+	ctx, cancelT := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelT()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	if srv.Served() != 4 {
+		t.Errorf("Served = %d, want 4", srv.Served())
+	}
+}
+
+func TestClassifyBatch(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c := dialToy(t, addr)
 	defer c.Close()
 	labels, err := c.ClassifyBatch([][]float64{
 		{2, 1, 0, 0},
@@ -141,13 +380,9 @@ func TestClassifyBatch(t *testing.T) {
 			t.Errorf("labels = %v, want %v", labels, want)
 		}
 	}
-	// A bad query mid-batch returns the labels so far plus an error.
-	labels, err = c.ClassifyBatch([][]float64{{1, 1, 0, 0}, {1}})
-	if err == nil {
+	// A bad query in the batch fails the whole request with no results.
+	if _, err := c.ClassifyBatch([][]float64{{0.5, 1, 0, 0}, {0.5}}); err == nil {
 		t.Error("expected error for bad dimension")
-	}
-	if len(labels) != 1 {
-		t.Errorf("partial labels = %v", labels)
 	}
 }
 
@@ -168,15 +403,20 @@ func TestPackQuery(t *testing.T) {
 	if _, ok := PackQuery([]float64{1000}); ok {
 		t.Error("out-of-range query must not pack")
 	}
+	// Values that fit int8 but escape the protocol alphabet must travel
+	// full-precision rather than pack into symbols the server will reject.
+	if _, ok := PackQuery([]float64{2}); ok {
+		t.Error("+2 is outside the −2…+1 alphabet and must not pack")
+	}
+	if _, ok := PackQuery([]float64{-3}); ok {
+		t.Error("−3 is outside the −2…+1 alphabet and must not pack")
+	}
 }
 
 func TestPackedQueryClassifiesIdentically(t *testing.T) {
 	addr, _, cleanup := startServer(t, toyModel())
 	defer cleanup()
-	c, err := Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := dialToy(t, addr)
 	defer c.Close()
 	// A quantized (integer) query takes the packed path; a fractional one
 	// takes the float path. Both must classify correctly.
@@ -225,39 +465,6 @@ func TestPackedWireIsSmaller(t *testing.T) {
 	}
 }
 
-func TestWiretapSeesPackedQueries(t *testing.T) {
-	addr, _, cleanup := startServer(t, toyModel())
-	defer cleanup()
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tapped, tap := Tap(raw)
-	c := NewClient(tapped)
-	defer c.Close()
-	want := []float64{1, -1, 0, 1} // integer → packed wire form
-	if _, _, err := c.Classify(want); err != nil {
-		t.Fatal(err)
-	}
-	deadline := time.After(2 * time.Second)
-	for {
-		qs := tap.Queries()
-		if len(qs) == 1 {
-			for j := range want {
-				if qs[0][j] != want[j] {
-					t.Fatalf("tapped packed query = %v, want %v", qs[0], want)
-				}
-			}
-			return
-		}
-		select {
-		case <-deadline:
-			t.Fatalf("tap captured %d queries", len(qs))
-		case <-time.After(10 * time.Millisecond):
-		}
-	}
-}
-
 func TestWiretapSeesQueries(t *testing.T) {
 	addr, _, cleanup := startServer(t, toyModel())
 	defer cleanup()
@@ -266,27 +473,35 @@ func TestWiretapSeesQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	tapped, tap := Tap(raw)
-	c := NewClient(tapped)
-	defer c.Close()
-	want := []float64{1, 1, 0, 0}
-	if _, _, err := c.Classify(want); err != nil {
+	c, err := NewClient(tapped, 4, 2)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// The tap decodes asynchronously; poll briefly.
+	defer c.Close()
+	// One packed (integer) and one full-precision query; the tap must see
+	// both wire forms.
+	queries := [][]float64{{1, -1, 0, 1}, {0.25, 1, 0, 0}}
+	for _, q := range queries {
+		if _, _, err := c.Classify(q); err != nil {
+			t.Fatal(err)
+		}
+	}
 	deadline := time.After(2 * time.Second)
 	for {
 		qs := tap.Queries()
-		if len(qs) == 1 {
-			for j := range want {
-				if qs[0][j] != want[j] {
-					t.Fatalf("tapped query = %v, want %v", qs[0], want)
+		if len(qs) == len(queries) {
+			for i, want := range queries {
+				for j := range want {
+					if qs[i][j] != want[j] {
+						t.Fatalf("tapped query %d = %v, want %v", i, qs[i], want)
+					}
 				}
 			}
 			return
 		}
 		select {
 		case <-deadline:
-			t.Fatalf("tap captured %d queries, want 1", len(qs))
+			t.Fatalf("tap captured %d queries, want %d", len(qs), len(queries))
 		case <-time.After(10 * time.Millisecond):
 		}
 	}
@@ -333,7 +548,10 @@ func TestEndToEndObfuscatedInference(t *testing.T) {
 		t.Fatal(err)
 	}
 	tapped, tap := Tap(raw)
-	client := NewClient(tapped)
+	client, err := NewClient(tapped, hdcfg.Dim, d.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer client.Close()
 
 	correct := 0

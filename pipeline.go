@@ -1,0 +1,470 @@
+package privehd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"privehd/internal/core"
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/prune"
+	"privehd/internal/quant"
+)
+
+// ErrNotTrained is returned by inference and serialization methods called
+// before Train (or Load) has produced a model.
+var ErrNotTrained = errors.New("privehd: pipeline is not trained")
+
+// Report summarizes the privacy mechanics of a trained pipeline: geometry
+// after pruning, the ℓ2 sensitivity used for calibration, and the Gaussian
+// mechanism actually applied.
+type Report = core.PrivacyReport
+
+// Pipeline is the Prive-HD pipeline: encode → quantize (Eq. 13) → bundle →
+// prune and retrain (§III-B1) → calibrated Gaussian noise (Eq. 8). Build
+// one with New, feed it with Train (or restore one with Load), then call
+// Predict/PredictBatch locally, Serve it to the network, or derive an
+// Edge for obfuscated offloading.
+//
+// A trained Pipeline is safe for concurrent inference from many
+// goroutines.
+type Pipeline struct {
+	mu      sync.RWMutex
+	cfg     config
+	classes int
+	core    *core.Pipeline
+}
+
+// New builds an untrained pipeline from functional options. With no
+// options it uses the paper defaults: D=10,000 level encoding over 100
+// levels, biased-ternary encoding quantization, two retraining epochs, no
+// pruning, no noise.
+func New(opts ...Option) (*Pipeline, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate("New", cfg.edgeOnly); err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// coreConfig assembles the internal pipeline configuration. features must
+// already be resolved.
+func (c config) coreConfig() core.Config {
+	cc := core.Config{
+		HD:            hdc.Config{Dim: c.dim, Features: c.features, Levels: c.levels, Seed: c.seed},
+		Encoding:      core.Encoding(c.encoding),
+		Quantizer:     c.quantizer,
+		KeepDims:      c.keepDims,
+		RetrainEpochs: c.retrainEpochs,
+		NoiseSeed:     c.noiseSeed,
+		Workers:       c.workers,
+	}
+	if cc.NoiseSeed == 0 {
+		cc.NoiseSeed = c.seed + 1
+	}
+	if c.epsilon > 0 {
+		cc.DP = &dp.Params{Epsilon: c.epsilon, Delta: c.delta}
+	}
+	return cc
+}
+
+// Train runs the full §III-B pipeline on the given samples and labels,
+// replacing any previously trained model. The input width fixes the
+// pipeline's feature dimensionality unless WithFeatures pinned it; the
+// label space is max(y)+1 unless WithClasses pinned it.
+func (p *Pipeline) Train(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return errors.New("privehd: Train needs at least one sample")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("privehd: Train got %d samples but %d labels", len(X), len(y))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cfg := p.cfg
+	if cfg.features == 0 {
+		cfg.features = len(X[0])
+	}
+	classes := cfg.classes
+	if classes == 0 {
+		for _, l := range y {
+			if l+1 > classes {
+				classes = l + 1
+			}
+		}
+	}
+	cp, err := core.TrainData(cfg.coreConfig(), X, y, classes)
+	if err != nil {
+		return err
+	}
+	// Freeze the norm caches so concurrent Predict calls are read-only.
+	cp.Model().Precompute()
+	p.cfg = cfg
+	p.classes = classes
+	p.core = cp
+	return nil
+}
+
+// trained returns the inner pipeline, or ErrNotTrained.
+func (p *Pipeline) trained() (*core.Pipeline, error) {
+	if p.core == nil {
+		return nil, ErrNotTrained
+	}
+	return p.core, nil
+}
+
+// Dim returns the hypervector dimensionality D_hv.
+func (p *Pipeline) Dim() int {
+	// Train replaces the whole cfg struct under the write lock, so even
+	// fields it never alters must be read under the read lock.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cfg.dim
+}
+
+// Encoding returns the paper encoding the pipeline uses. Edges querying
+// this pipeline's model must use the same encoding (Pipeline.Edge does so
+// automatically).
+func (p *Pipeline) Encoding() Encoding {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cfg.encoding
+}
+
+// Features returns the input dimensionality D_iv, or 0 before it is known.
+func (p *Pipeline) Features() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cfg.features
+}
+
+// Classes returns the label-space size, or 0 before training.
+func (p *Pipeline) Classes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.classes
+}
+
+// Trained reports whether the pipeline holds a model.
+func (p *Pipeline) Trained() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.core != nil
+}
+
+// Predict classifies one input, encoding and quantizing it the way the
+// training data was processed.
+func (p *Pipeline) Predict(x []float64) (int, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return 0, err
+	}
+	if len(x) != p.cfg.features {
+		return 0, fmt.Errorf("privehd: Predict got %d features, model wants %d", len(x), p.cfg.features)
+	}
+	return cp.Predict(x), nil
+}
+
+// PredictBatch classifies many inputs, spreading encoding and inference
+// over goroutines (WithWorkers bounds the parallelism; the default uses
+// every CPU).
+func (p *Pipeline) PredictBatch(X [][]float64) ([]int, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return nil, err
+	}
+	for i, x := range X {
+		if len(x) != p.cfg.features {
+			return nil, fmt.Errorf("privehd: PredictBatch sample %d has %d features, model wants %d",
+				i, len(x), p.cfg.features)
+		}
+	}
+	workers := p.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(X) {
+		workers = len(X)
+	}
+	out := make([]int, len(X))
+	if workers <= 1 {
+		for i, x := range X {
+			out[i] = cp.Predict(x)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(X) {
+					return
+				}
+				out[i] = cp.Predict(X[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// PredictVector classifies an already-encoded (and possibly obfuscated or
+// hardware-quantized) hypervector against the trained model — what the
+// serving side of the §III-C split does with each offloaded query.
+func (p *Pipeline) PredictVector(h []float64) (int, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return 0, err
+	}
+	if len(h) != p.cfg.dim {
+		return 0, fmt.Errorf("privehd: PredictVector got dim %d, model dim %d", len(h), p.cfg.dim)
+	}
+	return cp.Model().Predict(h), nil
+}
+
+// Evaluate returns accuracy over a labelled sample set.
+func (p *Pipeline) Evaluate(X [][]float64, y []int) (float64, error) {
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("privehd: Evaluate got %d samples but %d labels", len(X), len(y))
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return 0, err
+	}
+	return cp.EvaluateData(X, y), nil
+}
+
+// ClassVectors returns copies of the class hypervectors ~C_l of Eq. 3 —
+// exactly what a model release publishes (and what the differential-
+// privacy noise protects).
+func (p *Pipeline) ClassVectors() ([][]float64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return nil, err
+	}
+	m := cp.Model()
+	out := make([][]float64, m.NumClasses())
+	for l := range out {
+		out[l] = append([]float64(nil), m.Class(l)...)
+	}
+	return out, nil
+}
+
+// Report returns the privacy summary recorded at training time; the zero
+// Report before training.
+func (p *Pipeline) Report() Report {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.core == nil {
+		return Report{}
+	}
+	return p.core.Report()
+}
+
+// Calibration is the privacy arithmetic of a configuration — everything
+// Eq. 12/14 and Eq. 8 determine before any data is seen.
+type Calibration struct {
+	// Quantizer names the encoding quantization scheme.
+	Quantizer string
+	// Dim, KeptDims and Features describe the geometry.
+	Dim      int
+	KeptDims int
+	Features int
+	// Sensitivity is the ℓ2 bound ∆f used for calibration (Eq. 14, or
+	// Eq. 12 when unquantized), over the kept dimensions.
+	Sensitivity float64
+	// RawSensitivity is the Eq. 12 bound an unquantized encoding would
+	// need at full dimension — the baseline the paper's quantization
+	// improves on.
+	RawSensitivity float64
+	// SigmaFactor and NoiseStd describe the Gaussian mechanism: per-
+	// dimension noise std is Sensitivity×SigmaFactor.
+	SigmaFactor float64
+	NoiseStd    float64
+	// Epsilon and Delta echo the budget.
+	Epsilon float64
+	Delta   float64
+}
+
+// Calibration computes the noise calibration the configured privacy budget
+// implies, without training. It requires WithFeatures (or a trained
+// pipeline) and a positive WithNoise epsilon.
+func (p *Pipeline) Calibration() (Calibration, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cfg := p.cfg
+	if cfg.features == 0 {
+		return Calibration{}, errors.New("privehd: Calibration needs WithFeatures (or a trained pipeline)")
+	}
+	if cfg.epsilon <= 0 {
+		return Calibration{}, errors.New("privehd: Calibration needs a positive WithNoise epsilon")
+	}
+	kept := cfg.dim
+	if cfg.keepDims > 0 && cfg.keepDims < kept {
+		kept = cfg.keepDims
+	}
+	var sens float64
+	if _, isIdentity := cfg.quantizer.(quant.Identity); isIdentity {
+		sens = quant.RawL2Sensitivity(kept, cfg.features)
+	} else {
+		sens = quant.AnalyticL2Sensitivity(cfg.quantizer, kept)
+	}
+	sigma, err := dp.SigmaFactor(dp.Params{Epsilon: cfg.epsilon, Delta: cfg.delta})
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{
+		Quantizer:      cfg.quantizer.Name(),
+		Dim:            cfg.dim,
+		KeptDims:       kept,
+		Features:       cfg.features,
+		Sensitivity:    sens,
+		RawSensitivity: quant.RawL2Sensitivity(cfg.dim, cfg.features),
+		SigmaFactor:    sigma,
+		NoiseStd:       sens * sigma,
+		Epsilon:        cfg.epsilon,
+		Delta:          cfg.delta,
+	}, nil
+}
+
+// saveVersion versions the Save/Load format independently of the network
+// protocol.
+const saveVersion = 1
+
+// pipelineWire is the gob serialization of a trained pipeline: the
+// configuration needed to rebuild the deterministic encoder, plus the
+// released model, pruning mask and privacy report.
+type pipelineWire struct {
+	SaveVersion   int
+	Dim           int
+	Levels        int
+	Features      int
+	Classes       int
+	Encoding      int
+	Quantizer     string
+	KeepDims      int
+	RetrainEpochs int
+	Epsilon       float64
+	Delta         float64
+	Seed          uint64
+	Keep          []bool // pruning mask; nil when unpruned
+	Report        Report
+	Model         []byte // hdc model gob
+}
+
+// Save writes the trained pipeline — configuration, model, mask and
+// privacy report — to w. The format is versioned; Load refuses versions it
+// does not know.
+func (p *Pipeline) Save(w io.Writer) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return err
+	}
+	var model bytes.Buffer
+	if err := cp.Model().Save(&model); err != nil {
+		return err
+	}
+	wire := pipelineWire{
+		SaveVersion:   saveVersion,
+		Dim:           p.cfg.dim,
+		Levels:        p.cfg.levels,
+		Features:      p.cfg.features,
+		Classes:       p.classes,
+		Encoding:      int(p.cfg.encoding),
+		Quantizer:     p.cfg.quantizer.Name(),
+		KeepDims:      p.cfg.keepDims,
+		RetrainEpochs: p.cfg.retrainEpochs,
+		Epsilon:       p.cfg.epsilon,
+		Delta:         p.cfg.delta,
+		Seed:          p.cfg.seed,
+		Report:        cp.Report(),
+		Model:         model.Bytes(),
+	}
+	if mask := cp.Mask(); mask != nil {
+		wire.Keep = append([]bool(nil), mask.Keep...)
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("privehd: saving pipeline: %w", err)
+	}
+	return nil
+}
+
+// Load restores a pipeline previously written with Save. The encoder is
+// rebuilt deterministically from the saved seed, so a loaded pipeline
+// predicts identically to the one that was saved.
+func Load(r io.Reader) (*Pipeline, error) {
+	var wire pipelineWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("privehd: loading pipeline: %w", err)
+	}
+	if wire.SaveVersion != saveVersion {
+		return nil, fmt.Errorf("privehd: unsupported save format version %d (this build reads %d)",
+			wire.SaveVersion, saveVersion)
+	}
+	q, err := quant.Parse(wire.Quantizer)
+	if err != nil {
+		return nil, fmt.Errorf("privehd: loading pipeline: %w", err)
+	}
+	cfg := defaultConfig()
+	cfg.dim = wire.Dim
+	cfg.levels = wire.Levels
+	cfg.features = wire.Features
+	cfg.classes = wire.Classes
+	cfg.encoding = Encoding(wire.Encoding)
+	cfg.quantizer = q
+	cfg.keepDims = wire.KeepDims
+	cfg.retrainEpochs = wire.RetrainEpochs
+	cfg.epsilon = wire.Epsilon
+	cfg.delta = wire.Delta
+	cfg.seed = wire.Seed
+	if err := cfg.validate("Load", nil); err != nil {
+		return nil, err
+	}
+	model, err := hdc.LoadModel(bytes.NewReader(wire.Model))
+	if err != nil {
+		return nil, fmt.Errorf("privehd: loading pipeline: %w", err)
+	}
+	var mask *prune.Mask
+	if wire.Keep != nil {
+		if len(wire.Keep) != wire.Dim {
+			return nil, fmt.Errorf("privehd: loading pipeline: mask has %d dims, model %d", len(wire.Keep), wire.Dim)
+		}
+		mask = prune.NewMask(wire.Dim)
+		for j, keep := range wire.Keep {
+			if !keep {
+				mask.Drop(j)
+			}
+		}
+	}
+	cp, err := core.Restore(cfg.coreConfig(), model, mask, wire.Report)
+	if err != nil {
+		return nil, err
+	}
+	cp.Model().Precompute()
+	return &Pipeline{cfg: cfg, classes: wire.Classes, core: cp}, nil
+}

@@ -1,0 +1,165 @@
+package privehd
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"privehd/internal/offload"
+)
+
+// ProtocolVersion is the version byte of the offloaded-inference wire
+// protocol. Serve and Dial handshake on it and reject mismatched peers.
+const ProtocolVersion = offload.ProtocolVersion
+
+// Typed protocol failures, surfaced by Dial and Remote calls; test with
+// errors.Is.
+var (
+	// ErrVersionMismatch reports a peer speaking a different protocol
+	// version.
+	ErrVersionMismatch = offload.ErrVersionMismatch
+	// ErrGeometryMismatch reports an edge whose encoder dimensionality or
+	// class count does not match the served model.
+	ErrGeometryMismatch = offload.ErrGeometryMismatch
+	// ErrSymbolOutOfRange reports a packed query carrying a symbol outside
+	// the advertised −2…+1 alphabet.
+	ErrSymbolOutOfRange = offload.ErrSymbolOutOfRange
+	// ErrBatchTooLarge reports a request exceeding the server's advertised
+	// batch limit.
+	ErrBatchTooLarge = offload.ErrBatchTooLarge
+)
+
+// ServerOption configures a Server.
+type ServerOption = offload.ServerOption
+
+// WithMaxBatch sets the per-request query limit the server advertises in
+// its handshake and enforces (default 256).
+func WithMaxBatch(n int) ServerOption { return offload.WithMaxBatch(n) }
+
+// Server hosts a trained pipeline's model for offloaded inference
+// (§III-C): goroutine-per-connection, versioned handshake, batched
+// queries.
+type Server struct {
+	inner *offload.Server
+}
+
+// NewServer wraps a trained pipeline for serving. The pipeline's model
+// must not be retrained while the server runs.
+func NewServer(p *Pipeline, opts ...ServerOption) (*Server, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cp, err := p.trained()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: offload.NewServer(cp.Model(), opts...)}, nil
+}
+
+// Serve accepts connections on lis until ctx is cancelled, the listener
+// fails, or Close/Shutdown is called. Each connection is handled on its
+// own goroutine and may stream any number of batched requests. Serve
+// returns nil after a clean stop.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	return s.inner.Serve(ctx, lis)
+}
+
+// Shutdown stops accepting connections, lets in-flight requests finish
+// their replies, then closes all connections. It returns ctx.Err() if the
+// context expires first.
+func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(ctx) }
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// Served returns how many queries have been answered.
+func (s *Server) Served() int { return s.inner.Served() }
+
+// Serve hosts the trained pipeline on lis until ctx is cancelled — the
+// one-call cloud side of the §III-C split.
+func Serve(ctx context.Context, lis net.Listener, p *Pipeline, opts ...ServerOption) error {
+	s, err := NewServer(p, opts...)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, lis)
+}
+
+// Remote is a connection to a Serve instance, paired with the local Edge
+// that obfuscates queries before they leave the device.
+type Remote struct {
+	edge   *Edge
+	client *offload.Client
+}
+
+// Dial connects an edge to a serving pipeline and performs the protocol
+// handshake, advertising the edge's encoder geometry. Version or geometry
+// mismatches surface as ErrVersionMismatch/ErrGeometryMismatch instead of
+// garbled streams. The context bounds connecting and handshaking.
+func Dial(ctx context.Context, network, addr string, edge *Edge) (*Remote, error) {
+	client, err := offload.Dial(ctx, network, addr, edge.Dim(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{edge: edge, client: client}, nil
+}
+
+// NewRemote performs the handshake over an existing connection — useful
+// for tapped connections (Tap) and in-memory pipes in tests.
+func NewRemote(conn net.Conn, edge *Edge) (*Remote, error) {
+	client, err := offload.NewClient(conn, edge.Dim(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{edge: edge, client: client}, nil
+}
+
+// Dim returns the served model's dimensionality, learned in the handshake.
+func (r *Remote) Dim() int { return r.client.Dim() }
+
+// Classes returns the served model's class count, learned in the
+// handshake.
+func (r *Remote) Classes() int { return r.client.Classes() }
+
+// MaxBatch returns the server's advertised per-request query limit.
+func (r *Remote) MaxBatch() int { return r.client.MaxBatch() }
+
+// Predict obfuscates one input on the edge and classifies it remotely,
+// returning the predicted label and per-class scores.
+func (r *Remote) Predict(x []float64) (int, []float64, error) {
+	q, err := r.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.client.Classify(q)
+}
+
+// PredictBatch obfuscates a batch of inputs and classifies them remotely,
+// sending up to MaxBatch query vectors per round trip.
+func (r *Remote) PredictBatch(X [][]float64) ([]int, error) {
+	qs, err := r.edge.PrepareBatch(X)
+	if err != nil {
+		return nil, err
+	}
+	return r.client.ClassifyBatch(qs)
+}
+
+// PredictPrepared classifies an already-prepared query hypervector.
+func (r *Remote) PredictPrepared(q []float64) (int, []float64, error) {
+	if len(q) != r.edge.Dim() {
+		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), r.edge.Dim())
+	}
+	return r.client.Classify(q)
+}
+
+// Close closes the connection.
+func (r *Remote) Close() error { return r.client.Close() }
+
+// Wiretap records every query hypervector crossing a tapped connection —
+// the honest-but-curious channel observer the §III-C obfuscation defends
+// against.
+type Wiretap = offload.Wiretap
+
+// Tap wraps the client side of a connection so every outgoing query is
+// also delivered to the returned Wiretap. Hand the wrapped conn to
+// NewRemote.
+func Tap(conn net.Conn) (net.Conn, *Wiretap) { return offload.Tap(conn) }
