@@ -1,14 +1,25 @@
 // Command privehd-serve is the cloud side of the §III-C offloaded
-// inference demo: it trains (or loads) a pipeline and serves
-// classification over TCP with the versioned privehd protocol. Pair it
-// with `privehd infer`, examples/cloud_inference, or any privehd.Dial
-// client. SIGINT/SIGTERM trigger a graceful shutdown that finishes
-// in-flight requests.
+// inference demo: it serves one or many models over TCP with the versioned
+// privehd protocol (v3: clients pick a model by name in the handshake and
+// can auto-configure their edge from the answer). Pair it with `privehd
+// infer`, examples/cloud_inference, or any privehd.Dial/DialModel client.
+// SIGINT/SIGTERM trigger a graceful shutdown that finishes in-flight
+// requests.
 //
-// Usage:
+// Serve saved pipelines by name (repeatable; the first is the default
+// unless -default says otherwise):
+//
+//	privehd-serve -model isolet=isolet.gob -model faces=faces.gob -default faces
+//
+// A bare path serves that pipeline as "default":
+//
+//	privehd-serve -model pipeline.gob
+//
+// With no -model flags it trains a model on a synthetic workload and
+// serves that:
 //
 //	privehd-serve [-addr :7311] [-dataset isolet-s] [-dim 10000]
-//	              [-model pipeline.gob] [-max-batch 256]
+//	              [-max-batch 256] [-workers 0]
 package main
 
 import (
@@ -24,24 +35,40 @@ import (
 	"privehd"
 )
 
+// modelFlags collects repeatable -model name=path values.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ", ") }
+
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
+	var models modelFlags
+	flag.Var(&models, "model",
+		"serve a saved pipeline as name=path (repeatable); a bare path serves it as \"default\"")
 	addr := flag.String("addr", ":7311", "listen address")
+	defaultName := flag.String("default", "",
+		"model served to clients that name none (defaults to the first -model)")
 	name := flag.String("dataset", "isolet-s",
-		"workload to train the served model on: "+strings.Join(privehd.DatasetNames(), ", "))
-	dim := flag.Int("dim", 10000, "hypervector dimensionality")
-	levels := flag.Int("levels", 100, "feature quantization levels")
-	seed := flag.Uint64("seed", 1, "random seed (must match the clients' encoder seed)")
-	pipePath := flag.String("model", "", "load a saved pipeline instead of training")
+		"workload to train a model on when no -model is given: "+strings.Join(privehd.DatasetNames(), ", "))
+	dim := flag.Int("dim", 10000, "hypervector dimensionality (self-trained model)")
+	levels := flag.Int("levels", 100, "feature quantization levels (self-trained model)")
+	seed := flag.Uint64("seed", 1, "random seed (v3 clients auto-configure; manual edges must match)")
 	small := flag.Bool("small", false, "train on the small dataset scale")
 	maxBatch := flag.Int("max-batch", 256, "largest query batch accepted per request")
+	workers := flag.Int("workers", 0,
+		"scoring worker pool shared across connections (0 = GOMAXPROCS)")
 	// Scalar default: the self-trained model stays full precision, and
 	// 1-bit edge queries only track a full-precision model under the
 	// Eq. 2a form — matching `privehd infer`'s default.
 	encName := flag.String("encoding", "scalar",
-		"paper encoding for the self-trained model: level (Eq. 2b) or scalar (Eq. 2a); clients must match")
+		"paper encoding for the self-trained model: level (Eq. 2b) or scalar (Eq. 2a)")
 	flag.Parse()
 
-	pipe, err := buildPipeline(*pipePath, *name, *dim, *levels, *seed, *small, *encName)
+	reg, err := buildRegistry(models, *defaultName, *name, *dim, *levels, *seed, *small, *encName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
@@ -55,25 +82,69 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("serving %d-class pipeline (D=%d, %s encoding, protocol v%d) on %s\n",
-		pipe.Classes(), pipe.Dim(), pipe.Encoding(), privehd.ProtocolVersion, lis.Addr())
-	fmt.Printf("clients must encode with: -dim %d -encoding %s\n", pipe.Dim(), pipe.Encoding())
-	if err := privehd.Serve(ctx, lis, pipe, privehd.WithMaxBatch(*maxBatch)); err != nil {
+	fmt.Printf("serving %d model(s) on %s (protocol v%d, default %q):\n",
+		reg.Len(), lis.Addr(), privehd.ProtocolVersion, reg.DefaultName())
+	for _, m := range reg.Models() {
+		fmt.Printf("  %-16s v%d  D=%d  classes=%d  %s encoding, %d levels, seed %d\n",
+			m.Name, m.Version, m.Dim, m.Classes, m.Encoding, m.Levels, m.Seed)
+	}
+	fmt.Println("v3 clients auto-configure from the handshake (privehd.DialModel)")
+	opts := []privehd.ServerOption{privehd.WithMaxBatch(*maxBatch)}
+	if *workers > 0 {
+		opts = append(opts, privehd.WithServerWorkers(*workers))
+	}
+	if err := privehd.ServeRegistry(ctx, lis, reg, opts...); err != nil {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
 	}
 	fmt.Println("privehd-serve: shut down cleanly")
 }
 
-func buildPipeline(path, name string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Pipeline, error) {
-	if path != "" {
+// buildRegistry loads every -model flag into a registry, or trains a
+// single default model when none was given.
+func buildRegistry(models modelFlags, defaultName, dataset string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Registry, error) {
+	reg := privehd.NewRegistry()
+	if len(models) == 0 {
+		pipe, err := trainPipeline(dataset, dim, levels, seed, small, encName)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(privehd.DefaultModelName, pipe); err != nil {
+			return nil, err
+		}
+		return reg, nil
+	}
+	for _, spec := range models {
+		name, path := privehd.DefaultModelName, spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+		}
+		if name == "" || path == "" {
+			return nil, fmt.Errorf("bad -model %q (want name=path or a bare path)", spec)
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return privehd.Load(f)
+		pipe, err := privehd.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		if err := reg.Register(name, pipe); err != nil {
+			return nil, err
+		}
 	}
+	if defaultName != "" {
+		if err := reg.SetDefault(defaultName); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// trainPipeline trains the self-served model on a synthetic workload.
+func trainPipeline(name string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Pipeline, error) {
 	d, err := privehd.LoadDataset(name, small)
 	if err != nil {
 		return nil, err

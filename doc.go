@@ -17,9 +17,15 @@
 //	labels, err := pipe.PredictBatch(X)          // goroutine-parallel
 //	err = pipe.Save(w)                           // versioned; privehd.Load restores
 //
+// Streaming workloads train with Pipeline.TrainOnline, which bundles each
+// sample with an error-proportional weight and returns the observed
+// worst-case per-sample ℓ2 contribution so a DP release can be calibrated
+// honestly (weighted bundling voids the fixed Eq. 12/14 bound).
+//
 // The §III-C offloaded-inference split is privehd.Serve and privehd.Dial: a
-// versioned wire protocol (magic + version byte + geometry handshake) with
-// goroutine-per-connection concurrency, context cancellation, graceful
+// versioned wire protocol (v3: magic + version byte + model-name handshake)
+// with goroutine-per-connection reads, a bounded scoring worker pool shared
+// across connections (WithServerWorkers), context cancellation, graceful
 // shutdown and batched queries on a packed one-byte-per-dimension form.
 // The client side pairs a connection with a Pipeline.Edge — the on-device
 // obfuscator (1-bit quantization plus WithQueryMask dimension masking)
@@ -29,6 +35,20 @@
 //	edge, err := pipe.Edge(privehd.WithQueryMask(1000))
 //	remote, err := privehd.Dial(ctx, "tcp", addr, edge)
 //	labels, err := remote.PredictBatch(X)
+//
+// Production deployments serve many models behind one listener through a
+// Registry of named, versioned pipelines: clients select one in the
+// handshake (ForModel) or auto-configure their whole edge from the
+// advertised encoder setup (DialModel, knowing nothing but the name), and
+// Registry.Swap hot-publishes an updated model without dropping
+// connections or failing queries in flight (the registry view is one
+// atomic RCU snapshot; lookups never block):
+//
+//	reg := privehd.NewRegistry()
+//	err = reg.Register("isolet", pipe)           // first registered = default
+//	go privehd.ServeRegistry(ctx, lis, reg, privehd.WithServerWorkers(8))
+//	remote, err := privehd.DialModel(ctx, "tcp", addr, "isolet")
+//	err = reg.Swap("isolet", retrained)          // live, version-bumped
 //
 // LoadDataset serves the paper's synthetic stand-in workloads,
 // Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper

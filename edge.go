@@ -7,6 +7,7 @@ import (
 	"privehd/internal/attack"
 	"privehd/internal/core"
 	"privehd/internal/hdc"
+	"privehd/internal/offload"
 )
 
 // Edge prepares obfuscated queries on the device side of the §III-C
@@ -66,6 +67,26 @@ func (p *Pipeline) Edge(opts ...Option) (*Edge, error) {
 		WithEncoding(cfg.encoding),
 		WithSeed(cfg.seed),
 		WithWorkers(cfg.workers),
+	}
+	return NewEdge(append(base, opts...)...)
+}
+
+// edgeFromServerHello builds the edge matching a v3 server's advertised
+// encoder setup — the auto-configuration path of DialModel: base and level
+// hypervectors are deterministic in the advertised (public) geometry and
+// seed, so the resulting edge produces queries compatible with the served
+// model without any hand-matched flags. Extra options layer the §III-C
+// defences on top.
+func edgeFromServerHello(h offload.ServerHello, opts ...Option) (*Edge, error) {
+	if h.Features == 0 {
+		return nil, fmt.Errorf("privehd: server advertised no encoder setup for model %q (registered without one); build the edge explicitly and use Dial", h.Model)
+	}
+	base := []Option{
+		WithDim(h.Dim),
+		WithLevels(h.Levels),
+		WithFeatures(h.Features),
+		WithEncoding(Encoding(h.Encoding)),
+		WithSeed(h.Seed),
 	}
 	return NewEdge(append(base, opts...)...)
 }

@@ -1,8 +1,11 @@
 // Cloud inference: the full §III-C story over a real TCP connection with
-// the versioned privehd protocol. A server hosts a full-precision model;
-// an edge client encodes, 1-bit quantizes and masks its queries before
-// offloading; an eavesdropper taps the wire and tries the Eq. 10
-// reconstruction on what it sees.
+// the versioned privehd protocol, at production MLaaS shape. One listener
+// serves a registry of named models; an edge client picks its model by
+// name and auto-configures its encoder from the v3 handshake (no
+// hand-matched flags); queries are 1-bit quantized and masked before they
+// leave the device; an eavesdropper taps the wire and tries the Eq. 10
+// reconstruction on what it sees; and finally the served model is
+// hot-swapped for a better one while the client's connection stays up.
 //
 //	go run ./examples/cloud_inference
 package main
@@ -24,26 +27,25 @@ func main() {
 		seed   = 99
 	)
 	// A tenth of the full MNIST-S corpus (60 samples per digit) keeps the
-	// demo fast while giving the model enough data for solid margins.
+	// demo fast while giving the model enough data for solid margins; the
+	// "better" publication sees three times as much.
 	full, err := privehd.LoadDataset("mnist-s", false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	data := full.Subset(0.1)
+	more := full.Subset(0.3)
 
-	// --- Cloud: train a full-precision model and serve it. -------------
-	pipeline, err := privehd.New(
-		privehd.WithDim(dim),
-		privehd.WithLevels(levels),
-		privehd.WithSeed(seed),
-		privehd.WithEncoding(privehd.Scalar),
-		privehd.WithQuantizer("full"),
-		privehd.WithRetrain(0),
-	)
-	if err != nil {
+	// --- Cloud: train two full-precision models and serve both from one
+	// listener; "mnist" (the first registered) is the default.
+	pipeline := train(data.TrainX, data.TrainY, dim, levels, seed)
+	better := train(more.TrainX, more.TrainY, dim, levels, seed)
+
+	registry := privehd.NewRegistry()
+	if err := registry.Register("mnist", pipeline); err != nil {
 		log.Fatal(err)
 	}
-	if err := pipeline.Train(data.TrainX, data.TrainY); err != nil {
+	if err := registry.Register("mnist-large", better); err != nil {
 		log.Fatal(err)
 	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -53,32 +55,38 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go func() {
-		if err := privehd.Serve(ctx, lis, pipeline); err != nil {
+		if err := privehd.ServeRegistry(ctx, lis, registry, privehd.WithServerWorkers(4)); err != nil {
 			log.Println("serve:", err)
 		}
 	}()
-	fmt.Printf("cloud: serving %d-class model on %s (protocol v%d)\n",
-		pipeline.Classes(), lis.Addr(), privehd.ProtocolVersion)
-
-	// --- Edge: obfuscating encoder (quantize + mask 1/6 of the dims).
-	// MNIST tolerates only modest masking (paper Fig. 9: "accuracy loss is
-	// abrupt"), but even a 1k-dim mask pushes reconstruction below ~15 dB.
-	edge, err := pipeline.Edge(privehd.WithQueryMask(dim / 6))
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("cloud: serving %d models on %s (protocol v%d)\n",
+		registry.Len(), lis.Addr(), privehd.ProtocolVersion)
+	for _, m := range registry.Models() {
+		fmt.Printf("  %-12s v%d  D=%d, %d classes, %s encoding\n",
+			m.Name, m.Version, m.Dim, m.Classes, m.Encoding)
 	}
 
-	// --- Wire: the eavesdropper taps the client's connection. ----------
+	// --- Edge: dial the "mnist" model by name. The edge encoder
+	// (dimension, levels, seed, encoding) is auto-configured from the v3
+	// ServerHello — shared public setup, so nothing is leaked — and the
+	// §III-C defences layer on top: 1-bit quantization (default) plus
+	// masking 1/6 of the dimensions. MNIST tolerates only modest masking
+	// (paper Fig. 9: "accuracy loss is abrupt"), but even a 1k-dim mask
+	// pushes reconstruction below ~15 dB. The eavesdropper taps the
+	// client's connection.
 	raw, err := net.Dial("tcp", lis.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
 	tapped, tap := privehd.Tap(raw)
-	remote, err := privehd.NewRemote(tapped, edge)
+	remote, err := privehd.NewRemoteModel(tapped, "mnist", privehd.WithQueryMask(dim/6))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer remote.Close()
+	edge := remote.Edge()
+	fmt.Printf("edge: auto-configured from the handshake (model %q v%d, D=%d, %d features)\n",
+		remote.Model(), remote.ModelVersion(), edge.Dim(), edge.Features())
 
 	n := 20
 	if n > len(data.TestX) {
@@ -121,4 +129,43 @@ func main() {
 	fmt.Println(privehd.SideBySide(
 		privehd.RenderASCII(truth, data.ImageWidth),
 		privehd.RenderASCII(obfRecon, data.ImageWidth), " | "))
+
+	// --- Hot swap: publish the better model under "mnist" while the
+	// client's connection stays up. The next request frame is answered by
+	// the new publication; nothing reconnects, no query fails.
+	if err := registry.Swap("mnist", better); err != nil {
+		log.Fatal(err)
+	}
+	labels, err = remote.PredictBatch(data.TestX[:n])
+	if err != nil {
+		log.Fatal(err)
+	}
+	swapped := 0
+	for i, label := range labels {
+		if label == data.TestY[i] {
+			swapped++
+		}
+	}
+	fmt.Printf("cloud: hot-swapped \"mnist\" to v2 under live traffic; same connection now answers %d/%d\n",
+		swapped, n)
+}
+
+// train fits one full-precision model; clients obfuscate on their side
+// ("our technique does not need to modify or access the trained model").
+func train(X [][]float64, y []int, dim, levels int, seed uint64) *privehd.Pipeline {
+	pipeline, err := privehd.New(
+		privehd.WithDim(dim),
+		privehd.WithLevels(levels),
+		privehd.WithSeed(seed),
+		privehd.WithEncoding(privehd.Scalar),
+		privehd.WithQuantizer("full"),
+		privehd.WithRetrain(0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Train(X, y); err != nil {
+		log.Fatal(err)
+	}
+	return pipeline
 }

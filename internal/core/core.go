@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"privehd/internal/dataset"
 	"privehd/internal/dp"
@@ -29,6 +30,7 @@ import (
 	"privehd/internal/hrand"
 	"privehd/internal/prune"
 	"privehd/internal/quant"
+	"privehd/internal/vecmath"
 )
 
 // Encoding selects which paper encoding the pipeline uses.
@@ -131,6 +133,31 @@ type Pipeline struct {
 	model   *hdc.Model
 	mask    *prune.Mask // nil when unpruned
 	report  PrivacyReport
+
+	// scratch recycles per-query encode/quantize/score buffers across
+	// Predict calls — the serving hot path answers each query with zero
+	// heap allocations. Buffers are per-goroutine via sync.Pool, so
+	// concurrent Predict calls stay safe.
+	scratch sync.Pool
+}
+
+// predictScratch is one goroutine's reusable Predict working set.
+type predictScratch struct {
+	h      []float64 // raw encoding
+	q      []float64 // quantized query
+	scores []float64 // per-class similarities
+}
+
+// getScratch returns a scratch sized for the pipeline's geometry.
+func (p *Pipeline) getScratch() *predictScratch {
+	if s, ok := p.scratch.Get().(*predictScratch); ok {
+		return s
+	}
+	return &predictScratch{
+		h:      make([]float64, p.cfg.HD.Dim),
+		q:      make([]float64, p.cfg.HD.Dim),
+		scores: make([]float64, p.model.NumClasses()),
+	}
 }
 
 // Train runs the full §III-B pipeline on the dataset's training split.
@@ -220,6 +247,73 @@ func TrainData(cfg Config, X [][]float64, y []int, classes int) (*Pipeline, erro
 	return p, nil
 }
 
+// NewUntrained builds a pipeline with an empty model over the given label
+// space — the starting point for streaming (online) training, where no
+// batch of data exists up front.
+func NewUntrained(cfg Config, classes int) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if classes <= 0 {
+		return nil, fmt.Errorf("core: NewUntrained needs a positive class count, got %d", classes)
+	}
+	enc, err := newEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg:     cfg,
+		encoder: enc,
+		model:   hdc.NewModel(classes, cfg.HD.Dim),
+		report: PrivacyReport{
+			Quantizer: cfg.Quantizer.Name(),
+			Dim:       cfg.HD.Dim,
+			KeptDims:  cfg.HD.Dim,
+		},
+	}, nil
+}
+
+// OnlineTrain feeds a stream batch through similarity-weighted single-pass
+// training (hdc.OnlineTrain): samples are encoded and quantized the way
+// batch training would, masked if the model is pruned, and bundled with
+// error-proportional weights. It returns the observed worst-case
+// single-sample ℓ2 contribution to the model — the quantity an honest DP
+// release must calibrate its noise against, since weighted bundling voids
+// the fixed Eq. 12/14 bound (a sample's weight is data-dependent).
+//
+// OnlineTrain is copy-on-write: the batch trains a clone of the model and
+// the clone replaces p.model only on success, so a mid-batch error (a bad
+// label, say) leaves the pipeline exactly as it was, and any previously
+// published pointer to the old model — a serving registry entry — is never
+// mutated underneath concurrent readers. Callers serialize OnlineTrain
+// against inference on this pipeline and re-freeze the norm caches
+// afterwards (the public facade does both under its write lock).
+// Pipelines that already carry DP noise refuse further training —
+// "retraining the noisy model violates the concept of differential
+// privacy" (§III-B).
+func (p *Pipeline) OnlineTrain(X [][]float64, y []int) (float64, error) {
+	if p.report.Private {
+		return 0, fmt.Errorf("core: OnlineTrain on a privatized model would void its (ε,δ) guarantee")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("core: %d samples, %d labels", len(X), len(y))
+	}
+	raw := hdc.EncodeBatch(p.encoder, X, p.cfg.Workers)
+	encoded := quant.QuantizeBatch(p.cfg.Quantizer, raw)
+	if p.mask != nil {
+		for _, h := range encoded {
+			p.mask.Apply(h)
+		}
+	}
+	model := p.model.Clone()
+	contribution, err := hdc.OnlineTrain(model, encoded, y)
+	if err != nil {
+		return 0, err
+	}
+	p.model = model
+	return contribution, nil
+}
+
 // Restore reassembles a trained pipeline from previously released parts: a
 // validated config, the (possibly privatized) model, the pruning mask (nil
 // when unpruned) and the privacy report recorded at training time. The
@@ -270,9 +364,18 @@ func (p *Pipeline) PrepareQuery(x []float64) []float64 {
 	return h
 }
 
-// Predict classifies one input.
+// Predict classifies one input. The whole encode → quantize → mask → score
+// chain runs on pooled scratch buffers, so the serving hot path does not
+// allocate per query.
 func (p *Pipeline) Predict(x []float64) int {
-	return p.model.Predict(p.PrepareQuery(x))
+	s := p.getScratch()
+	defer p.scratch.Put(s)
+	h := hdc.EncodeInto(p.encoder, x, s.h)
+	quant.QuantizeInto(p.cfg.Quantizer, s.q, h)
+	if p.mask != nil {
+		p.mask.Apply(s.q)
+	}
+	return vecmath.ArgMax(p.model.ScoresInto(s.q, s.scores))
 }
 
 // Evaluate returns accuracy over the dataset's test split.

@@ -49,11 +49,23 @@ func (e *ScalarEncoder) Base(k int) []float64 { return e.item.Floats(k) }
 // Encode returns the Eq. 2a encoding of the given normalized features.
 // It panics if len(features) != NumFeatures().
 func (e *ScalarEncoder) Encode(features []float64) []float64 {
+	return e.EncodeInto(features, make([]float64, e.cfg.Dim))
+}
+
+// EncodeInto is Encode writing into a caller-provided Dim-length buffer —
+// the allocation-free form for pooled serving hot paths. It returns h.
+func (e *ScalarEncoder) EncodeInto(features, h []float64) []float64 {
 	if len(features) != e.cfg.Features {
 		panic(fmt.Sprintf("hdc: ScalarEncoder.Encode got %d features, want %d",
 			len(features), e.cfg.Features))
 	}
-	h := make([]float64, e.cfg.Dim)
+	if len(h) != e.cfg.Dim {
+		panic(fmt.Sprintf("hdc: ScalarEncoder.EncodeInto buffer has dim %d, want %d",
+			len(h), e.cfg.Dim))
+	}
+	for j := range h {
+		h[j] = 0
+	}
 	for k, v := range features {
 		f := LevelValue(LevelIndex(v, e.cfg.Levels), e.cfg.Levels)
 		if f == 0 {
@@ -113,11 +125,23 @@ func (e *LevelEncoder) LevelVector(i int) []float64 { return e.level.Floats(i) }
 // Encode returns the Eq. 2b encoding of the given normalized features.
 // It panics if len(features) != NumFeatures().
 func (e *LevelEncoder) Encode(features []float64) []float64 {
+	return e.EncodeInto(features, make([]float64, e.cfg.Dim))
+}
+
+// EncodeInto is Encode writing into a caller-provided Dim-length buffer —
+// the allocation-free form for pooled serving hot paths. It returns h.
+func (e *LevelEncoder) EncodeInto(features, h []float64) []float64 {
 	if len(features) != e.cfg.Features {
 		panic(fmt.Sprintf("hdc: LevelEncoder.Encode got %d features, want %d",
 			len(features), e.cfg.Features))
 	}
-	h := make([]float64, e.cfg.Dim)
+	if len(h) != e.cfg.Dim {
+		panic(fmt.Sprintf("hdc: LevelEncoder.EncodeInto buffer has dim %d, want %d",
+			len(h), e.cfg.Dim))
+	}
+	for j := range h {
+		h[j] = 0
+	}
 	for k, v := range features {
 		lvl := e.level.Packed(LevelIndex(v, e.cfg.Levels))
 		bitvec.AccumulateXnorInto(lvl, e.item.Packed(k), h)
@@ -140,6 +164,23 @@ func (e *LevelEncoder) BitPlanes(features []float64) []*bitvec.Vector {
 		planes[k] = bitvec.Xnor(lvl, e.item.Packed(k))
 	}
 	return planes
+}
+
+// IntoEncoder is implemented by encoders that can encode into a reused
+// buffer; both paper encoders do.
+type IntoEncoder interface {
+	Encoder
+	// EncodeInto encodes into the caller's Dim-length buffer and returns it.
+	EncodeInto(features, h []float64) []float64
+}
+
+// EncodeInto encodes with enc into the caller's buffer when the encoder
+// supports it, falling back to a plain (allocating) Encode otherwise.
+func EncodeInto(enc Encoder, features, h []float64) []float64 {
+	if ie, ok := enc.(IntoEncoder); ok {
+		return ie.EncodeInto(features, h)
+	}
+	return enc.Encode(features)
 }
 
 // EncodeBatch encodes every row of X concurrently and returns the encodings

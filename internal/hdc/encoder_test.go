@@ -289,3 +289,33 @@ func TestEncodeBatchEmpty(t *testing.T) {
 		t.Errorf("EncodeBatch(nil) = %v, want nil", got)
 	}
 }
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	cfg := Config{Dim: 256, Features: 12, Levels: 8, Seed: 3}
+	x := make([]float64, cfg.Features)
+	for k := range x {
+		x[k] = float64(k) / float64(cfg.Features)
+	}
+	le, err := NewLevelEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewScalarEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range []Encoder{le, se} {
+		want := enc.Encode(x)
+		// A dirty buffer must be fully overwritten.
+		buf := make([]float64, cfg.Dim)
+		for j := range buf {
+			buf[j] = -999
+		}
+		got := EncodeInto(enc, x, buf)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("EncodeInto[%d] = %v, Encode = %v", j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -109,10 +109,20 @@ func (m *Model) Precompute() {
 // so Scores are proportional to cosine similarity. Classes with zero norm
 // score −Inf so they never win the argmax.
 func (m *Model) Scores(h []float64) []float64 {
+	return m.ScoresInto(h, make([]float64, len(m.classes)))
+}
+
+// ScoresInto is Scores writing into a caller-provided NumClasses-length
+// buffer — the allocation-free form for pooled serving hot paths. It
+// returns out.
+func (m *Model) ScoresInto(h, out []float64) []float64 {
 	if len(h) != m.dim {
 		panic(ErrDimension)
 	}
-	out := make([]float64, len(m.classes))
+	if len(out) != len(m.classes) {
+		panic(fmt.Sprintf("hdc: ScoresInto buffer has %d slots, model has %d classes",
+			len(out), len(m.classes)))
+	}
 	for l := range m.classes {
 		n := m.norm(l)
 		if n == 0 {

@@ -192,3 +192,19 @@ func TestLoadModelRejectsGarbage(t *testing.T) {
 		t.Error("expected error for garbage input")
 	}
 }
+
+func TestScoresIntoMatchesScores(t *testing.T) {
+	m := NewModel(3, 4)
+	m.Add(0, []float64{1, 2, 0, 0})
+	m.Add(1, []float64{0, 0, 3, 1})
+	// Class 2 stays empty: zero norm must still map to -Inf in both paths.
+	q := []float64{1, 1, 1, 1}
+	want := m.Scores(q)
+	out := []float64{9, 9, 9}
+	got := m.ScoresInto(q, out)
+	for l := range want {
+		if got[l] != want[l] && !(math.IsInf(got[l], -1) && math.IsInf(want[l], -1)) {
+			t.Errorf("ScoresInto[%d] = %v, Scores = %v", l, got[l], want[l])
+		}
+	}
+}

@@ -4,21 +4,34 @@
 // obfuscated vector; the server holds the full-precision model and returns
 // the predicted label.
 //
-// # Wire protocol (version 2)
+// # Wire protocol (version 3)
 //
 // A connection opens with a fixed 4-byte header from the client — the magic
 // bytes "PHD" plus one protocol version byte — followed by a gob-encoded
-// Hello advertising the client's encoder geometry. The server answers with
-// a ServerHello that either accepts (echoing its model geometry, batch
-// limit and packed-symbol alphabet) or rejects with a typed code: peers
-// with a mismatched version or geometry are refused at the handshake
-// instead of gob-decoding garbage mid-stream.
+// Hello advertising the client's encoder geometry and, since v3, the name
+// of the model it wants served (empty = the registry default). The server
+// answers with a ServerHello that either accepts — echoing the resolved
+// model's name, publication version, geometry, batch limit, packed-symbol
+// alphabet and, since v3, the model's full public encoder setup (encoding,
+// levels, seed, features) so edges can auto-configure instead of matching
+// flags by hand — or rejects with a typed code: peers with a mismatched
+// version or geometry, or naming an unknown model, are refused at the
+// handshake instead of gob-decoding garbage mid-stream. v2 clients are
+// still accepted and served the default model.
 //
 // After the handshake the client streams Request frames, each carrying up
 // to MaxBatch query hypervectors, and the server answers each frame with
-// one Reply carrying the per-query labels and scores. Quantized queries
-// travel packed (one byte per dimension); the server validates every packed
-// symbol against the advertised alphabet.
+// one Reply carrying the per-query labels and scores. Queries are scored on
+// a bounded worker pool shared by every connection (WithWorkers), each
+// query dispatched individually so one large or slow batch cannot
+// monopolize the server. Quantized queries travel packed (one byte per
+// dimension); the server validates every packed symbol against the
+// advertised alphabet.
+//
+// The models behind a server live in a registry (internal/registry): each
+// Request frame resolves its model name against the current registry
+// snapshot, so Swap takes effect between frames without dropping
+// connections, while a frame in flight keeps the snapshot it resolved.
 //
 // What crosses the wire is exactly the query hypervector — which is the
 // point: the experiments eavesdrop on it (attack.Decode) to quantify
@@ -32,15 +45,29 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"privehd/internal/hdc"
+	"privehd/internal/registry"
+	"privehd/internal/vecmath"
 )
 
-// ProtocolVersion is the wire protocol version this package speaks. Peers
-// advertising any other version are rejected during the handshake.
-const ProtocolVersion = 2
+// ProtocolVersion is the wire protocol version this package speaks. The
+// server also accepts versionV2 peers (served the default model); anything
+// else is rejected during the handshake.
+const ProtocolVersion = 3
+
+// versionV2 is the previous protocol version, still accepted by the server:
+// a v2 Hello carries no model name and resolves to the default model, and
+// the v3 ServerHello is a strict field superset of v2's (gob drops the
+// fields an old client does not know).
+const versionV2 = 2
+
+// DefaultModelName is the registry name NewServer publishes a single model
+// under.
+const DefaultModelName = "default"
 
 // magic opens every connection, so a server can tell a protocol peer from a
 // stray scanner before decoding anything.
@@ -77,16 +104,21 @@ var (
 	// ErrBatchTooLarge reports a request exceeding the server's advertised
 	// batch limit.
 	ErrBatchTooLarge = errors.New("offload: batch exceeds server limit")
+	// ErrUnknownModel reports a handshake or request naming a model the
+	// server's registry does not hold. It aliases the registry sentinel so
+	// errors.Is works identically on both sides of the wire.
+	ErrUnknownModel = registry.ErrUnknownModel
 )
 
 // Reply/ServerHello failure codes carried on the wire.
 const (
-	codeBadMagic = "bad-magic"
-	codeVersion  = "version-mismatch"
-	codeGeometry = "geometry-mismatch"
-	codeBatch    = "batch-too-large"
-	codeDim      = "dimension-mismatch"
-	codeSymbol   = "symbol-out-of-range"
+	codeBadMagic     = "bad-magic"
+	codeVersion      = "version-mismatch"
+	codeGeometry     = "geometry-mismatch"
+	codeBatch        = "batch-too-large"
+	codeDim          = "dimension-mismatch"
+	codeSymbol       = "symbol-out-of-range"
+	codeUnknownModel = "unknown-model"
 )
 
 // codeError maps a wire failure code to its sentinel error.
@@ -103,6 +135,8 @@ func codeError(code, detail string) error {
 		base = ErrBatchTooLarge
 	case codeSymbol:
 		base = ErrSymbolOutOfRange
+	case codeUnknownModel:
+		base = ErrUnknownModel
 	default:
 		return fmt.Errorf("offload: server error %s: %s", code, detail)
 	}
@@ -113,11 +147,16 @@ func codeError(code, detail string) error {
 }
 
 // Hello is the client half of the handshake: the geometry of the encoder
-// behind the queries to come. Classes may be zero when the client does not
-// know the label space (a pure edge encoder).
+// behind the queries to come, and (v3) which served model they are for.
+// Classes may be zero when the client does not know the label space (a pure
+// edge encoder). Dim may be zero on v3 connections to mean "any geometry" —
+// the auto-configuring client that builds its encoder from the ServerHello.
 type Hello struct {
 	Dim     int
 	Classes int
+	// Model names the served model to bind the connection to; empty
+	// resolves to the server's default model. v2 clients never set it.
+	Model string
 }
 
 // ServerHello is the server half of the handshake. Code is empty on accept;
@@ -134,6 +173,21 @@ type ServerHello struct {
 	// MinSymbol and MaxSymbol bound the accepted packed-query alphabet.
 	MinSymbol int8
 	MaxSymbol int8
+	// Model and ModelVersion (v3) identify the resolved registry entry:
+	// the name the connection is bound to and its publication version
+	// (bumped by every hot swap).
+	Model        string
+	ModelVersion int
+	// Encoding, Levels, Features and Seed (v3) are the model's full public
+	// encoder setup — base/level hypervectors are deterministic in these,
+	// and they are shared public setup per the paper, so advertising them
+	// lets edges auto-configure without leaking anything the paper keeps
+	// secret. Features is zero when the server holds a bare model with no
+	// recorded encoder setup.
+	Encoding int
+	Levels   int
+	Features int
+	Seed     uint64
 }
 
 // Query is one encoded (and obfuscated) query hypervector. Exactly one of
@@ -202,11 +256,24 @@ type Reply struct {
 	Results []Result
 }
 
-// Server serves classification over a listener with a fixed model, one
-// goroutine per connection.
+// Server serves classification over a listener, one reader goroutine per
+// connection, with query scoring spread over a bounded worker pool shared
+// by all connections. The models behind it live in a registry: many named
+// models behind one listener, hot-swappable while clients stream.
 type Server struct {
-	model    *hdc.Model
+	reg      *registry.Registry
 	maxBatch int
+	workers  int
+
+	// The worker pool: handlers dispatch one task per query and the pool
+	// computes into the frame's result slots. poolDone is closed only
+	// after every handler has drained, so a send on tasks can never hang;
+	// the dispatch select falls back to inline computation if the pool is
+	// already stopped.
+	tasks     chan task
+	poolDone  chan struct{}
+	poolStart sync.Once
+	poolStop  sync.Once
 
 	mu      sync.Mutex
 	lis     net.Listener
@@ -229,16 +296,130 @@ func WithMaxBatch(n int) ServerOption {
 	}
 }
 
-// NewServer returns a server around the given (typically full-precision)
-// model. The model's norm caches are precomputed here; it must not be
-// mutated while the server runs.
+// WithWorkers bounds the shared scoring pool (default GOMAXPROCS): at most
+// n queries are scored at once across every connection, however many
+// clients are streaming.
+func WithWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// NewServer returns a server for a single (typically full-precision) model,
+// published in a fresh registry under DefaultModelName with no recorded
+// encoder setup. The model's norm caches are precomputed here; it must not
+// be mutated while the server runs. For multi-model serving build a
+// registry.Registry and use NewRegistryServer.
 func NewServer(model *hdc.Model, opts ...ServerOption) *Server {
-	model.Precompute()
-	s := &Server{model: model, maxBatch: DefaultMaxBatch, conns: make(map[*srvConn]struct{})}
+	reg := registry.New()
+	if _, err := reg.Register(DefaultModelName, model, registry.EncoderInfo{}); err != nil {
+		// Register only fails on nil model or duplicate names; neither can
+		// happen on a fresh registry with a caller-supplied model.
+		panic(err)
+	}
+	return NewRegistryServer(reg, opts...)
+}
+
+// NewRegistryServer returns a server answering queries from the given model
+// registry. The registry may keep changing while the server runs —
+// Register, Swap and Deregister take effect for handshakes and request
+// frames that follow them, without disturbing connections or queries in
+// flight.
+func NewRegistryServer(reg *registry.Registry, opts ...ServerOption) *Server {
+	s := &Server{
+		reg:      reg,
+		maxBatch: DefaultMaxBatch,
+		workers:  runtime.GOMAXPROCS(0),
+		conns:    make(map[*srvConn]struct{}),
+		poolDone: make(chan struct{}),
+	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.tasks = make(chan task, s.workers)
 	return s
+}
+
+// Registry returns the registry the server answers from.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// task is one query dispatched to the worker pool: score query against
+// model, store into *out, signal wg.
+type task struct {
+	model *hdc.Model
+	query Query
+	out   *Result
+	wg    *sync.WaitGroup
+}
+
+// run scores the task's query.
+func (t task) run() {
+	v := t.query.vector()
+	scores := t.model.Scores(v)
+	*t.out = Result{Label: vecmath.ArgMax(scores), Scores: scores}
+	t.wg.Done()
+}
+
+// startPool spawns the scoring workers (once). Exiting workers drain
+// whatever was enqueued concurrently with teardown, so an accepted dispatch
+// is always executed.
+func (s *Server) startPool() {
+	s.poolStart.Do(func() {
+		for w := 0; w < s.workers; w++ {
+			go func() {
+				for {
+					select {
+					case t := <-s.tasks:
+						t.run()
+					case <-s.poolDone:
+						for {
+							select {
+							case t := <-s.tasks:
+								t.run()
+							default:
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+	})
+}
+
+// dispatch hands one task to the pool, scoring inline if the pool is
+// already torn down (a direct answer call after Close) so no frame ever
+// hangs. poolDone only closes once every connection handler has drained,
+// so a handler's dispatch never races the teardown.
+func (s *Server) dispatch(t task) {
+	select {
+	case <-s.poolDone:
+		t.run()
+		return
+	default:
+	}
+	select {
+	case s.tasks <- t:
+	case <-s.poolDone:
+		t.run()
+	}
+}
+
+// stopPool terminates the scoring workers (once). Callers must ensure every
+// handler has drained first, or handlers fall back to inline scoring.
+func (s *Server) stopPool() {
+	s.poolStop.Do(func() { close(s.poolDone) })
+}
+
+// stopPoolWhenDrained stops the pool after in-flight handlers finish —
+// the teardown path for Close and expired Shutdowns, which do not wait.
+func (s *Server) stopPoolWhenDrained() {
+	go func() {
+		s.wg.Wait()
+		s.stopPool()
+	}()
 }
 
 // Served returns how many queries have been answered.
@@ -248,9 +429,12 @@ func (s *Server) Served() int {
 	return s.served
 }
 
-// srvConn tracks one client connection's lifecycle for graceful shutdown.
+// srvConn tracks one client connection's lifecycle for graceful shutdown,
+// plus the model name and protocol version the handshake bound it to.
 type srvConn struct {
-	conn net.Conn
+	conn    net.Conn
+	model   string // requested model name; "" = registry default
+	version byte   // negotiated protocol version (2 or 3)
 
 	mu            sync.Mutex
 	busy          bool
@@ -305,6 +489,7 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	s.startPool()
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
@@ -329,8 +514,10 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 				// Shutdown guarantee every handler terminates, so this
 				// wait is bounded.
 				s.wg.Wait()
+				s.stopPool()
 				return nil
 			}
+			s.stopPoolWhenDrained()
 			return fmt.Errorf("offload: accept: %w", err)
 		}
 		sc := &srvConn{conn: conn}
@@ -339,6 +526,7 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 			s.mu.Unlock()
 			conn.Close()
 			s.wg.Wait()
+			s.stopPool()
 			return nil
 		}
 		s.conns[sc] = struct{}{}
@@ -372,6 +560,7 @@ func (s *Server) Close() error {
 		sc.conn.Close()
 	}
 	s.mu.Unlock()
+	s.stopPoolWhenDrained()
 	return err
 }
 
@@ -396,6 +585,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopPool()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -403,6 +593,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			sc.conn.Close()
 		}
 		s.mu.Unlock()
+		s.stopPoolWhenDrained()
 		return ctx.Err()
 	}
 }
@@ -420,38 +611,66 @@ func (s *Server) handle(sc *srvConn) {
 		enc.Encode(ServerHello{Code: codeBadMagic, Version: ProtocolVersion})
 		return
 	}
-	if hdr[3] != ProtocolVersion {
+	if hdr[3] != ProtocolVersion && hdr[3] != versionV2 {
 		enc.Encode(ServerHello{
 			Code:    codeVersion,
-			Detail:  fmt.Sprintf("server speaks v%d, client sent v%d", ProtocolVersion, hdr[3]),
+			Detail:  fmt.Sprintf("server speaks v%d (and accepts v%d), client sent v%d", ProtocolVersion, versionV2, hdr[3]),
 			Version: ProtocolVersion,
 		})
 		return
 	}
+	sc.version = hdr[3]
 	dec := gob.NewDecoder(conn)
 	var hello Hello
 	if err := dec.Decode(&hello); err != nil {
 		return
 	}
-	if hello.Dim != s.model.Dim() ||
-		(hello.Classes != 0 && hello.Classes != s.model.NumClasses()) {
+	// Bind the connection to the resolved model name (a v2 Hello carries
+	// none and resolves to the default). The resolved name — not the
+	// possibly-empty requested one — is pinned, so a later SetDefault
+	// cannot silently rebind an established connection to a model it
+	// never handshook with; the name is then re-resolved against the
+	// registry on every frame, so hot swaps of the same name apply
+	// without reconnecting.
+	entry, err := s.reg.Lookup(hello.Model)
+	if err != nil {
 		enc.Encode(ServerHello{
-			Code: codeGeometry,
-			Detail: fmt.Sprintf("server model is %d-dimensional with %d classes, client advertised dim %d classes %d",
-				s.model.Dim(), s.model.NumClasses(), hello.Dim, hello.Classes),
-			Version: ProtocolVersion,
-			Dim:     s.model.Dim(),
-			Classes: s.model.NumClasses(),
+			Code:    codeUnknownModel,
+			Detail:  err.Error(),
+			Version: sc.version,
 		})
 		return
 	}
-	err := enc.Encode(ServerHello{
-		Version:   ProtocolVersion,
-		Dim:       s.model.Dim(),
-		Classes:   s.model.NumClasses(),
-		MaxBatch:  s.maxBatch,
-		MinSymbol: MinSymbol,
-		MaxSymbol: MaxSymbol,
+	sc.model = entry.Name
+	model := entry.Model
+	// v3 clients may advertise Dim 0 — "configure me from your answer";
+	// v2 clients always advertised their real dimensionality, so a zero
+	// from them stays a mismatch.
+	dimOK := hello.Dim == model.Dim() || (sc.version >= 3 && hello.Dim == 0)
+	if !dimOK || (hello.Classes != 0 && hello.Classes != model.NumClasses()) {
+		enc.Encode(ServerHello{
+			Code: codeGeometry,
+			Detail: fmt.Sprintf("model %q is %d-dimensional with %d classes, client advertised dim %d classes %d",
+				entry.Name, model.Dim(), model.NumClasses(), hello.Dim, hello.Classes),
+			Version: sc.version,
+			Dim:     model.Dim(),
+			Classes: model.NumClasses(),
+		})
+		return
+	}
+	err = enc.Encode(ServerHello{
+		Version:      sc.version,
+		Dim:          model.Dim(),
+		Classes:      model.NumClasses(),
+		MaxBatch:     s.maxBatch,
+		MinSymbol:    MinSymbol,
+		MaxSymbol:    MaxSymbol,
+		Model:        entry.Name,
+		ModelVersion: entry.Version,
+		Encoding:     entry.Encoder.Encoding,
+		Levels:       entry.Encoder.Levels,
+		Features:     entry.Encoder.Features,
+		Seed:         entry.Encoder.Seed,
 	})
 	if err != nil {
 		return
@@ -465,7 +684,7 @@ func (s *Server) handle(sc *srvConn) {
 		if !sc.enterBusy() {
 			return
 		}
-		reply := s.answer(req)
+		reply := s.answer(sc.model, req)
 		err := enc.Encode(reply)
 		if sc.exitBusy() || err != nil {
 			return
@@ -473,13 +692,24 @@ func (s *Server) handle(sc *srvConn) {
 	}
 }
 
-// answer classifies one request batch.
-func (s *Server) answer(req Request) Reply {
+// answer classifies one request batch against the current publication of
+// the connection's model, spreading queries over the shared worker pool.
+func (s *Server) answer(modelName string, req Request) Reply {
+	// Resolve the name fresh per frame: a Swap between frames serves the
+	// new model from the next frame on, while this frame keeps the entry
+	// it resolved (the registry never mutates a published entry).
+	s.startPool() // no-op under Serve; keeps direct answer calls live
+	entry, err := s.reg.Lookup(modelName)
+	if err != nil {
+		return Reply{Code: codeUnknownModel, Detail: err.Error()}
+	}
+	model := entry.Model
 	if len(req.Queries) > s.maxBatch {
 		return Reply{Code: codeBatch,
 			Detail: fmt.Sprintf("%d queries, limit %d", len(req.Queries), s.maxBatch)}
 	}
-	results := make([]Result, len(req.Queries))
+	// Validate serially (cheap, and keeps the first-error semantics
+	// deterministic), then score on the pool.
 	for i, q := range req.Queries {
 		for j, sym := range q.Packed {
 			if sym < MinSymbol || sym > MaxSymbol {
@@ -488,20 +718,25 @@ func (s *Server) answer(req Request) Reply {
 						i, j, sym, MinSymbol, MaxSymbol)}
 			}
 		}
-		v := q.vector()
-		if len(v) != s.model.Dim() {
+		// Effective wire length mirrors q.vector(): Vector wins when both
+		// fields are (ab)used, so a malformed query can never reach a pool
+		// worker with the wrong dimensionality.
+		n := len(q.Packed)
+		if q.Vector != nil {
+			n = len(q.Vector)
+		}
+		if n != model.Dim() {
 			return Reply{Code: codeDim,
-				Detail: fmt.Sprintf("query %d has dim %d, model dim %d", i, len(v), s.model.Dim())}
+				Detail: fmt.Sprintf("query %d has dim %d, model dim %d", i, n, model.Dim())}
 		}
-		scores := s.model.Scores(v)
-		label := 0
-		for l, sc := range scores {
-			if sc > scores[label] {
-				label = l
-			}
-		}
-		results[i] = Result{Label: label, Scores: scores}
 	}
+	results := make([]Result, len(req.Queries))
+	var wg sync.WaitGroup
+	wg.Add(len(req.Queries))
+	for i, q := range req.Queries {
+		s.dispatch(task{model: model, query: q, out: &results[i], wg: &wg})
+	}
+	wg.Wait()
 	s.mu.Lock()
 	s.served += len(req.Queries)
 	s.mu.Unlock()
@@ -516,11 +751,12 @@ type Client struct {
 	hello ServerHello
 }
 
-// Dial connects to a server and performs the handshake, advertising the
-// client encoder's dimensionality (and class count, when known; pass 0
-// otherwise). The context bounds connection establishment and the
-// handshake.
-func Dial(ctx context.Context, network, addr string, dim, classes int) (*Client, error) {
+// Dial connects to a server and performs the handshake. The Hello carries
+// the client encoder's dimensionality (0 to accept any geometry and read
+// it from the ServerHello), the class count when known (0 otherwise) and
+// the requested model name ("" for the server's default). The context
+// bounds connection establishment and the handshake.
+func Dial(ctx context.Context, network, addr string, hello Hello) (*Client, error) {
 	var d net.Dialer
 	if ctx == nil {
 		ctx = context.Background()
@@ -542,7 +778,7 @@ func Dial(ctx context.Context, network, addr string, dim, classes int) (*Client,
 		case <-handshakeDone:
 		}
 	}()
-	c, err := NewClient(conn, dim, classes)
+	c, err := NewClient(conn, hello)
 	close(handshakeDone)
 	if err != nil {
 		conn.Close()
@@ -558,14 +794,14 @@ func Dial(ctx context.Context, network, addr string, dim, classes int) (*Client,
 // NewClient performs the protocol handshake over an existing connection
 // (useful with net.Pipe or a tapped conn in tests) and returns the client.
 // On handshake rejection the returned error wraps ErrVersionMismatch,
-// ErrGeometryMismatch or ErrBadMagic.
-func NewClient(conn net.Conn, dim, classes int) (*Client, error) {
+// ErrGeometryMismatch, ErrUnknownModel or ErrBadMagic.
+func NewClient(conn net.Conn, hello Hello) (*Client, error) {
 	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
 	hdr := [4]byte{magic[0], magic[1], magic[2], ProtocolVersion}
 	if _, err := conn.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("offload: handshake: %w", err)
 	}
-	if err := c.enc.Encode(Hello{Dim: dim, Classes: classes}); err != nil {
+	if err := c.enc.Encode(hello); err != nil {
 		return nil, fmt.Errorf("offload: handshake: %w", err)
 	}
 	if err := c.dec.Decode(&c.hello); err != nil {
@@ -589,6 +825,17 @@ func (c *Client) Classes() int { return c.hello.Classes }
 
 // MaxBatch returns the server's advertised per-request query limit.
 func (c *Client) MaxBatch() int { return c.hello.MaxBatch }
+
+// Model returns the name of the registry entry the connection is bound to.
+func (c *Client) Model() string { return c.hello.Model }
+
+// ModelVersion returns the served model's publication version at handshake
+// time (hot swaps after the handshake bump it server-side).
+func (c *Client) ModelVersion() int { return c.hello.ModelVersion }
+
+// ServerHello returns the full accepted handshake answer, including the
+// served model's public encoder setup for auto-configuring edges.
+func (c *Client) ServerHello() ServerHello { return c.hello }
 
 // Classify sends one prepared (already obfuscated) query and returns the
 // predicted label and scores. Quantized queries automatically take the

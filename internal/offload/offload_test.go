@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"privehd/internal/core"
 	"privehd/internal/dataset"
 	"privehd/internal/hdc"
+	"privehd/internal/registry"
 	"privehd/internal/vecmath"
 )
 
@@ -51,7 +53,7 @@ func toyModel() *hdc.Model {
 
 func dialToy(t *testing.T, addr string) *Client {
 	t.Helper()
-	c, err := Dial(context.Background(), "tcp", addr, 4, 0)
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestClassifyOverTCP(t *testing.T) {
 func TestHandshakeRejectsWrongDim(t *testing.T) {
 	addr, _, cleanup := startServer(t, toyModel())
 	defer cleanup()
-	_, err := Dial(context.Background(), "tcp", addr, 5, 0)
+	_, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 5})
 	if !errors.Is(err, ErrGeometryMismatch) {
 		t.Errorf("dim-5 client against dim-4 model: err = %v, want ErrGeometryMismatch", err)
 	}
@@ -101,12 +103,12 @@ func TestHandshakeRejectsWrongDim(t *testing.T) {
 func TestHandshakeRejectsWrongClasses(t *testing.T) {
 	addr, _, cleanup := startServer(t, toyModel())
 	defer cleanup()
-	_, err := Dial(context.Background(), "tcp", addr, 4, 7)
+	_, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Classes: 7})
 	if !errors.Is(err, ErrGeometryMismatch) {
 		t.Errorf("7-class client against 2-class model: err = %v, want ErrGeometryMismatch", err)
 	}
 	// Classes 0 means "unknown" and is accepted.
-	c, err := Dial(context.Background(), "tcp", addr, 4, 0)
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,8 @@ func TestHandshakeRejectsWrongVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Hand-rolled handshake from a hypothetical v3 client.
+	// Hand-rolled handshake from a hypothetical future client. (v2 is NOT
+	// rejected — see TestV2ClientStillServed.)
 	if _, err := conn.Write([]byte{'P', 'H', 'D', ProtocolVersion + 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +171,7 @@ func TestServerRejectsOutOfAlphabetSymbols(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewClient(conn, 4, 2)
+	c, err := NewClient(conn, Hello{Dim: 4, Classes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +224,7 @@ func TestServerRejectsOversizedBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc, err := NewClient(raw, 4, 0)
+	rc, err := NewClient(raw, Hello{Dim: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +262,7 @@ func TestConcurrentClients(t *testing.T) {
 	errs := make(chan error, clients)
 	for i := 0; i < clients; i++ {
 		go func() {
-			c, err := Dial(context.Background(), "tcp", addr, 4, 2)
+			c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Classes: 2})
 			if err != nil {
 				errs <- err
 				return
@@ -294,7 +297,7 @@ func TestContextCancelStopsServer(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, lis) }()
 
-	c, err := Dial(context.Background(), "tcp", lis.Addr().String(), 4, 0)
+	c, err := Dial(context.Background(), "tcp", lis.Addr().String(), Hello{Dim: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +335,7 @@ func TestGracefulShutdownFinishesInFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := Dial(context.Background(), "tcp", addr, 4, 0)
+			c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
 			if err != nil {
 				results <- err
 				return
@@ -473,7 +476,7 @@ func TestWiretapSeesQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	tapped, tap := Tap(raw)
-	c, err := NewClient(tapped, 4, 2)
+	c, err := NewClient(tapped, Hello{Dim: 4, Classes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +551,7 @@ func TestEndToEndObfuscatedInference(t *testing.T) {
 		t.Fatal(err)
 	}
 	tapped, tap := Tap(raw)
-	client, err := NewClient(tapped, hdcfg.Dim, d.Classes)
+	client, err := NewClient(tapped, Hello{Dim: hdcfg.Dim, Classes: d.Classes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -599,5 +602,466 @@ func TestEndToEndObfuscatedInference(t *testing.T) {
 	}
 	if obfMSE <= cleanMSE {
 		t.Errorf("eavesdropper MSE with obfuscation (%v) should exceed clean (%v)", obfMSE, cleanMSE)
+	}
+}
+
+// labelModel returns a 2-class dim-4 model that predicts label want for the
+// query {1,1,0,0}.
+func labelModel(want int) *hdc.Model {
+	m := hdc.NewModel(2, 4)
+	m.Add(want, []float64{1, 1, 0, 0})
+	m.Add(1-want, []float64{0, 0, 1, 1})
+	return m
+}
+
+// startRegistryServer serves a registry on a loopback listener.
+func startRegistryServer(t *testing.T, reg *registry.Registry, opts ...ServerOption) (string, *Server, func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRegistryServer(reg, opts...)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), lis) }()
+	cleanup := func() {
+		srv.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+	return lis.Addr().String(), srv, cleanup
+}
+
+func TestMultiModelServing(t *testing.T) {
+	// Two models with opposite label assignments behind one listener; the
+	// handshake's model name decides which answers.
+	reg := registry.New()
+	if _, err := reg.Register("alpha", labelModel(0), registry.EncoderInfo{Levels: 8, Features: 3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("beta", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+
+	q := []float64{1, 1, 0, 0}
+	for _, tc := range []struct {
+		model string
+		want  int
+	}{
+		{"alpha", 0}, {"beta", 1}, {"", 0}, // "" resolves to the default (first registered)
+	} {
+		c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Model: tc.model})
+		if err != nil {
+			t.Fatalf("dial %q: %v", tc.model, err)
+		}
+		wantName := tc.model
+		if wantName == "" {
+			wantName = "alpha"
+		}
+		if got := c.Model(); got != wantName {
+			t.Errorf("dial %q bound to model %q, want %q", tc.model, got, wantName)
+		}
+		if c.ModelVersion() != 1 {
+			t.Errorf("dial %q ModelVersion = %d, want 1", tc.model, c.ModelVersion())
+		}
+		label, _, err := c.Classify(q)
+		if err != nil {
+			t.Fatalf("classify via %q: %v", tc.model, err)
+		}
+		if label != tc.want {
+			t.Errorf("model %q answered %d, want %d", tc.model, label, tc.want)
+		}
+		c.Close()
+	}
+	if srv.Served() != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served())
+	}
+}
+
+func TestUnknownModelRejectedAtHandshake(t *testing.T) {
+	reg := registry.New()
+	if _, err := reg.Register("only", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	_, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Model: "ghost"})
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("dial ghost = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestEmptyRegistryRejectsDefaultRequests(t *testing.T) {
+	addr, _, cleanup := startRegistryServer(t, registry.New())
+	defer cleanup()
+	_, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("dial empty registry = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestAutoConfigureHandshakeDimZero(t *testing.T) {
+	reg := registry.New()
+	info := registry.EncoderInfo{Encoding: 1, Levels: 16, Features: 40, Seed: 77}
+	if _, err := reg.Register("auto", labelModel(0), info); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	// Dim 0 = "any geometry": the server answers with the model's geometry
+	// and full encoder setup instead of rejecting.
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Model: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h := c.ServerHello()
+	if h.Dim != 4 || h.Classes != 2 {
+		t.Errorf("geometry = dim %d classes %d", h.Dim, h.Classes)
+	}
+	if h.Encoding != info.Encoding || h.Levels != info.Levels || h.Features != info.Features || h.Seed != info.Seed {
+		t.Errorf("encoder setup = %+v, want %+v", h, info)
+	}
+	if label, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil || label != 0 {
+		t.Errorf("classify after auto-configure: label %d, err %v", label, err)
+	}
+}
+
+func TestHotSwapUnderLiveTraffic(t *testing.T) {
+	// Clients stream while the model behind their connection is swapped
+	// repeatedly: no query may fail, and both publications' answers must
+	// be observed. Run with -race this exercises the RCU swap path.
+	reg := registry.New()
+	if _, err := reg.Register("hot", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg, WithWorkers(4))
+	defer cleanup()
+
+	const clients = 4
+	stop := make(chan struct{})
+	type tally struct {
+		zeros, ones int
+		err         error
+	}
+	tallies := make(chan tally, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tl tally
+			defer func() { tallies <- tl }()
+			c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Model: "hot"})
+			if err != nil {
+				tl.err = err
+				return
+			}
+			defer c.Close()
+			q := [][]float64{{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 1, 0, 0}}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				labels, err := c.ClassifyBatch(q)
+				if err != nil {
+					tl.err = err
+					return
+				}
+				for _, l := range labels {
+					if l == 0 {
+						tl.zeros++
+					} else {
+						tl.ones++
+					}
+				}
+			}
+		}()
+	}
+	for v := 0; v < 50; v++ {
+		e, err := reg.Swap("hot", labelModel((v+1)%2), registry.EncoderInfo{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Version != v+2 {
+			t.Fatalf("swap %d published version %d", v, e.Version)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(tallies)
+	var zeros, ones int
+	for tl := range tallies {
+		if tl.err != nil {
+			t.Errorf("client failed during hot swap: %v", tl.err)
+		}
+		zeros += tl.zeros
+		ones += tl.ones
+	}
+	if zeros == 0 || ones == 0 {
+		t.Errorf("hot swap never observed both publications: zeros=%d ones=%d", zeros, ones)
+	}
+}
+
+func TestDeregisterMidStreamFailsFramesNotConnection(t *testing.T) {
+	reg := registry.New()
+	if _, err := reg.Register("gone", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Model: "gone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Deregister("gone"); err != nil {
+		t.Fatal(err)
+	}
+	// The frame is answered with a typed error, the connection survives...
+	if _, _, err := c.Classify([]float64{1, 1, 0, 0}); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("classify after deregister = %v, want ErrUnknownModel", err)
+	}
+	// ...and the model coming back restores service on the same conn.
+	if _, err := reg.Register("gone", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	label, _, err := c.Classify([]float64{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 1 {
+		t.Errorf("label after re-register = %d, want 1", label)
+	}
+}
+
+// v2Hello mirrors the protocol-v2 client Hello wire shape.
+type v2Hello struct {
+	Dim     int
+	Classes int
+}
+
+// v2ServerHello mirrors the protocol-v2 client's view of the server answer:
+// the v3 ServerHello is a strict superset, and gob drops fields the
+// receiver does not declare.
+type v2ServerHello struct {
+	Code      string
+	Detail    string
+	Version   byte
+	Dim       int
+	Classes   int
+	MaxBatch  int
+	MinSymbol int8
+	MaxSymbol int8
+}
+
+func TestV2ClientStillServed(t *testing.T) {
+	// A byte-faithful v2 handshake (version byte 2, model-less Hello) must
+	// still round-trip queries against the default model.
+	reg := registry.New()
+	if _, err := reg.Register("legacy-default", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'P', 'H', 'D', 2}); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(v2Hello{Dim: 4, Classes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var hello v2ServerHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != "" {
+		t.Fatalf("v2 handshake rejected: %s (%s)", hello.Code, hello.Detail)
+	}
+	if hello.Version != 2 {
+		t.Errorf("server answered v%d to a v2 client, want v2", hello.Version)
+	}
+	if hello.Dim != 4 || hello.Classes != 2 || hello.MaxBatch != DefaultMaxBatch {
+		t.Errorf("v2 hello = %+v", hello)
+	}
+	if err := enc.Encode(Request{Queries: []Query{{Packed: []int8{1, 1, 0, 0}}}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != "" || len(reply.Results) != 1 || reply.Results[0].Label != 1 {
+		t.Errorf("v2 reply = %+v", reply)
+	}
+	// A v2 client cannot ask for "any geometry": Dim 0 stays a mismatch.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte{'P', 'H', 'D', 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(conn2).Encode(v2Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	var rej v2ServerHello
+	if err := gob.NewDecoder(conn2).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.Code != codeGeometry {
+		t.Errorf("v2 dim-0 hello answered %q, want %q", rej.Code, codeGeometry)
+	}
+}
+
+func TestWorkerPoolServesManyConnections(t *testing.T) {
+	// A 2-worker pool behind 8 connections streaming batches: everything
+	// must still answer correctly (the pool is shared, not per-conn).
+	addr, srv, cleanup := startServer(t, labelModel(0), WithWorkers(2), WithMaxBatch(8))
+	defer cleanup()
+	const clients, rounds = 8, 5
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			batch := [][]float64{{1, 1, 0, 0}, {0, 0, 1, 1}, {1, 1, 0, 0}, {0, 0, 1, 1}}
+			for r := 0; r < rounds; r++ {
+				labels, err := c.ClassifyBatch(batch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := []int{0, 1, 0, 1}
+				for j := range want {
+					if labels[j] != want[j] {
+						errs <- fmt.Errorf("round %d: labels %v", r, labels)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Served(); got != clients*rounds*4 {
+		t.Errorf("Served = %d, want %d", got, clients*rounds*4)
+	}
+}
+
+func TestMalformedQueryWithBothWireFormsRejected(t *testing.T) {
+	// A query abusing both wire forms (Vector and Packed set) must get a
+	// typed dimension rejection, never a panic in a pool worker: the
+	// effective length follows q.vector(), which prefers Vector.
+	addr, srv, cleanup := startServer(t, labelModel(0))
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(conn, Hello{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	// len(Vector)+len(Packed) == model dim, but the effective (Vector)
+	// length is 2: must be rejected, and the server must survive.
+	if err := enc.Encode(Request{Queries: []Query{{Vector: []float64{1, 1}, Packed: []int8{0, 0}}}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != codeDim {
+		t.Errorf("both-forms query answered %q, want %q", reply.Code, codeDim)
+	}
+	// A well-formed query on the same connection still works. (Fresh
+	// Reply: gob leaves absent fields untouched on reused structs.)
+	if err := enc.Encode(Request{Queries: []Query{{Vector: []float64{1, 1, 0, 0}}}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply2 Reply
+	if err := dec.Decode(&reply2); err != nil {
+		t.Fatal(err)
+	}
+	if reply2.Code != "" || reply2.Results[0].Label != 0 {
+		t.Errorf("follow-up reply = %+v", reply2)
+	}
+	if srv.Served() != 1 {
+		t.Errorf("Served = %d, want 1", srv.Served())
+	}
+}
+
+func TestSetDefaultDoesNotRebindLiveConnections(t *testing.T) {
+	// A connection that handshook against the default model is pinned to
+	// the resolved name: changing the default afterwards must not silently
+	// switch which model answers its frames.
+	reg := registry.New()
+	if _, err := reg.Register("alpha", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("beta", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Model() != "alpha" {
+		t.Fatalf("default dial bound to %q", c.Model())
+	}
+	if err := reg.SetDefault("beta"); err != nil {
+		t.Fatal(err)
+	}
+	label, _, err := c.Classify([]float64{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 0 {
+		t.Errorf("established connection answered by the new default (label %d), want pinned alpha (0)", label)
+	}
+	// New connections see the new default.
+	c2, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Model() != "beta" {
+		t.Errorf("new default dial bound to %q, want beta", c2.Model())
 	}
 }

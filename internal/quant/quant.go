@@ -12,6 +12,7 @@ package quant
 
 import (
 	"fmt"
+	"sync"
 
 	"privehd/internal/vecmath"
 )
@@ -123,7 +124,14 @@ func ternaryQuantize(h []float64, zeroFraction float64) []float64 {
 	if len(h) == 0 {
 		return out
 	}
-	rank := vecmath.AbsRank(h)
+	ternaryQuantizeInto(out, h, zeroFraction, vecmath.AbsRank(h))
+	return out
+}
+
+// ternaryQuantizeInto writes the ternary quantization of h into out using a
+// precomputed |h| rank. out may alias h: every index is read before it is
+// written.
+func ternaryQuantizeInto(out, h []float64, zeroFraction float64, rank []int) {
 	nz := int(zeroFraction * float64(len(h)))
 	for r, i := range rank {
 		x := h[i]
@@ -136,7 +144,6 @@ func ternaryQuantize(h []float64, zeroFraction float64) []float64 {
 			out[i] = -1
 		}
 	}
-	return out
 }
 
 // TwoBit quantizes onto the paper's 2-bit alphabet {−2, −1, 0, +1} with
@@ -167,6 +174,65 @@ func (TwoBit) Alphabet() []float64 { return []float64{-2, -1, 0, 1} }
 
 // Probabilities returns {1/4, 1/4, 1/4, 1/4}.
 func (TwoBit) Probabilities() []float64 { return []float64{0.25, 0.25, 0.25, 0.25} }
+
+// rankPool recycles the index scratch the rank-based schemes need, so the
+// per-query QuantizeInto path allocates nothing. Pointers to slices are
+// pooled (and threaded through put) to avoid re-boxing the header per use.
+var rankPool = sync.Pool{}
+
+func getRank(n int) *[]int {
+	if p, ok := rankPool.Get().(*[]int); ok && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	s := make([]int, n)
+	return &s
+}
+
+func putRank(p *[]int) { rankPool.Put(p) }
+
+// QuantizeInto writes the quantization of h into dst (which must have
+// length len(h)) without allocating — the serving hot path's form of
+// Quantize. dst may alias h. The paper schemes quantize with pooled rank
+// scratch; unknown Quantizer implementations fall back to Quantize + copy.
+func QuantizeInto(q Quantizer, dst, h []float64) {
+	if len(dst) != len(h) {
+		panic(fmt.Sprintf("quant: QuantizeInto dst has len %d, h %d", len(dst), len(h)))
+	}
+	if len(h) == 0 {
+		return
+	}
+	switch q := q.(type) {
+	case Identity:
+		copy(dst, h)
+	case Bipolar:
+		for i, x := range h {
+			if x >= 0 {
+				dst[i] = 1
+			} else {
+				dst[i] = -1
+			}
+		}
+	case Ternary:
+		rank := getRank(len(h))
+		ternaryQuantizeInto(dst, h, 1.0/3.0, vecmath.AbsRankInto(h, *rank))
+		putRank(rank)
+	case BiasedTernary:
+		rank := getRank(len(h))
+		ternaryQuantizeInto(dst, h, 0.5, vecmath.AbsRankInto(h, *rank))
+		putRank(rank)
+	case TwoBit:
+		rank := getRank(len(h))
+		vecmath.RankInto(h, *rank)
+		symbols := [4]float64{-2, -1, 0, 1}
+		for r, i := range *rank {
+			dst[i] = symbols[4*r/len(h)]
+		}
+		putRank(rank)
+	default:
+		copy(dst, q.Quantize(h))
+	}
+}
 
 // Schemes lists every quantizer in the order the paper's Fig. 5 plots them.
 func Schemes() []Quantizer {

@@ -245,3 +245,38 @@ func TestProbabilitiesSumToOne(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantizeIntoMatchesQuantize(t *testing.T) {
+	// The pooled in-place path must agree exactly with the allocating one
+	// for every scheme, including when dst aliases h.
+	src := []float64{3.5, -0.2, 0, 1.1, -7, 0.4, -0.4, 2, 2, -1e-9, 5.5, -3.3}
+	all := append(Schemes(), Identity{})
+	for _, q := range all {
+		want := q.Quantize(src)
+		dst := make([]float64, len(src))
+		QuantizeInto(q, dst, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Errorf("%s: QuantizeInto[%d] = %v, Quantize = %v", q.Name(), i, dst[i], want[i])
+			}
+		}
+		alias := append([]float64(nil), src...)
+		QuantizeInto(q, alias, alias)
+		for i := range want {
+			if alias[i] != want[i] {
+				t.Errorf("%s aliased: QuantizeInto[%d] = %v, want %v", q.Name(), i, alias[i], want[i])
+			}
+		}
+	}
+	// Buffer reuse across calls must not leak state between queries.
+	for trial := 0; trial < 3; trial++ {
+		dst := make([]float64, len(src))
+		QuantizeInto(BiasedTernary{}, dst, src)
+		want := BiasedTernary{}.Quantize(src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: pooled rank scratch corrupted the result", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package registry holds the named, versioned models a serving deployment
+// publishes behind one listener — the "model registry keyed in the
+// handshake" scaling step of the offload path. A production MLaaS host
+// serves many Prive-HD models (different datasets, geometries, privacy
+// budgets) and updates them live; the registry makes both safe:
+//
+//   - Reads never block and never see a half-updated registry: the whole
+//     name→entry view lives behind one atomic.Pointer snapshot (RCU).
+//     Writers copy the map, mutate the copy and publish it with a single
+//     atomic swap; a query that resolved an entry keeps using that model
+//     for as long as it holds the pointer, even if the entry is swapped or
+//     deregistered mid-flight.
+//   - Every entry carries its model's public encoder setup (encoding,
+//     levels, seed, features — shared setup per the paper, not a secret)
+//     so the protocol handshake can advertise it and edges can
+//     auto-configure.
+//
+// Swap bumps a per-name version counter, letting clients observe hot model
+// updates across requests without reconnecting.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"privehd/internal/hdc"
+)
+
+// ErrUnknownModel reports a lookup, swap or deregistration of a model name
+// the registry does not hold (or an empty name when no default is set).
+// Test with errors.Is.
+var ErrUnknownModel = errors.New("registry: unknown model")
+
+// EncoderInfo is the public encoder setup of a served model — everything an
+// edge needs to build a compatible encoder. Base and level hypervectors are
+// deterministic in the seed, so advertising this leaks nothing the paper
+// keeps secret (the training data is what DP protects).
+type EncoderInfo struct {
+	// Encoding is the paper encoding as an integer (core.Encoding /
+	// privehd.Encoding value: 0 level, 1 scalar). Kept as a plain int so
+	// the registry does not depend on the pipeline layers above it.
+	Encoding int
+	// Levels is the feature quantization level count ℓ_iv.
+	Levels int
+	// Features is the input dimensionality D_iv.
+	Features int
+	// Seed is the shared encoder seed.
+	Seed uint64
+}
+
+// Zero reports whether no encoder setup was recorded (a bare-model entry;
+// the handshake then advertises geometry only and edges cannot
+// auto-configure against it).
+func (i EncoderInfo) Zero() bool {
+	return i == EncoderInfo{}
+}
+
+// Entry is one named, versioned served model. Entries are immutable once
+// published: Swap publishes a new Entry rather than mutating the old one,
+// so an Entry resolved by an in-flight query stays valid forever.
+type Entry struct {
+	// Name is the registry key carried in the protocol handshake.
+	Name string
+	// Version counts publications under this name: 1 on Register, +1 per
+	// Swap. It is advertised in the handshake so clients can observe hot
+	// updates.
+	Version int
+	// Model is the served model. The registry precomputes its norm caches
+	// at publication; it must not be mutated afterwards.
+	Model *hdc.Model
+	// Encoder is the model's public encoder setup (may be zero for
+	// bare-model entries).
+	Encoder EncoderInfo
+}
+
+// snapshot is one immutable RCU view of the registry.
+type snapshot struct {
+	entries     map[string]*Entry
+	defaultName string
+}
+
+// Registry is a concurrent model registry. The zero value is not usable;
+// call New. Lookups are lock-free; Register/Swap/Deregister/SetDefault
+// serialize among themselves but never block lookups or in-flight queries.
+type Registry struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[snapshot]
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	r := &Registry{}
+	r.snap.Store(&snapshot{entries: map[string]*Entry{}})
+	return r
+}
+
+// clone copies the current snapshot for copy-on-write mutation. Callers
+// must hold r.mu.
+func (r *Registry) clone() *snapshot {
+	cur := r.snap.Load()
+	next := &snapshot{
+		entries:     make(map[string]*Entry, len(cur.entries)+1),
+		defaultName: cur.defaultName,
+	}
+	for name, e := range cur.entries {
+		next.entries[name] = e
+	}
+	return next
+}
+
+// publish installs the snapshot. Callers must hold r.mu.
+func (r *Registry) publish(next *snapshot) { r.snap.Store(next) }
+
+// Register publishes a new model under name. The first registered model
+// becomes the default (what clients that name no model are served) unless
+// SetDefault chose another. Registering an existing name is an error — use
+// Swap to update a live model.
+func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*Entry, error) {
+	if name == "" {
+		return nil, errors.New("registry: model name must not be empty")
+	}
+	if model == nil {
+		return nil, errors.New("registry: model must not be nil")
+	}
+	// Freeze the norm caches so serving goroutines only ever read.
+	model.Precompute()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	if _, exists := next.entries[name]; exists {
+		return nil, fmt.Errorf("registry: model %q already registered (use Swap to update it)", name)
+	}
+	e := &Entry{Name: name, Version: 1, Model: model, Encoder: info}
+	next.entries[name] = e
+	if next.defaultName == "" {
+		next.defaultName = name
+	}
+	r.publish(next)
+	return e, nil
+}
+
+// Swap atomically replaces the model published under name, bumping its
+// version. In-flight queries that already resolved the old entry finish
+// against the old model; every later lookup sees the new one. Connections
+// are never dropped. It returns ErrUnknownModel if name was never
+// registered.
+func (r *Registry) Swap(name string, model *hdc.Model, info EncoderInfo) (*Entry, error) {
+	if model == nil {
+		return nil, errors.New("registry: model must not be nil")
+	}
+	model.Precompute()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	old, exists := next.entries[name]
+	if !exists {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	e := &Entry{Name: name, Version: old.Version + 1, Model: model, Encoder: info}
+	next.entries[name] = e
+	r.publish(next)
+	return e, nil
+}
+
+// Deregister removes the model published under name. In-flight queries
+// holding its entry finish normally; new handshakes and new frames naming
+// it are rejected. If name was the default, the registry is left with no
+// default until SetDefault (or the next Register) chooses one.
+func (r *Registry) Deregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	if _, exists := next.entries[name]; !exists {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	delete(next.entries, name)
+	if next.defaultName == name {
+		next.defaultName = ""
+	}
+	r.publish(next)
+	return nil
+}
+
+// SetDefault names the model served to clients that request none.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	if _, exists := next.entries[name]; !exists {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	next.defaultName = name
+	r.publish(next)
+	return nil
+}
+
+// DefaultName returns the current default model name ("" when unset).
+func (r *Registry) DefaultName() string { return r.snap.Load().defaultName }
+
+// Lookup resolves a requested model name to its current entry. The empty
+// name resolves to the default model. The returned entry is an immutable
+// snapshot: it stays valid (and its model consistent) however the registry
+// changes afterwards.
+func (r *Registry) Lookup(name string) (*Entry, error) {
+	snap := r.snap.Load()
+	if name == "" {
+		name = snap.defaultName
+		if name == "" {
+			return nil, fmt.Errorf("%w: no default model registered", ErrUnknownModel)
+		}
+	}
+	e, ok := snap.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return e, nil
+}
+
+// Models returns the current entries sorted by name — one consistent
+// snapshot, not a live view.
+func (r *Registry) Models() []*Entry {
+	snap := r.snap.Load()
+	out := make([]*Entry, 0, len(snap.entries))
+	for _, e := range snap.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int { return len(r.snap.Load().entries) }

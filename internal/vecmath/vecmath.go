@@ -258,7 +258,13 @@ func siftDown(s []float64, root, n int) {
 // ordering used by model pruning: close-to-zero dimensions come first.
 // Ties order by index, so the result is deterministic.
 func AbsRank(v []float64) []int {
-	return rankBy(v, func(a, b int) bool {
+	return AbsRankInto(v, make([]int, len(v)))
+}
+
+// AbsRankInto is AbsRank writing into a caller-provided index buffer of
+// len(v) — the allocation-free form for pooled hot paths.
+func AbsRankInto(v []float64, idx []int) []int {
+	return rankBy(v, idx, func(a, b int) bool {
 		av, bv := math.Abs(v[a]), math.Abs(v[b])
 		if av != bv {
 			return av < bv
@@ -271,7 +277,12 @@ func AbsRank(v []float64) []int {
 // index. Rank-based quantizers use it to hit exact symbol occupancies even
 // on discrete-valued inputs.
 func Rank(v []float64) []int {
-	return rankBy(v, func(a, b int) bool {
+	return RankInto(v, make([]int, len(v)))
+}
+
+// RankInto is Rank writing into a caller-provided index buffer of len(v).
+func RankInto(v []float64, idx []int) []int {
+	return rankBy(v, idx, func(a, b int) bool {
 		if v[a] != v[b] {
 			return v[a] < v[b]
 		}
@@ -279,10 +290,12 @@ func Rank(v []float64) []int {
 	})
 }
 
-// rankBy heapsorts an index slice with the provided strict ordering on
-// indices.
-func rankBy(v []float64, lessIdx func(a, b int) bool) []int {
-	idx := make([]int, len(v))
+// rankBy heapsorts the provided index buffer with the given strict ordering
+// on indices. idx must have length len(v).
+func rankBy(v []float64, idx []int, lessIdx func(a, b int) bool) []int {
+	if len(idx) != len(v) {
+		panic("vecmath: rank buffer length mismatch")
+	}
 	for i := range idx {
 		idx[i] = i
 	}

@@ -39,6 +39,10 @@ type Pipeline struct {
 	cfg     config
 	classes int
 	core    *core.Pipeline
+	// maxOnlineContribution is the largest single-sample ℓ2 contribution
+	// observed across TrainOnline calls — the honest DP sensitivity of an
+	// online-trained model.
+	maxOnlineContribution float64
 }
 
 // New builds an untrained pipeline from functional options. With no
@@ -112,6 +116,95 @@ func (p *Pipeline) Train(X [][]float64, y []int) error {
 	p.classes = classes
 	p.core = cp
 	return nil
+}
+
+// TrainOnline feeds a batch of a streaming workload through
+// similarity-weighted single-pass training (the "OnlineHD" refinement of
+// Eq. 3/5): each sample is bundled with a weight proportional to how badly
+// the current model handles it, so one pass typically matches one-shot
+// training plus one or two Eq. 5 retraining epochs — for training sets
+// that stream and cannot be revisited. The first call on an untrained
+// pipeline creates the model (features from the first sample unless
+// WithFeatures pinned them; label space from WithClasses, which streaming
+// callers should set — otherwise max(label)+1 of the first batch is used);
+// later calls keep refining it, and inference works between calls. Each
+// batch trains a copy and publishes it wholesale, so a model already
+// handed to a serving Registry is never mutated underneath its readers —
+// the streaming update idiom is TrainOnline-then-Swap, just like
+// Train-then-Swap.
+//
+// It returns the observed worst-case single-sample ℓ2 contribution across
+// every TrainOnline call so far — the sensitivity an honest (ε,δ) release
+// of this model must calibrate its Gaussian noise against, since weighted
+// bundling voids the fixed Eq. 12/14 per-sample bound. WithNoise is
+// rejected here for exactly that reason: noise calibrated before the data
+// streams by would promise a guarantee the weights can exceed, so
+// privatizing an online-trained model is the caller's explicit step.
+func (p *Pipeline) TrainOnline(X [][]float64, y []int) (float64, error) {
+	if len(X) == 0 {
+		return 0, errors.New("privehd: TrainOnline needs at least one sample")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("privehd: TrainOnline got %d samples but %d labels", len(X), len(y))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.epsilon > 0 {
+		return 0, errors.New("privehd: TrainOnline does not support WithNoise (weighted bundling voids the pre-calibrated sensitivity; calibrate against the returned contribution instead)")
+	}
+	// Validate the whole batch before any state changes: a rejected batch
+	// must leave the pipeline exactly as it was — in particular a failed
+	// first call must not flip it to "trained" with an empty model, and a
+	// bad sample mid-batch must not leave half the batch bundled with its
+	// ℓ2 contribution unreported (core.OnlineTrain is additionally
+	// copy-on-write for errors it can only detect while training).
+	features := p.cfg.features
+	if p.core == nil && features == 0 {
+		features = len(X[0])
+	}
+	for i, x := range X {
+		if len(x) != features {
+			return 0, fmt.Errorf("privehd: TrainOnline sample %d has %d features, model wants %d",
+				i, len(x), features)
+		}
+	}
+	if p.core == nil {
+		cfg := p.cfg
+		cfg.features = features
+		classes := cfg.classes
+		if classes == 0 {
+			for _, l := range y {
+				if l+1 > classes {
+					classes = l + 1
+				}
+			}
+		}
+		cp, err := core.NewUntrained(cfg.coreConfig(), classes)
+		if err != nil {
+			return 0, err
+		}
+		contribution, err := cp.OnlineTrain(X, y)
+		if err != nil {
+			return 0, err
+		}
+		// Only a fully-applied first batch installs the model.
+		p.cfg = cfg
+		p.classes = classes
+		p.core = cp
+		p.maxOnlineContribution = contribution
+	} else {
+		contribution, err := p.core.OnlineTrain(X, y)
+		if err != nil {
+			return 0, err
+		}
+		if contribution > p.maxOnlineContribution {
+			p.maxOnlineContribution = contribution
+		}
+	}
+	// Re-freeze the norm caches so concurrent Predict calls after the
+	// write lock drops are read-only again.
+	p.core.Model().Precompute()
+	return p.maxOnlineContribution, nil
 }
 
 // trained returns the inner pipeline, or ErrNotTrained.

@@ -9,11 +9,13 @@ import (
 )
 
 // ProtocolVersion is the version byte of the offloaded-inference wire
-// protocol. Serve and Dial handshake on it and reject mismatched peers.
+// protocol (v3: model names in the handshake, encoder setup in the
+// answer). Serve and Dial handshake on it; servers also accept v2 clients
+// against the default model, and reject everything else.
 const ProtocolVersion = offload.ProtocolVersion
 
 // Typed protocol failures, surfaced by Dial and Remote calls; test with
-// errors.Is.
+// errors.Is. ErrUnknownModel lives in registry.go beside the Registry.
 var (
 	// ErrVersionMismatch reports a peer speaking a different protocol
 	// version.
@@ -36,24 +38,39 @@ type ServerOption = offload.ServerOption
 // its handshake and enforces (default 256).
 func WithMaxBatch(n int) ServerOption { return offload.WithMaxBatch(n) }
 
-// Server hosts a trained pipeline's model for offloaded inference
-// (§III-C): goroutine-per-connection, versioned handshake, batched
-// queries.
+// WithServerWorkers bounds the server's shared scoring pool (default
+// GOMAXPROCS): at most n queries are scored concurrently across every
+// connection, and each query is dispatched to the pool individually, so
+// one connection's large batch cannot monopolize the server. (The pipeline
+// option WithWorkers is the client/training-side counterpart.)
+func WithServerWorkers(n int) ServerOption { return offload.WithWorkers(n) }
+
+// Server hosts model serving for offloaded inference (§III-C): versioned
+// handshake, batched queries, a reader goroutine per connection and a
+// bounded scoring worker pool shared across connections. Behind every
+// server sits a Registry — a single-pipeline server (NewServer) is a
+// registry with one model published under DefaultModelName.
 type Server struct {
 	inner *offload.Server
+	reg   *Registry
 }
 
-// NewServer wraps a trained pipeline for serving. The pipeline's model
-// must not be retrained while the server runs.
+// NewServer wraps a trained pipeline for serving, publishing its model
+// under DefaultModelName in a fresh registry (reachable via Registry, so
+// even a single-model server can be hot-swapped later). The pipeline's
+// model must not be retrained while published; Train builds a fresh model,
+// so retrain-then-Swap is safe.
 func NewServer(p *Pipeline, opts ...ServerOption) (*Server, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	cp, err := p.trained()
-	if err != nil {
+	reg := NewRegistry()
+	if err := reg.Register(DefaultModelName, p); err != nil {
 		return nil, err
 	}
-	return &Server{inner: offload.NewServer(cp.Model(), opts...)}, nil
+	return NewRegistryServer(reg, opts...), nil
 }
+
+// Registry returns the model registry behind the server; Register, Swap
+// and Deregister on it take effect live.
+func (s *Server) Registry() *Registry { return s.reg }
 
 // Serve accepts connections on lis until ctx is cancelled, the listener
 // fails, or Close/Shutdown is called. Each connection is handled on its
@@ -84,19 +101,39 @@ func Serve(ctx context.Context, lis net.Listener, p *Pipeline, opts ...ServerOpt
 	return s.Serve(ctx, lis)
 }
 
-// Remote is a connection to a Serve instance, paired with the local Edge
-// that obfuscates queries before they leave the device.
+// Remote is a connection to a Serve/ServeRegistry instance, paired with
+// the local Edge that obfuscates queries before they leave the device.
 type Remote struct {
 	edge   *Edge
 	client *offload.Client
 }
 
+// DialOption configures Dial and NewRemote.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	model string
+}
+
+// ForModel selects which served model the connection binds to (the v3
+// handshake carries the name). Without it the server's default model
+// answers. Unknown names are rejected with ErrUnknownModel.
+func ForModel(name string) DialOption {
+	return func(c *dialConfig) { c.model = name }
+}
+
 // Dial connects an edge to a serving pipeline and performs the protocol
-// handshake, advertising the edge's encoder geometry. Version or geometry
-// mismatches surface as ErrVersionMismatch/ErrGeometryMismatch instead of
+// handshake, advertising the edge's encoder geometry and the requested
+// model name (ForModel; default model otherwise). Version or geometry
+// mismatches and unknown models surface as typed errors
+// (ErrVersionMismatch, ErrGeometryMismatch, ErrUnknownModel) instead of
 // garbled streams. The context bounds connecting and handshaking.
-func Dial(ctx context.Context, network, addr string, edge *Edge) (*Remote, error) {
-	client, err := offload.Dial(ctx, network, addr, edge.Dim(), 0)
+func Dial(ctx context.Context, network, addr string, edge *Edge, opts ...DialOption) (*Remote, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	client, err := offload.Dial(ctx, network, addr, offload.Hello{Dim: edge.Dim(), Model: cfg.model})
 	if err != nil {
 		return nil, err
 	}
@@ -105,9 +142,47 @@ func Dial(ctx context.Context, network, addr string, edge *Edge) (*Remote, error
 
 // NewRemote performs the handshake over an existing connection — useful
 // for tapped connections (Tap) and in-memory pipes in tests.
-func NewRemote(conn net.Conn, edge *Edge) (*Remote, error) {
-	client, err := offload.NewClient(conn, edge.Dim(), 0)
+func NewRemote(conn net.Conn, edge *Edge, opts ...DialOption) (*Remote, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	client, err := offload.NewClient(conn, offload.Hello{Dim: edge.Dim(), Model: cfg.model})
 	if err != nil {
+		return nil, err
+	}
+	return &Remote{edge: edge, client: client}, nil
+}
+
+// DialModel connects to a served model knowing nothing but its name (empty
+// for the default) and builds the matching obfuscating Edge from the v3
+// ServerHello: the server advertises the model's full public encoder setup
+// (encoding, levels, seed, features — shared setup per the paper), so the
+// edge needs no hand-matched flags. Extra options layer the §III-C
+// defences on top (WithQueryMask, WithRawQueries).
+func DialModel(ctx context.Context, network, addr, model string, opts ...Option) (*Remote, error) {
+	client, err := offload.Dial(ctx, network, addr, offload.Hello{Model: model})
+	if err != nil {
+		return nil, err
+	}
+	edge, err := edgeFromServerHello(client.ServerHello(), opts...)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	return &Remote{edge: edge, client: client}, nil
+}
+
+// NewRemoteModel is DialModel over an existing connection — the
+// auto-configuring sibling of NewRemote for tapped conns and pipes.
+func NewRemoteModel(conn net.Conn, model string, opts ...Option) (*Remote, error) {
+	client, err := offload.NewClient(conn, offload.Hello{Model: model})
+	if err != nil {
+		return nil, err
+	}
+	edge, err := edgeFromServerHello(client.ServerHello(), opts...)
+	if err != nil {
+		client.Close()
 		return nil, err
 	}
 	return &Remote{edge: edge, client: client}, nil
@@ -122,6 +197,17 @@ func (r *Remote) Classes() int { return r.client.Classes() }
 
 // MaxBatch returns the server's advertised per-request query limit.
 func (r *Remote) MaxBatch() int { return r.client.MaxBatch() }
+
+// Model returns the name of the served model the connection is bound to.
+func (r *Remote) Model() string { return r.client.Model() }
+
+// ModelVersion returns the served model's publication version at handshake
+// time (hot swaps after the handshake bump it server-side).
+func (r *Remote) ModelVersion() int { return r.client.ModelVersion() }
+
+// Edge returns the edge obfuscating this connection's queries — the one
+// passed to Dial, or the auto-configured one DialModel built.
+func (r *Remote) Edge() *Edge { return r.edge }
 
 // Predict obfuscates one input on the edge and classifies it remotely,
 // returning the predicted label and per-class scores.
