@@ -6,10 +6,14 @@
 package privehd_test
 
 import (
+	"context"
+	"net"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+
+	"privehd"
 
 	"privehd/internal/experiments"
 )
@@ -202,4 +206,86 @@ func BenchmarkAblations(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkServingThroughput measures the serving path end to end over
+// loopback TCP — one shared pipelined connection vs a connection pool —
+// with parallel callers, as the CI smoke step records. The pipelined v4
+// protocol makes even a single shared connection usable concurrently; the
+// pool spreads the same callers over several sockets.
+func BenchmarkServingThroughput(b *testing.B) {
+	pipe, err := privehd.New(
+		privehd.WithDim(2048), privehd.WithLevels(8), privehd.WithSeed(7),
+		privehd.WithFeatures(16), privehd.WithRetrain(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := make([][]float64, 64)
+	y := make([]int, 64)
+	for i := range X {
+		x := make([]float64, 16)
+		for k := range x {
+			x[k] = 0.25 + 0.5*float64(i%2) + 0.01*float64(k%3)
+		}
+		X[i], y[i] = x, i%2
+	}
+	if err := pipe.Train(X, y); err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := privehd.NewServer(pipe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), lis) }()
+	defer func() { srv.Close(); <-done }()
+	addr := lis.Addr().String()
+
+	edge, err := pipe.Edge()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := edge.Prepare(X[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("single-conn", func(b *testing.B) {
+		remote, err := privehd.Dial(context.Background(), "tcp", addr, edge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer remote.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := remote.PredictPrepared(q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool, err := privehd.DialPool(context.Background(), "tcp", addr, edge, privehd.WithPoolSize(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := pool.PredictPrepared(q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }

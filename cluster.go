@@ -1,0 +1,185 @@
+package privehd
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"privehd/internal/cluster"
+	"privehd/internal/offload"
+)
+
+// ErrNoHealthyReplicas reports that a Cluster operation failed on every
+// distinct replica it could try — the whole fleet is unreachable. It wraps
+// ErrTransport (the condition is retryable once replicas return). Typed
+// protocol errors (ErrUnknownModel, ErrBatchTooLarge, …) are never
+// converted to this: they come from a live server and surface unchanged.
+var ErrNoHealthyReplicas = cluster.ErrNoHealthyReplicas
+
+// BalancePolicy selects how a Cluster spreads requests over healthy
+// replicas.
+type BalancePolicy = cluster.Policy
+
+const (
+	// LeastInFlight sends each request to the healthy replica with the
+	// fewest outstanding requests (the default) — adaptive to replicas of
+	// unequal speed.
+	LeastInFlight = cluster.LeastInFlight
+	// RoundRobin cycles through healthy replicas in order.
+	RoundRobin = cluster.RoundRobin
+)
+
+// ReplicaStatus is one replica's health snapshot: its address, whether it
+// is currently admitted for traffic, and its pool's connection/in-flight
+// counts.
+type ReplicaStatus = cluster.ReplicaStatus
+
+// Cluster serves one model from many replicas: each replica address gets
+// its own connection pool, requests are balanced across healthy replicas
+// (least-in-flight by default), a replica whose transport fails is ejected
+// and its in-flight requests transparently retried on another replica
+// (classification is idempotent), and periodic lightweight health probes
+// re-admit replicas that come back. Callers only see an error when every
+// distinct replica failed (ErrNoHealthyReplicas) or a live server answered
+// with a typed protocol error. All methods are safe for concurrent use.
+//
+// This is the client half of the ROADMAP's replica-serving step: the
+// registry put many models behind one listener; the cluster puts one model
+// behind many listeners.
+type Cluster struct {
+	edge *Edge
+	cl   *cluster.Cluster
+}
+
+// ClusterOption configures DialCluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	pool          poolConfig
+	policy        BalancePolicy
+	probeInterval time.Duration
+}
+
+// WithClusterModel selects which served model the cluster binds to
+// (default: each server's default model).
+func WithClusterModel(name string) ClusterOption {
+	return func(c *clusterConfig) { c.pool.model = name }
+}
+
+// WithClusterPolicy selects the balancing policy (default LeastInFlight).
+func WithClusterPolicy(p BalancePolicy) ClusterOption {
+	return func(c *clusterConfig) { c.policy = p }
+}
+
+// WithClusterProbeInterval sets how often replicas are health-probed and
+// ejected ones re-admitted (default 2s); pass d ≤ 0 to disable probing —
+// a dead replica then only recovers when all replicas were ejected and
+// traffic falls back to retrying them.
+func WithClusterProbeInterval(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) {
+		if d <= 0 {
+			c.probeInterval = -1
+			return
+		}
+		c.probeInterval = d
+	}
+}
+
+// WithClusterPool applies per-replica pool options (WithPoolSize,
+// WithPoolIOTimeout, WithPoolEdge, …) to every replica's connection pool.
+func WithClusterPool(opts ...PoolOption) ClusterOption {
+	return func(c *clusterConfig) {
+		for _, o := range opts {
+			o(&c.pool)
+		}
+	}
+}
+
+// DialCluster connects to a replicated serving fleet — one model behind
+// many addresses — and validates the first reachable replica's handshake
+// eagerly (the context bounds it). Pass the Edge whose obfuscated queries
+// the cluster should carry, or nil to auto-configure one from the
+// advertised encoder setup exactly like DialModel (layer defences on with
+// WithClusterPool(WithPoolEdge(...))).
+func DialCluster(ctx context.Context, network string, addrs []string, edge *Edge, opts ...ClusterOption) (*Cluster, error) {
+	var cfg clusterConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	hello := offload.Hello{Model: cfg.pool.model}
+	if edge != nil {
+		hello.Dim = edge.Dim()
+	}
+	cl, err := cluster.NewCluster(cluster.ClusterConfig{
+		Network:       network,
+		Addrs:         addrs,
+		Hello:         hello,
+		Pool:          cfg.pool.toInternal(),
+		Policy:        cfg.policy,
+		ProbeInterval: cfg.probeInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("privehd: %w", err)
+	}
+	sh, err := cl.Hello(ctx)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if edge == nil {
+		edge, err = edgeFromServerHello(sh, cfg.pool.edgeOpts...)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return &Cluster{edge: edge, cl: cl}, nil
+}
+
+// Edge returns the edge obfuscating the cluster's queries.
+func (c *Cluster) Edge() *Edge { return c.edge }
+
+// Predict obfuscates one input on the edge and classifies it on some
+// healthy replica, failing over transparently if a replica dies mid-call.
+func (c *Cluster) Predict(x []float64) (int, []float64, error) {
+	q, err := c.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return c.cl.Classify(context.Background(), q)
+}
+
+// PredictBatch obfuscates a batch of inputs and classifies them on some
+// healthy replica (the whole batch fails over together — classification
+// is idempotent and deterministic per model publication).
+func (c *Cluster) PredictBatch(X [][]float64) ([]int, error) {
+	qs, err := c.edge.PrepareBatch(X)
+	if err != nil {
+		return nil, err
+	}
+	return c.cl.ClassifyBatch(context.Background(), qs)
+}
+
+// PredictPrepared classifies an already-prepared query hypervector.
+func (c *Cluster) PredictPrepared(q []float64) (int, []float64, error) {
+	if len(q) != c.edge.Dim() {
+		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), c.edge.Dim())
+	}
+	return c.cl.Classify(context.Background(), q)
+}
+
+// ListModels returns the registry listing of the first healthy replica
+// that answers (see Remote.ListModels).
+func (c *Cluster) ListModels() ([]ModelInfo, error) {
+	listings, err := c.cl.ListModels(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return modelInfosFromListings(listings), nil
+}
+
+// Replicas returns a snapshot of every replica's health and load.
+func (c *Cluster) Replicas() []ReplicaStatus { return c.cl.Replicas() }
+
+// Close stops the health prober and closes every replica pool.
+func (c *Cluster) Close() error { return c.cl.Close() }

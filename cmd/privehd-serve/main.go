@@ -20,6 +20,12 @@
 //
 //	privehd-serve [-addr :7311] [-dataset isolet-s] [-dim 10000]
 //	              [-max-batch 256] [-workers 0]
+//
+// -replicas N serves the same registry from N listeners on consecutive
+// ports — a one-process stand-in for a replica fleet that pooled cluster
+// clients (privehd.DialCluster) balance over and fail across:
+//
+//	privehd-serve -addr :7311 -replicas 3
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -61,6 +68,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 256, "largest query batch accepted per request")
 	workers := flag.Int("workers", 0,
 		"scoring worker pool shared across connections (0 = GOMAXPROCS)")
+	replicas := flag.Int("replicas", 1,
+		"serve the registry from this many listeners on consecutive ports (cluster clients balance across them)")
 	// Scalar default: the self-trained model stays full precision, and
 	// 1-bit edge queries only track a full-precision model under the
 	// Eq. 2a form — matching `privehd infer`'s default.
@@ -73,7 +82,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
 	}
-	lis, err := net.Listen("tcp", *addr)
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	listeners, err := listenReplicas(*addr, *replicas)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
 		os.Exit(1)
@@ -82,22 +94,78 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	replicaAddrs := make([]string, len(listeners))
+	for i, lis := range listeners {
+		replicaAddrs[i] = lis.Addr().String()
+	}
 	fmt.Printf("serving %d model(s) on %s (protocol v%d, default %q):\n",
-		reg.Len(), lis.Addr(), privehd.ProtocolVersion, reg.DefaultName())
+		reg.Len(), strings.Join(replicaAddrs, ", "), privehd.ProtocolVersion, reg.DefaultName())
 	for _, m := range reg.Models() {
 		fmt.Printf("  %-16s v%d  D=%d  classes=%d  %s encoding, %d levels, seed %d\n",
 			m.Name, m.Version, m.Dim, m.Classes, m.Encoding, m.Levels, m.Seed)
 	}
-	fmt.Println("v3 clients auto-configure from the handshake (privehd.DialModel)")
+	fmt.Println("v3+ clients auto-configure from the handshake (privehd.DialModel)")
+	if len(listeners) > 1 {
+		fmt.Printf("cluster clients balance and fail over across all %d replicas (privehd.DialCluster)\n",
+			len(listeners))
+	}
 	opts := []privehd.ServerOption{privehd.WithMaxBatch(*maxBatch)}
 	if *workers > 0 {
 		opts = append(opts, privehd.WithServerWorkers(*workers))
 	}
-	if err := privehd.ServeRegistry(ctx, lis, reg, opts...); err != nil {
-		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
-		os.Exit(1)
+	// One server per listener, all answering from the same live registry:
+	// a Register or Swap takes effect on every replica at once.
+	errCh := make(chan error, len(listeners))
+	for _, lis := range listeners {
+		go func(lis net.Listener) {
+			errCh <- privehd.ServeRegistry(ctx, lis, reg, opts...)
+		}(lis)
+	}
+	for range listeners {
+		if err := <-errCh; err != nil {
+			fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("privehd-serve: shut down cleanly")
+}
+
+// listenReplicas opens n listeners: the first on addr, the rest on the
+// following ports (port 0 asks the kernel for n free ports instead). A
+// single replica listens on addr as-is, so service-name ports keep
+// working; consecutive-port math needs a numeric port.
+func listenReplicas(addr string, n int) ([]net.Listener, error) {
+	if n == 1 {
+		lis, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{lis}, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-replicas needs a numeric -addr port to count from, got %q: %w", portStr, err)
+	}
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		p := port
+		if port != 0 {
+			p = port + i
+		}
+		lis, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(p)))
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		listeners = append(listeners, lis)
+	}
+	return listeners, nil
 }
 
 // buildRegistry loads every -model flag into a registry, or trains a

@@ -23,13 +23,28 @@
 // honestly (weighted bundling voids the fixed Eq. 12/14 bound).
 //
 // The §III-C offloaded-inference split is privehd.Serve and privehd.Dial: a
-// versioned wire protocol (v3: magic + version byte + model-name handshake)
-// with goroutine-per-connection reads, a bounded scoring worker pool shared
-// across connections (WithServerWorkers), context cancellation, graceful
-// shutdown and batched queries on a packed one-byte-per-dimension form.
-// The client side pairs a connection with a Pipeline.Edge — the on-device
-// obfuscator (1-bit quantization plus WithQueryMask dimension masking)
-// whose output is all that ever crosses the wire:
+// versioned wire protocol with goroutine-per-connection reads, a bounded
+// scoring worker pool shared across connections (WithServerWorkers),
+// context cancellation, graceful shutdown and batched queries on a packed
+// one-byte-per-dimension form. The protocol is at v4; frames are gob
+// messages after a "PHD"+version handshake, each version a strict field
+// superset of the last:
+//
+//	v2: Hello{Dim,Classes}         Request{Queries}       Reply{Code,Detail,Results}
+//	v3: Hello{…,Model}             Request{Queries}       Reply{…}               (+ encoder setup in ServerHello)
+//	v4: Hello{…,Model}             Request{ID,Op,Queries} Reply{ID,…,Models}
+//
+// v4's per-request IDs make connections pipelined: requests from any
+// number of goroutines interleave over one connection through dedicated
+// send/recv goroutines and replies may return out of order, matched by ID
+// — so Remote is safe for concurrent use, large batches cost one round
+// trip, and Op("list-models") discovers the served registry over the wire
+// (Remote.ListModels). v2/v3 clients are still served strictly in order.
+// WithIOTimeout bounds reply progress so a hung server cannot block a
+// Predict forever. The client side pairs a connection with a
+// Pipeline.Edge — the on-device obfuscator (1-bit quantization plus
+// WithQueryMask dimension masking) whose output is all that ever crosses
+// the wire:
 //
 //	go privehd.Serve(ctx, lis, pipe)
 //	edge, err := pipe.Edge(privehd.WithQueryMask(1000))
@@ -49,6 +64,22 @@
 //	go privehd.ServeRegistry(ctx, lis, reg, privehd.WithServerWorkers(8))
 //	remote, err := privehd.DialModel(ctx, "tcp", addr, "isolet")
 //	err = reg.Swap("isolet", retrained)          // live, version-bumped
+//
+// Above single connections sit the client-side scaling layers. A Pool
+// (DialPool) multiplexes any number of concurrent callers over a small
+// reused set of pipelined connections to one address — dial-on-demand,
+// idle reaping, redial with backoff, and one transparent retry of
+// idempotent queries on transport failure. A Cluster (DialCluster) serves
+// one model from many replica addresses: least-in-flight or round-robin
+// balancing over per-replica pools, ejection of replicas whose transport
+// fails, periodic health probes that re-admit them, and transparent
+// failover — callers only see ErrNoHealthyReplicas when the whole fleet
+// is down, or a typed protocol error a live server actually answered:
+//
+//	cl, err := privehd.DialCluster(ctx, "tcp", addrs, nil, // nil = auto-configure the edge
+//	    privehd.WithClusterModel("isolet"))
+//	models, err := cl.ListModels()               // registry discovery over the wire
+//	label, scores, err := cl.Predict(x)          // balanced + failover
 //
 // LoadDataset serves the paper's synthetic stand-in workloads,
 // Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper

@@ -1,11 +1,15 @@
-// Cloud inference: the full §III-C story over a real TCP connection with
+// Cloud inference: the full §III-C story over real TCP connections with
 // the versioned privehd protocol, at production MLaaS shape. One listener
 // serves a registry of named models; an edge client picks its model by
-// name and auto-configures its encoder from the v3 handshake (no
+// name and auto-configures its encoder from the handshake (no
 // hand-matched flags); queries are 1-bit quantized and masked before they
 // leave the device; an eavesdropper taps the wire and tries the Eq. 10
-// reconstruction on what it sees; and finally the served model is
-// hot-swapped for a better one while the client's connection stays up.
+// reconstruction on what it sees; the served model is hot-swapped for a
+// better one while the client's connection stays up; and finally the
+// registry is scaled out to a 3-replica fleet that a pooled, pipelined
+// Cluster client balances over — discovering the models over the wire,
+// surviving a replica kill mid-traffic, and watching the prober eject the
+// corpse.
 //
 //	go run ./examples/cloud_inference
 package main
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"privehd"
@@ -148,6 +154,91 @@ func main() {
 	}
 	fmt.Printf("cloud: hot-swapped \"mnist\" to v2 under live traffic; same connection now answers %d/%d\n",
 		swapped, n)
+
+	// --- Scale out: two more replicas serve the same registry, and a
+	// Cluster client multiplexes concurrent callers over pooled, pipelined
+	// connections with least-in-flight balancing across all three. When a
+	// replica dies mid-traffic, its requests fail over transparently and
+	// the health prober ejects it.
+	addrs := []string{lis.Addr().String()}
+	extras := make([]*privehd.Server, 2)
+	for i := range extras {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := privehd.NewRegistryServer(registry, privehd.WithServerWorkers(4))
+		extras[i] = srv
+		go func() {
+			if err := srv.Serve(ctx, l); err != nil {
+				log.Println("replica serve:", err)
+			}
+		}()
+		addrs = append(addrs, l.Addr().String())
+	}
+	clusterClient, err := privehd.DialCluster(ctx, "tcp", addrs, nil,
+		privehd.WithClusterModel("mnist"),
+		privehd.WithClusterProbeInterval(200*time.Millisecond),
+		privehd.WithClusterPool(privehd.WithPoolEdge(privehd.WithQueryMask(dim/6))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clusterClient.Close()
+	fmt.Printf("\ncloud: scaled out to %d replicas; cluster client auto-configured its edge\n", len(addrs))
+
+	// Model discovery over the wire (protocol v4): no out-of-band config.
+	listed, err := clusterClient.ListModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("edge: discovered served models over the wire:")
+	for _, m := range listed {
+		def := ""
+		if m.Default {
+			def = "  (default)"
+		}
+		fmt.Printf("  %-12s v%d  D=%d%s\n", m.Name, m.Version, m.Dim, def)
+	}
+
+	// Concurrent callers hammer the fleet; one replica is killed mid-run.
+	const callers = 8
+	perCaller := n
+	var ok32, failed32 atomic.Int64
+	var wg sync.WaitGroup
+	half := make(chan struct{})
+	var halfOnce sync.Once
+	var progress atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				label, _, err := clusterClient.Predict(data.TestX[i])
+				if err != nil {
+					failed32.Add(1)
+				} else if label == data.TestY[i] {
+					ok32.Add(1)
+				}
+				if progress.Add(1) == int64(callers*perCaller/2) {
+					halfOnce.Do(func() { close(half) })
+				}
+			}
+		}()
+	}
+	go func() {
+		<-half
+		extras[1].Close() // kill the third replica under load
+	}()
+	wg.Wait()
+	fmt.Printf("cluster: %d callers × %d queries with a replica killed mid-run: %d correct, %d failed\n",
+		callers, perCaller, ok32.Load(), failed32.Load())
+	for _, st := range clusterClient.Replicas() {
+		state := "healthy"
+		if !st.Healthy {
+			state = "ejected"
+		}
+		fmt.Printf("  replica %-22s %-8s %d conns\n", st.Addr, state, st.Conns)
+	}
 }
 
 // train fits one full-precision model; clients obfuscate on their side

@@ -1,0 +1,860 @@
+// Package cluster scales the client side of the offloaded-inference split
+// from one connection to a serving fleet — the "replica serving" layer of
+// the MLaaS framing: Prive-HD's obfuscated queries are cheap enough to
+// answer in the cloud at scale, so one model ends up behind many listeners
+// and many edge callers end up sharing a few connections.
+//
+// Two layers compose:
+//
+//   - Pool multiplexes any number of concurrent callers over a small,
+//     bounded set of pipelined v4 connections to one address. Connections
+//     are dialed on demand (with exponential backoff after failures),
+//     spill to a new connection when every live one is saturated, are
+//     reaped after sitting idle, and are discarded the moment their
+//     transport breaks. One operation that fails with
+//     offload.ErrTransport is retried once on a different connection —
+//     classification is idempotent, so the retry is safe.
+//
+//   - Cluster balances operations across a set of replica addresses, each
+//     behind its own Pool: least-in-flight (default) or round-robin
+//     selection, ejection of a replica on transport failure, periodic
+//     lightweight health probes that re-admit it once it answers the
+//     handshake again, and transparent failover — an operation that dies
+//     with a replica is retried on the next one, so callers only see an
+//     error when every distinct replica has failed (ErrNoHealthyReplicas)
+//     or a live server answered with a typed protocol error.
+//
+// Typed protocol rejections (unknown model, geometry, oversized batch …)
+// are never retried anywhere: they were produced by a healthy server and
+// would be identical on any replica.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"privehd/internal/offload"
+)
+
+// Pool defaults, used when the corresponding PoolConfig field is zero.
+const (
+	// DefaultSize is the largest number of connections a Pool keeps to its
+	// address.
+	DefaultSize = 4
+	// DefaultMaxInFlightPerConn is how many requests may be outstanding on
+	// one connection before the pool prefers dialing another (pipelining
+	// means a connection is never blocked, but spreading load shortens
+	// per-reply latency under bursts).
+	DefaultMaxInFlightPerConn = 32
+	// DefaultIOTimeout bounds reply progress on pooled connections; a
+	// negative PoolConfig.IOTimeout disables the bound.
+	DefaultIOTimeout = 30 * time.Second
+	// DefaultIdleTimeout is how long an unused connection may linger
+	// before the reaper closes it; a negative PoolConfig.IdleTimeout
+	// disables reaping.
+	DefaultIdleTimeout = 90 * time.Second
+	// DefaultDialTimeout bounds one connection attempt.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultMaxBackoff caps the exponential redial backoff.
+	DefaultMaxBackoff = 2 * time.Second
+
+	// backoffBase seeds the exponential redial backoff.
+	backoffBase = 50 * time.Millisecond
+)
+
+// ErrPoolClosed reports an operation on a closed Pool (or Cluster). It
+// wraps offload.ErrTransport so a Cluster treats a racing per-replica
+// close like any other connection loss.
+var ErrPoolClosed = fmt.Errorf("%w: pool closed", offload.ErrTransport)
+
+// ErrNoHealthyReplicas reports that a Cluster operation failed on every
+// distinct replica it could try. It wraps offload.ErrTransport: the
+// failure is connection-shaped (retryable later), not a protocol verdict.
+var ErrNoHealthyReplicas = fmt.Errorf("%w: no healthy replica available", offload.ErrTransport)
+
+// PoolConfig configures a Pool. Zero fields take the defaults above;
+// IOTimeout and IdleTimeout use negative values to mean "disabled".
+type PoolConfig struct {
+	// Network and Addr locate the server ("tcp", "host:port").
+	Network string
+	Addr    string
+	// Hello is sent on every connection's handshake: the edge geometry
+	// (Dim 0 = auto-configure) and the served model to bind to.
+	Hello offload.Hello
+	// Size bounds how many connections the pool keeps.
+	Size int
+	// MaxInFlightPerConn is the saturation point past which the pool
+	// prefers opening another connection.
+	MaxInFlightPerConn int
+	// IOTimeout is handed to every connection as offload.WithIOTimeout.
+	IOTimeout time.Duration
+	// IdleTimeout is how long an unused connection survives.
+	IdleTimeout time.Duration
+	// DialTimeout bounds each connection attempt.
+	DialTimeout time.Duration
+	// MaxBackoff caps the exponential backoff between failed dials.
+	MaxBackoff time.Duration
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Size <= 0 {
+		c.Size = DefaultSize
+	}
+	if c.MaxInFlightPerConn <= 0 {
+		c.MaxInFlightPerConn = DefaultMaxInFlightPerConn
+	}
+	switch {
+	case c.IOTimeout == 0:
+		c.IOTimeout = DefaultIOTimeout
+	case c.IOTimeout < 0:
+		c.IOTimeout = 0
+	}
+	switch {
+	case c.IdleTimeout == 0:
+		c.IdleTimeout = DefaultIdleTimeout
+	case c.IdleTimeout < 0:
+		c.IdleTimeout = 0
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultMaxBackoff
+	}
+	return c
+}
+
+// poolConn is one pooled connection. Its counters are guarded by the
+// pool's mutex.
+type poolConn struct {
+	c        *offload.Client
+	inflight int
+	lastUse  time.Time
+}
+
+// Pool multiplexes concurrent callers over a bounded set of pipelined
+// connections to one server. All methods are safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu          sync.Mutex
+	conns       []*poolConn
+	dialing     int
+	closed      bool
+	backoff     time.Duration
+	nextDial    time.Time
+	lastDialErr error
+	hello       offload.ServerHello
+	haveHello   bool
+	dials       int
+	changed     chan struct{} // closed+replaced when a dial lands or fails
+
+	stopReaper chan struct{}
+	reaperDone chan struct{}
+}
+
+// NewPool returns a pool for the configured address. No connection is
+// dialed until the first operation (use Hello to dial eagerly). Close it
+// when done.
+func NewPool(cfg PoolConfig) *Pool {
+	p := &Pool{cfg: cfg.withDefaults(), changed: make(chan struct{})}
+	if p.cfg.IdleTimeout > 0 {
+		p.stopReaper = make(chan struct{})
+		p.reaperDone = make(chan struct{})
+		go p.reapLoop()
+	}
+	return p
+}
+
+// signalChanged wakes every acquire waiting for a dial to land or fail.
+// Callers must hold p.mu.
+func (p *Pool) signalChanged() {
+	close(p.changed)
+	p.changed = make(chan struct{})
+}
+
+// Addr returns the pooled server address.
+func (p *Pool) Addr() string { return p.cfg.Addr }
+
+// acquire returns a usable connection with its in-flight count already
+// incremented, dialing a new one when every live connection is saturated
+// and the pool has room. The context bounds dialing and waiting.
+func (p *Pool) acquire(ctx context.Context) (*poolConn, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		// Drop connections whose transport already broke, then pick the
+		// least-loaded live one.
+		live := p.conns[:0]
+		var dead []*poolConn
+		for _, pc := range p.conns {
+			if pc.c.Err() != nil {
+				dead = append(dead, pc)
+				continue
+			}
+			live = append(live, pc)
+		}
+		p.conns = live
+		var best *poolConn
+		for _, pc := range p.conns {
+			if best == nil || pc.inflight < best.inflight {
+				best = pc
+			}
+		}
+		room := len(p.conns)+p.dialing < p.cfg.Size
+		if best != nil && (best.inflight < p.cfg.MaxInFlightPerConn || !room) {
+			best.inflight++
+			best.lastUse = time.Now()
+			p.mu.Unlock()
+			closeAll(dead)
+			return best, nil
+		}
+		if room {
+			if wait := time.Until(p.nextDial); wait > 0 {
+				// Still backing off from a failed dial: reuse a saturated
+				// live connection rather than stampede the server, and
+				// fail fast when there is nothing to fall back to.
+				if best != nil {
+					best.inflight++
+					best.lastUse = time.Now()
+					p.mu.Unlock()
+					closeAll(dead)
+					return best, nil
+				}
+				err := fmt.Errorf("%w: %s backing off %v after dial failure: %v",
+					offload.ErrTransport, p.cfg.Addr, wait.Round(time.Millisecond), p.lastDialErr)
+				p.mu.Unlock()
+				closeAll(dead)
+				return nil, err
+			}
+			p.dialing++
+			p.mu.Unlock()
+			closeAll(dead)
+			pc, err := p.dial(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return pc, nil
+		}
+		// No usable connection and no room: every slot is a dial in
+		// flight from another caller. Wait for one to land (or fail,
+		// which frees its slot).
+		changed := p.changed
+		p.mu.Unlock()
+		closeAll(dead)
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: waiting for a pooled connection: %w", offload.ErrTransport, ctx.Err())
+		case <-changed:
+		}
+	}
+}
+
+func closeAll(conns []*poolConn) {
+	for _, pc := range conns {
+		pc.c.Close()
+	}
+}
+
+// dial opens one new pooled connection (the caller holds a dialing slot)
+// and returns it with inflight already 1.
+func (p *Pool) dial(ctx context.Context) (*poolConn, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dctx, cancel := context.WithTimeout(ctx, p.cfg.DialTimeout)
+	var opts []offload.ClientOption
+	if p.cfg.IOTimeout > 0 {
+		opts = append(opts, offload.WithIOTimeout(p.cfg.IOTimeout))
+	}
+	c, err := offload.Dial(dctx, p.cfg.Network, p.cfg.Addr, p.cfg.Hello, opts...)
+	cancel()
+	p.mu.Lock()
+	p.dialing--
+	p.signalChanged()
+	if err != nil {
+		if errors.Is(err, offload.ErrTransport) {
+			if p.backoff == 0 {
+				p.backoff = backoffBase
+			} else if p.backoff < p.cfg.MaxBackoff {
+				p.backoff *= 2
+				if p.backoff > p.cfg.MaxBackoff {
+					p.backoff = p.cfg.MaxBackoff
+				}
+			}
+			p.nextDial = time.Now().Add(p.backoff)
+			p.lastDialErr = err
+		}
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	p.lastDialErr = nil
+	p.dials++
+	if !p.haveHello {
+		p.hello = c.ServerHello()
+		p.haveHello = true
+	}
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, ErrPoolClosed
+	}
+	pc := &poolConn{c: c, inflight: 1, lastUse: time.Now()}
+	p.conns = append(p.conns, pc)
+	p.mu.Unlock()
+	return pc, nil
+}
+
+// release returns a connection after an operation, discarding it if its
+// transport broke.
+func (p *Pool) release(pc *poolConn, opErr error) {
+	broken := pc.c.Err() != nil || (opErr != nil && errors.Is(opErr, offload.ErrTransport))
+	p.mu.Lock()
+	pc.inflight--
+	pc.lastUse = time.Now()
+	if broken {
+		for i, cur := range p.conns {
+			if cur == pc {
+				p.conns = append(p.conns[:i], p.conns[i+1:]...)
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+	if broken {
+		pc.c.Close()
+	}
+}
+
+// do runs one operation on a pooled connection, retrying a transport
+// failure once on a different (or freshly dialed) connection — safe
+// because classification and listing are idempotent. Protocol errors are
+// returned as-is.
+func (p *Pool) do(ctx context.Context, op func(*offload.Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := p.acquire(ctx)
+		if err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		err = op(pc.c)
+		p.release(pc, err)
+		if err == nil || !errors.Is(err, offload.ErrTransport) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// Hello dials (at most) one connection and returns the server's accepted
+// handshake — geometry, model identity and public encoder setup — for
+// edges that auto-configure. Subsequent calls are free.
+func (p *Pool) Hello(ctx context.Context) (offload.ServerHello, error) {
+	p.mu.Lock()
+	if p.haveHello {
+		h := p.hello
+		p.mu.Unlock()
+		return h, nil
+	}
+	p.mu.Unlock()
+	err := p.do(ctx, func(*offload.Client) error { return nil })
+	if err != nil {
+		return offload.ServerHello{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hello, nil
+}
+
+// Classify classifies one prepared query through the pool.
+func (p *Pool) Classify(ctx context.Context, prepared []float64) (int, []float64, error) {
+	var label int
+	var scores []float64
+	err := p.do(ctx, func(c *offload.Client) error {
+		var err error
+		label, scores, err = c.Classify(prepared)
+		return err
+	})
+	return label, scores, err
+}
+
+// ClassifyBatchScores classifies a batch of prepared queries through one
+// pooled connection (chunks pipelined).
+func (p *Pool) ClassifyBatchScores(ctx context.Context, prepared [][]float64) ([]offload.Result, error) {
+	var results []offload.Result
+	err := p.do(ctx, func(c *offload.Client) error {
+		var err error
+		results, err = c.ClassifyBatchScores(prepared)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ClassifyBatch is ClassifyBatchScores returning labels only.
+func (p *Pool) ClassifyBatch(ctx context.Context, prepared [][]float64) ([]int, error) {
+	results, err := p.ClassifyBatchScores(ctx, prepared)
+	if err != nil {
+		return nil, err
+	}
+	return offload.Labels(results), nil
+}
+
+// ListModels asks the pooled server for its registry listing.
+func (p *Pool) ListModels(ctx context.Context) ([]offload.ModelListing, error) {
+	var models []offload.ModelListing
+	err := p.do(ctx, func(c *offload.Client) error {
+		var err error
+		models, err = c.ListModels()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models, nil
+}
+
+// PoolStats is a snapshot of a pool's connection state.
+type PoolStats struct {
+	// Conns is the number of live pooled connections.
+	Conns int
+	// InFlight is the number of operations currently using a connection.
+	InFlight int
+	// Dials counts successful connection establishments over the pool's
+	// lifetime — more than Conns means redials replaced broken or reaped
+	// connections.
+	Dials int
+}
+
+// Stats returns a snapshot of the pool's state.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{Conns: len(p.conns), Dials: p.dials}
+	for _, pc := range p.conns {
+		st.InFlight += pc.inflight
+	}
+	return st
+}
+
+// InFlight returns how many operations are currently outstanding — the
+// cluster's least-in-flight balancing signal.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, pc := range p.conns {
+		n += pc.inflight
+	}
+	return n
+}
+
+// resetBackoff clears the redial backoff — called when a health probe
+// proves the server reachable again, so traffic redials immediately.
+func (p *Pool) resetBackoff() {
+	p.mu.Lock()
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	p.lastDialErr = nil
+	p.mu.Unlock()
+}
+
+// reapLoop closes connections that sit idle past IdleTimeout.
+func (p *Pool) reapLoop() {
+	defer close(p.reaperDone)
+	interval := p.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopReaper:
+			return
+		case <-ticker.C:
+			p.reap(time.Now())
+		}
+	}
+}
+
+// reap closes every connection idle since before now−IdleTimeout.
+func (p *Pool) reap(now time.Time) {
+	p.mu.Lock()
+	live := p.conns[:0]
+	var idle []*poolConn
+	for _, pc := range p.conns {
+		if pc.inflight == 0 && now.Sub(pc.lastUse) > p.cfg.IdleTimeout {
+			idle = append(idle, pc)
+			continue
+		}
+		live = append(live, pc)
+	}
+	p.conns = live
+	p.mu.Unlock()
+	closeAll(idle)
+}
+
+// Close closes every pooled connection and stops the reaper. In-flight
+// operations fail with transport errors.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.signalChanged()
+	p.mu.Unlock()
+	if p.stopReaper != nil {
+		close(p.stopReaper)
+		<-p.reaperDone
+	}
+	closeAll(conns)
+	return nil
+}
+
+// Policy selects how a Cluster spreads operations over healthy replicas.
+type Policy int
+
+const (
+	// LeastInFlight picks the healthy replica with the fewest outstanding
+	// operations — adaptive to replicas of unequal speed.
+	LeastInFlight Policy = iota
+	// RoundRobin cycles through healthy replicas in order.
+	RoundRobin
+)
+
+// ClusterConfig configures a Cluster.
+type ClusterConfig struct {
+	// Network and Addrs locate the replicas ("tcp", one "host:port" each).
+	Network string
+	Addrs   []string
+	// Hello is the per-connection handshake (edge geometry + model name),
+	// shared by every replica pool and by health probes.
+	Hello offload.Hello
+	// Pool is the per-replica pool template; Network/Addr/Hello are
+	// overridden per replica.
+	Pool PoolConfig
+	// Policy selects the balancing strategy (default LeastInFlight).
+	Policy Policy
+	// ProbeInterval is how often unreachable replicas are re-probed (and
+	// healthy ones lightly verified). Default 2s; negative disables
+	// probing (ejected replicas then only recover via the all-unhealthy
+	// fallback path).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe's dial+handshake (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// replica is one cluster member: an address, its pool, and its health.
+type replica struct {
+	addr    string
+	pool    *Pool
+	mu      sync.Mutex
+	healthy bool
+}
+
+func (r *replica) isHealthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy
+}
+
+func (r *replica) setHealthy(h bool) {
+	r.mu.Lock()
+	r.healthy = h
+	r.mu.Unlock()
+}
+
+// Cluster load-balances idempotent operations over replica pools with
+// health tracking and transparent failover. All methods are safe for
+// concurrent use.
+type Cluster struct {
+	cfg      ClusterConfig
+	replicas []*replica
+
+	rrMu sync.Mutex
+	rr   uint64
+
+	closeOnce sync.Once
+	stopProbe chan struct{}
+	probeDone chan struct{}
+}
+
+// NewCluster returns a cluster over the configured replica addresses. No
+// connection is dialed until the first operation (use Hello to dial
+// eagerly). Close it when done.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("cluster: no replica addresses")
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	cl := &Cluster{cfg: cfg}
+	for _, addr := range cfg.Addrs {
+		pcfg := cfg.Pool
+		pcfg.Network = cfg.Network
+		pcfg.Addr = addr
+		pcfg.Hello = cfg.Hello
+		cl.replicas = append(cl.replicas, &replica{
+			addr:    addr,
+			pool:    NewPool(pcfg),
+			healthy: true,
+		})
+	}
+	if cfg.ProbeInterval > 0 {
+		cl.stopProbe = make(chan struct{})
+		cl.probeDone = make(chan struct{})
+		go cl.probeLoop()
+	}
+	return cl, nil
+}
+
+// pick selects the next replica to try, preferring healthy ones and
+// falling back to ejected ones when nothing healthy remains (a dead
+// cluster heals faster through traffic than through probes alone).
+func (cl *Cluster) pick(tried map[*replica]bool) *replica {
+	var candidates []*replica
+	for _, r := range cl.replicas {
+		if !tried[r] && r.isHealthy() {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, r := range cl.replicas {
+			if !tried[r] {
+				candidates = append(candidates, r)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch cl.cfg.Policy {
+	case RoundRobin:
+		cl.rrMu.Lock()
+		idx := cl.rr
+		cl.rr++
+		cl.rrMu.Unlock()
+		return candidates[idx%uint64(len(candidates))]
+	default: // LeastInFlight
+		best := candidates[0]
+		bestLoad := best.pool.InFlight()
+		for _, r := range candidates[1:] {
+			if load := r.pool.InFlight(); load < bestLoad {
+				best, bestLoad = r, load
+			}
+		}
+		return best
+	}
+}
+
+// do runs one idempotent operation with failover: a replica whose
+// transport fails is ejected and the operation moves to the next distinct
+// replica. Typed protocol errors return immediately — a live server
+// answered, and every replica would answer the same.
+func (cl *Cluster) do(ctx context.Context, op func(*Pool) error) error {
+	tried := make(map[*replica]bool, len(cl.replicas))
+	var lastErr error
+	for len(tried) < len(cl.replicas) {
+		r := cl.pick(tried)
+		if r == nil {
+			break
+		}
+		tried[r] = true
+		err := op(r.pool)
+		if err == nil {
+			r.setHealthy(true)
+			return nil
+		}
+		if !errors.Is(err, offload.ErrTransport) {
+			return err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			// The caller gave up, the replica didn't fail: surface the
+			// cancellation without ejecting anyone or burning retries on
+			// a context that is already dead.
+			return fmt.Errorf("%w: %w", offload.ErrTransport, ctx.Err())
+		}
+		r.setHealthy(false)
+		lastErr = err
+	}
+	return fmt.Errorf("%w: all %d replicas failed, last: %v", ErrNoHealthyReplicas, len(cl.replicas), lastErr)
+}
+
+// Hello returns the accepted handshake of the first replica that answers.
+func (cl *Cluster) Hello(ctx context.Context) (offload.ServerHello, error) {
+	var hello offload.ServerHello
+	err := cl.do(ctx, func(p *Pool) error {
+		var err error
+		hello, err = p.Hello(ctx)
+		return err
+	})
+	return hello, err
+}
+
+// Classify classifies one prepared query on some healthy replica.
+func (cl *Cluster) Classify(ctx context.Context, prepared []float64) (int, []float64, error) {
+	var label int
+	var scores []float64
+	err := cl.do(ctx, func(p *Pool) error {
+		var err error
+		label, scores, err = p.Classify(ctx, prepared)
+		return err
+	})
+	return label, scores, err
+}
+
+// ClassifyBatchScores classifies a batch on some healthy replica. The
+// whole batch fails over together: partially-answered batches are retried
+// from the start on the next replica (classification is idempotent and
+// deterministic per model publication).
+func (cl *Cluster) ClassifyBatchScores(ctx context.Context, prepared [][]float64) ([]offload.Result, error) {
+	var results []offload.Result
+	err := cl.do(ctx, func(p *Pool) error {
+		var err error
+		results, err = p.ClassifyBatchScores(ctx, prepared)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ClassifyBatch is ClassifyBatchScores returning labels only.
+func (cl *Cluster) ClassifyBatch(ctx context.Context, prepared [][]float64) ([]int, error) {
+	results, err := cl.ClassifyBatchScores(ctx, prepared)
+	if err != nil {
+		return nil, err
+	}
+	return offload.Labels(results), nil
+}
+
+// ListModels returns the registry listing of the first healthy replica
+// that answers.
+func (cl *Cluster) ListModels(ctx context.Context) ([]offload.ModelListing, error) {
+	var models []offload.ModelListing
+	err := cl.do(ctx, func(p *Pool) error {
+		var err error
+		models, err = p.ListModels(ctx)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models, nil
+}
+
+// probeLoop periodically probes every replica: ejected replicas are
+// re-admitted when they answer the handshake again, and replicas that
+// stopped answering are ejected before traffic finds out.
+func (cl *Cluster) probeLoop() {
+	defer close(cl.probeDone)
+	ticker := time.NewTicker(cl.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cl.stopProbe:
+			return
+		case <-ticker.C:
+			var wg sync.WaitGroup
+			for _, r := range cl.replicas {
+				wg.Add(1)
+				go func(r *replica) {
+					defer wg.Done()
+					cl.probe(r)
+				}(r)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// probe checks one replica with a lightweight dial+handshake. A typed
+// handshake rejection still proves the process is alive and answering, so
+// only transport failures mark the replica down.
+func (cl *Cluster) probe(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), cl.cfg.ProbeTimeout)
+	defer cancel()
+	hello := offload.Hello{Model: cl.cfg.Hello.Model}
+	c, err := offload.Dial(ctx, cl.cfg.Network, r.addr, hello)
+	if err == nil {
+		c.Close()
+	}
+	if err != nil && errors.Is(err, offload.ErrTransport) {
+		r.setHealthy(false)
+		return
+	}
+	if !r.isHealthy() {
+		r.setHealthy(true)
+		r.pool.resetBackoff()
+	}
+}
+
+// ReplicaStatus is one replica's health snapshot.
+type ReplicaStatus struct {
+	// Addr is the replica address.
+	Addr string
+	// Healthy reports whether the replica is currently admitted for
+	// traffic.
+	Healthy bool
+	// Conns and InFlight describe the replica's pool.
+	Conns    int
+	InFlight int
+}
+
+// Replicas returns a snapshot of every replica's health and load.
+func (cl *Cluster) Replicas() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(cl.replicas))
+	for i, r := range cl.replicas {
+		st := r.pool.Stats()
+		out[i] = ReplicaStatus{
+			Addr:     r.addr,
+			Healthy:  r.isHealthy(),
+			Conns:    st.Conns,
+			InFlight: st.InFlight,
+		}
+	}
+	return out
+}
+
+// Close stops the prober and closes every replica pool. It is idempotent
+// and safe to call concurrently.
+func (cl *Cluster) Close() error {
+	cl.closeOnce.Do(func() {
+		if cl.stopProbe != nil {
+			close(cl.stopProbe)
+			<-cl.probeDone
+		}
+		for _, r := range cl.replicas {
+			r.pool.Close()
+		}
+	})
+	return nil
+}

@@ -4,7 +4,7 @@
 // obfuscated vector; the server holds the full-precision model and returns
 // the predicted label.
 //
-// # Wire protocol (version 3)
+// # Wire protocol (version 4)
 //
 // A connection opens with a fixed 4-byte header from the client — the magic
 // bytes "PHD" plus one protocol version byte — followed by a gob-encoded
@@ -16,17 +16,34 @@
 // levels, seed, features) so edges can auto-configure instead of matching
 // flags by hand — or rejects with a typed code: peers with a mismatched
 // version or geometry, or naming an unknown model, are refused at the
-// handshake instead of gob-decoding garbage mid-stream. v2 clients are
-// still accepted and served the default model.
+// handshake instead of gob-decoding garbage mid-stream. v2 and v3 clients
+// are still accepted (a v2 Hello carries no model name and resolves to the
+// default model).
 //
-// After the handshake the client streams Request frames, each carrying up
-// to MaxBatch query hypervectors, and the server answers each frame with
-// one Reply carrying the per-query labels and scores. Queries are scored on
-// a bounded worker pool shared by every connection (WithWorkers), each
-// query dispatched individually so one large or slow batch cannot
-// monopolize the server. Quantized queries travel packed (one byte per
-// dimension); the server validates every packed symbol against the
-// advertised alphabet.
+// After the handshake the client streams Request frames. The v4 frame
+// layout extends v2/v3 with correlation and control fields, gob-encoded so
+// each version's frames are a strict field superset of the previous one:
+//
+//	v2/v3 Request: {Queries []Query}              → Reply: {Code, Detail, Results}
+//	v4    Request: {ID, Op, Queries []Query}      → Reply: {ID, Code, Detail, Results, Models}
+//
+// ID is a client-chosen correlation number echoed on the Reply; on a v4
+// connection the server handles frames concurrently and MAY answer them
+// out of order, so clients pipeline many requests over one connection and
+// match replies by ID (the Client below runs dedicated send/recv goroutines
+// with an in-flight table). On v2/v3 connections frames are answered
+// strictly in order, one at a time, exactly as before. Op selects the
+// frame's operation: empty for classification, OpListModels for a registry
+// listing (Reply.Models) so clients can discover served models without
+// out-of-band configuration.
+//
+// Each classification Request carries up to MaxBatch query hypervectors,
+// and the server answers each frame with one Reply carrying the per-query
+// labels and scores. Queries are scored on a bounded worker pool shared by
+// every connection (WithWorkers), each query dispatched individually so one
+// large or slow batch cannot monopolize the server. Quantized queries
+// travel packed (one byte per dimension); the server validates every packed
+// symbol against the advertised alphabet.
 //
 // The models behind a server live in a registry (internal/registry): each
 // Request frame resolves its model name against the current registry
@@ -55,15 +72,20 @@ import (
 )
 
 // ProtocolVersion is the wire protocol version this package speaks. The
-// server also accepts versionV2 peers (served the default model); anything
-// else is rejected during the handshake.
-const ProtocolVersion = 3
+// server also accepts versionV2 and versionV3 peers; anything else is
+// rejected during the handshake.
+const ProtocolVersion = 4
 
-// versionV2 is the previous protocol version, still accepted by the server:
-// a v2 Hello carries no model name and resolves to the default model, and
-// the v3 ServerHello is a strict field superset of v2's (gob drops the
-// fields an old client does not know).
-const versionV2 = 2
+// versionV2 and versionV3 are the previous protocol versions, still
+// accepted by the server: a v2 Hello carries no model name and resolves to
+// the default model, v2/v3 frames carry no request IDs and are answered
+// strictly in order, and each newer ServerHello/Reply is a strict field
+// superset of the previous one (gob drops the fields an old client does
+// not know).
+const (
+	versionV2 = 2
+	versionV3 = 3
+)
 
 // DefaultModelName is the registry name NewServer publishes a single model
 // under.
@@ -108,6 +130,21 @@ var (
 	// server's registry does not hold. It aliases the registry sentinel so
 	// errors.Is works identically on both sides of the wire.
 	ErrUnknownModel = registry.ErrUnknownModel
+	// ErrUnsupportedOp reports a request frame naming an operation the
+	// server does not implement.
+	ErrUnsupportedOp = errors.New("offload: unsupported request op")
+	// ErrTransport reports a connection-level failure — dial, send,
+	// receive, i/o timeout, or the client being closed — as opposed to a
+	// typed protocol rejection. Classification is idempotent, so a caller
+	// holding several connections (a pool or replica set) may safely retry
+	// an operation that failed with ErrTransport on another connection;
+	// errors that do NOT wrap ErrTransport were answered by a live server
+	// and must not be retried.
+	ErrTransport = errors.New("offload: connection failure")
+	// ErrIOTimeout reports that a connection configured with WithIOTimeout
+	// saw no reply progress for the full timeout while requests were in
+	// flight. It always also wraps ErrTransport.
+	ErrIOTimeout = errors.New("offload: i/o timeout")
 )
 
 // Reply/ServerHello failure codes carried on the wire.
@@ -119,6 +156,7 @@ const (
 	codeDim          = "dimension-mismatch"
 	codeSymbol       = "symbol-out-of-range"
 	codeUnknownModel = "unknown-model"
+	codeBadOp        = "unsupported-op"
 )
 
 // codeError maps a wire failure code to its sentinel error.
@@ -137,6 +175,8 @@ func codeError(code, detail string) error {
 		base = ErrSymbolOutOfRange
 	case codeUnknownModel:
 		base = ErrUnknownModel
+	case codeBadOp:
+		base = ErrUnsupportedOp
 	default:
 		return fmt.Errorf("offload: server error %s: %s", code, detail)
 	}
@@ -232,9 +272,25 @@ func PackQuery(h []float64) ([]int8, bool) {
 	return out, true
 }
 
+// Request ops selectable per frame since v4. The zero value is
+// classification, so v2/v3 frames (which carry no Op) keep their meaning.
+const (
+	// OpClassify scores Request.Queries against the connection's model.
+	OpClassify = ""
+	// OpListModels asks for the server's current registry listing
+	// (Reply.Models) — client-side model discovery over the wire.
+	OpListModels = "list-models"
+)
+
 // Request is one client→server frame: a batch of queries answered together
-// in a single round trip.
+// in a single reply, or (v4) a control operation.
 type Request struct {
+	// ID correlates the frame's Reply on pipelined (v4) connections, where
+	// replies may arrive out of order. The server echoes it verbatim. v2/v3
+	// clients never set it.
+	ID uint64
+	// Op is the frame operation: OpClassify (empty) or OpListModels.
+	Op      string
 	Queries []Query
 }
 
@@ -247,13 +303,34 @@ type Result struct {
 	Scores []float64
 }
 
+// ModelListing describes one served model in an OpListModels reply: its
+// registry identity, geometry, and the public encoder setup edges
+// auto-configure from (zero when the model was registered without one).
+type ModelListing struct {
+	Name    string
+	Version int
+	Dim     int
+	Classes int
+	// Encoding, Levels, Features and Seed are the model's public encoder
+	// setup, as advertised in the v3+ ServerHello.
+	Encoding int
+	Levels   int
+	Features int
+	Seed     uint64
+	// Default marks the model served to clients that name none.
+	Default bool
+}
+
 // Reply is one server→client frame answering a Request. Code is empty on
 // success; on failure it names the protocol error and no Results are
-// returned.
+// returned. ID echoes the Request's correlation number (v4).
 type Reply struct {
+	ID      uint64
 	Code    string
 	Detail  string
 	Results []Result
+	// Models answers an OpListModels request.
+	Models []ModelListing
 }
 
 // Server serves classification over a listener, one reader goroutine per
@@ -429,48 +506,99 @@ func (s *Server) Served() int {
 	return s.served
 }
 
+// maxConnPipeline bounds how many v4 frames one connection may have in
+// flight on the server: past it the connection's read loop stops decoding
+// until a frame completes, so TCP backpressure paces a client that
+// pipelines faster than the server answers.
+const maxConnPipeline = 128
+
 // srvConn tracks one client connection's lifecycle for graceful shutdown,
-// plus the model name and protocol version the handshake bound it to.
+// plus the model name and protocol version the handshake bound it to. On
+// v4 connections many frames may be in flight at once, so the busy state is
+// a counter and replies are serialized by writeMu.
 type srvConn struct {
 	conn    net.Conn
 	model   string // requested model name; "" = registry default
-	version byte   // negotiated protocol version (2 or 3)
+	version byte   // negotiated protocol version (2, 3 or 4)
+
+	writeMu sync.Mutex     // serializes replies from concurrent v4 frames
+	frames  sync.WaitGroup // in-flight v4 frame goroutines
 
 	mu            sync.Mutex
-	busy          bool
+	inflight      int
 	closeWhenIdle bool
 }
 
-// enterBusy marks the connection as answering a request; it reports false
-// if shutdown already asked the connection to close.
+// enterBusy marks the connection as answering one more request; it reports
+// false if shutdown already asked the connection to close.
 func (c *srvConn) enterBusy() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closeWhenIdle {
 		return false
 	}
-	c.busy = true
+	c.inflight++
 	return true
 }
 
-// exitBusy marks the request finished and reports whether the connection
-// should now close because a shutdown is in progress.
+// exitBusy marks one request finished and reports whether the connection
+// should now close because a shutdown is in progress and no other frame is
+// still in flight.
 func (c *srvConn) exitBusy() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.busy = false
-	return c.closeWhenIdle
+	c.inflight--
+	return c.closeWhenIdle && c.inflight == 0
 }
 
 // askClose requests a graceful close: idle connections close immediately,
-// busy ones right after their in-flight reply.
+// busy ones right after their last in-flight reply.
 func (c *srvConn) askClose() {
 	c.mu.Lock()
-	idle := !c.busy
+	idle := c.inflight == 0
 	c.closeWhenIdle = true
 	c.mu.Unlock()
 	if idle {
-		c.conn.Close()
+		c.gracefulClose()
+	}
+}
+
+// gracefulClose ends a connection without destroying replies the peer has
+// not read yet: a full Close after the peer wrote more data turns into a
+// TCP RST, which discards the peer's receive buffer — including replies to
+// requests it already pipelined. Half-closing the write side sends a clean
+// FIN instead; the handler's read loop then drains the peer until it
+// notices and hangs up, and the final Close finds nothing left to reset.
+// v2/v3 connections are strictly request-reply, so they never have replies
+// at risk and close fully.
+func (c *srvConn) gracefulClose() {
+	if c.version >= ProtocolVersion {
+		type closeWriter interface{ CloseWrite() error }
+		if cw, ok := c.conn.(closeWriter); ok {
+			cw.CloseWrite()
+			// Bound how long the handler's read loop waits for the peer
+			// to notice the FIN and hang up: a peer that never closes
+			// (idle, or ignoring the FIN) must not pin the handler — and
+			// with it a graceful Shutdown — until the caller's ctx
+			// expires.
+			c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			return
+		}
+	}
+	c.conn.Close()
+}
+
+// drainRefused discards incoming frames after a graceful close has refused
+// further work, until the peer sees the FIN and hangs up (EOF) or the
+// drain bound expires — it keeps the receive window open so the peer's
+// in-flight writes cannot trigger a reset before it reads its replies.
+func (c *srvConn) drainRefused(dec *gob.Decoder) {
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
 	}
 }
 
@@ -611,10 +739,10 @@ func (s *Server) handle(sc *srvConn) {
 		enc.Encode(ServerHello{Code: codeBadMagic, Version: ProtocolVersion})
 		return
 	}
-	if hdr[3] != ProtocolVersion && hdr[3] != versionV2 {
+	if hdr[3] != ProtocolVersion && hdr[3] != versionV3 && hdr[3] != versionV2 {
 		enc.Encode(ServerHello{
 			Code:    codeVersion,
-			Detail:  fmt.Sprintf("server speaks v%d (and accepts v%d), client sent v%d", ProtocolVersion, versionV2, hdr[3]),
+			Detail:  fmt.Sprintf("server speaks v%d (and accepts v%d/v%d), client sent v%d", ProtocolVersion, versionV3, versionV2, hdr[3]),
 			Version: ProtocolVersion,
 		})
 		return
@@ -676,13 +804,47 @@ func (s *Server) handle(sc *srvConn) {
 		return
 	}
 
+	// v4 connections pipeline: each frame is answered on its own goroutine
+	// (replies serialized by writeMu, possibly out of order), bounded by
+	// maxConnPipeline so a fast sender is paced by TCP backpressure rather
+	// than unbounded goroutines. v2/v3 connections keep the strict one-
+	// frame-at-a-time, in-order protocol. Before the handler returns it
+	// waits for in-flight frame goroutines, so a graceful shutdown never
+	// closes the conn under a reply still being written.
+	sem := make(chan struct{}, maxConnPipeline)
+	defer sc.frames.Wait()
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return // EOF, broken peer, or shutdown closed the conn
 		}
 		if !sc.enterBusy() {
+			if sc.version >= ProtocolVersion {
+				sc.drainRefused(dec)
+			}
 			return
+		}
+		if sc.version >= ProtocolVersion {
+			sem <- struct{}{}
+			sc.frames.Add(1)
+			s.wg.Add(1) // graceful shutdown waits for frames, not just conns
+			go func(req Request) {
+				defer s.wg.Done()
+				defer sc.frames.Done()
+				defer func() { <-sem }()
+				reply := s.answer(sc.model, req)
+				reply.ID = req.ID
+				sc.writeMu.Lock()
+				err := enc.Encode(reply)
+				sc.writeMu.Unlock()
+				closing := sc.exitBusy()
+				if err != nil {
+					sc.conn.Close()
+				} else if closing {
+					sc.gracefulClose()
+				}
+			}(req)
+			continue
 		}
 		reply := s.answer(sc.model, req)
 		err := enc.Encode(reply)
@@ -692,9 +854,42 @@ func (s *Server) handle(sc *srvConn) {
 	}
 }
 
-// answer classifies one request batch against the current publication of
-// the connection's model, spreading queries over the shared worker pool.
+// answer handles one request frame: classification against the current
+// publication of the connection's model, or a v4 control op.
 func (s *Server) answer(modelName string, req Request) Reply {
+	switch req.Op {
+	case OpClassify:
+		return s.answerClassify(modelName, req)
+	case OpListModels:
+		return s.answerListModels()
+	default:
+		return Reply{Code: codeBadOp, Detail: fmt.Sprintf("op %q (this server speaks v%d)", req.Op, ProtocolVersion)}
+	}
+}
+
+// answerListModels snapshots the registry for client-side model discovery.
+func (s *Server) answerListModels() Reply {
+	entries, def := s.reg.SnapshotModels()
+	models := make([]ModelListing, len(entries))
+	for i, e := range entries {
+		models[i] = ModelListing{
+			Name:     e.Name,
+			Version:  e.Version,
+			Dim:      e.Model.Dim(),
+			Classes:  e.Model.NumClasses(),
+			Encoding: e.Encoder.Encoding,
+			Levels:   e.Encoder.Levels,
+			Features: e.Encoder.Features,
+			Seed:     e.Encoder.Seed,
+			Default:  e.Name == def,
+		}
+	}
+	return Reply{Models: models}
+}
+
+// answerClassify classifies one request batch, spreading queries over the
+// shared worker pool.
+func (s *Server) answerClassify(modelName string, req Request) Reply {
 	// Resolve the name fresh per frame: a Swap between frames serves the
 	// new model from the next frame on, while this frame keeps the entry
 	// it resolved (the registry never mutates a published entry).
@@ -743,47 +938,98 @@ func (s *Server) answer(modelName string, req Request) Reply {
 	return Reply{Results: results}
 }
 
-// Client is the edge-side connection to a classification server.
+// Client is the edge-side connection to a classification server. It speaks
+// protocol v4 and is safe for concurrent use: a dedicated send goroutine
+// serializes outgoing frames, a dedicated recv goroutine routes replies by
+// request ID through an in-flight table, and any number of goroutines may
+// pipeline Classify/ClassifyBatch calls over the one connection without
+// waiting on each other's round trips.
 type Client struct {
-	conn  net.Conn
-	dec   *gob.Decoder
-	enc   *gob.Encoder
-	hello ServerHello
+	conn      net.Conn
+	hello     ServerHello
+	ioTimeout time.Duration
+
+	enc *gob.Encoder // owned by sendLoop after the handshake
+	dec *gob.Decoder // owned by recvLoop after the handshake
+
+	sendCh chan *pending
+	broken chan struct{} // closed on the first transport failure (or Close)
+
+	mu       sync.Mutex
+	inflight map[uint64]*pending
+	nextID   uint64
+	err      error // sticky transport error; set once, before broken closes
+}
+
+// pending is one in-flight request: the frame to send and the slot its
+// routed reply (or the connection's terminal error) lands in.
+type pending struct {
+	req   Request
+	reply Reply
+	err   error
+	done  chan struct{}
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithIOTimeout bounds how long the client waits for connection progress:
+// each frame write must complete within d, and whenever requests are in
+// flight a reply must arrive within d of the last one (an idle connection
+// never times out). Without it a hung server blocks a Classify call
+// forever — the pre-v4 client cleared the dial deadline after the
+// handshake and never armed another. On expiry the connection fails every
+// in-flight call with an error wrapping ErrIOTimeout (and ErrTransport).
+func WithIOTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.ioTimeout = d
+		}
+	}
 }
 
 // Dial connects to a server and performs the handshake. The Hello carries
 // the client encoder's dimensionality (0 to accept any geometry and read
 // it from the ServerHello), the class count when known (0 otherwise) and
 // the requested model name ("" for the server's default). The context
-// bounds connection establishment and the handshake.
-func Dial(ctx context.Context, network, addr string, hello Hello) (*Client, error) {
+// bounds connection establishment and the handshake. Failures to reach or
+// keep the connection wrap ErrTransport; typed handshake rejections
+// (version, geometry, unknown model) do not.
+func Dial(ctx context.Context, network, addr string, hello Hello, opts ...ClientOption) (*Client, error) {
 	var d net.Dialer
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	conn, err := d.DialContext(ctx, network, addr)
 	if err != nil {
-		return nil, fmt.Errorf("offload: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: dial %s: %w", ErrTransport, addr, err)
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(deadline)
 	}
 	// A deadline alone doesn't cover cancellable contexts: abort a hung
-	// handshake by closing the conn when ctx is cancelled mid-handshake.
+	// handshake when ctx is cancelled mid-handshake. The abort is an
+	// already-expired deadline, not a Close — if cancellation races the
+	// handshake completing (both select cases ready, either may win), an
+	// expired deadline is cleaned up below, while a Close would destroy a
+	// connection the caller is about to use.
 	handshakeDone := make(chan struct{})
+	watchDone := make(chan struct{})
 	go func() {
+		defer close(watchDone)
 		select {
 		case <-ctx.Done():
-			conn.Close()
+			conn.SetDeadline(time.Now())
 		case <-handshakeDone:
 		}
 	}()
-	c, err := NewClient(conn, hello)
+	c, err := NewClient(conn, hello, opts...)
 	close(handshakeDone)
+	<-watchDone
 	if err != nil {
 		conn.Close()
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("offload: handshake: %w", ctx.Err())
+			return nil, fmt.Errorf("%w: handshake: %w", ErrTransport, ctx.Err())
 		}
 		return nil, err
 	}
@@ -792,20 +1038,24 @@ func Dial(ctx context.Context, network, addr string, hello Hello) (*Client, erro
 }
 
 // NewClient performs the protocol handshake over an existing connection
-// (useful with net.Pipe or a tapped conn in tests) and returns the client.
-// On handshake rejection the returned error wraps ErrVersionMismatch,
-// ErrGeometryMismatch, ErrUnknownModel or ErrBadMagic.
-func NewClient(conn net.Conn, hello Hello) (*Client, error) {
+// (useful with net.Pipe or a tapped conn in tests), starts the send/recv
+// goroutines and returns the client. On handshake rejection the returned
+// error wraps ErrVersionMismatch, ErrGeometryMismatch, ErrUnknownModel or
+// ErrBadMagic; handshake i/o failures wrap ErrTransport.
+func NewClient(conn net.Conn, hello Hello, opts ...ClientOption) (*Client, error) {
 	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	for _, o := range opts {
+		o(c)
+	}
 	hdr := [4]byte{magic[0], magic[1], magic[2], ProtocolVersion}
 	if _, err := conn.Write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("offload: handshake: %w", err)
+		return nil, fmt.Errorf("%w: handshake: %v", ErrTransport, err)
 	}
 	if err := c.enc.Encode(hello); err != nil {
-		return nil, fmt.Errorf("offload: handshake: %w", err)
+		return nil, fmt.Errorf("%w: handshake: %v", ErrTransport, err)
 	}
 	if err := c.dec.Decode(&c.hello); err != nil {
-		return nil, fmt.Errorf("offload: handshake: %w", err)
+		return nil, fmt.Errorf("%w: handshake: %v", ErrTransport, err)
 	}
 	if c.hello.Code != "" {
 		return nil, codeError(c.hello.Code, c.hello.Detail)
@@ -814,8 +1064,179 @@ func NewClient(conn net.Conn, hello Hello) (*Client, error) {
 		return nil, fmt.Errorf("%w: server speaks v%d, client v%d",
 			ErrVersionMismatch, c.hello.Version, ProtocolVersion)
 	}
+	c.sendCh = make(chan *pending, 16)
+	c.broken = make(chan struct{})
+	c.inflight = make(map[uint64]*pending)
+	go c.sendLoop()
+	go c.recvLoop()
 	return c, nil
 }
+
+// submit assigns the request an ID, registers it in the in-flight table and
+// hands it to the send goroutine. The caller waits on the returned pending.
+func (c *Client) submit(req Request) (*pending, error) {
+	p := &pending{req: req, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	p.req.ID = c.nextID
+	c.inflight[p.req.ID] = p
+	// Arm the read deadline on the idle→busy transition; SetReadDeadline
+	// interrupts the recv goroutine's current blocked Read too, so a
+	// server that hangs from here on cannot block us forever.
+	if c.ioTimeout > 0 && len(c.inflight) == 1 {
+		c.conn.SetReadDeadline(time.Now().Add(c.ioTimeout))
+	}
+	c.mu.Unlock()
+	select {
+	case c.sendCh <- p:
+		return p, nil
+	case <-c.broken:
+		return nil, c.stickyErr()
+	}
+}
+
+// wait blocks until the pending's reply is routed or the connection fails.
+func (p *pending) wait() (Reply, error) {
+	<-p.done
+	if p.err != nil {
+		return Reply{}, p.err
+	}
+	return p.reply, nil
+}
+
+// sendLoop is the dedicated writer: it serializes every outgoing frame
+// onto the connection so concurrent callers never interleave encodings.
+func (c *Client) sendLoop() {
+	for {
+		select {
+		case p := <-c.sendCh:
+			if c.ioTimeout > 0 {
+				c.conn.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+			}
+			if err := c.enc.Encode(p.req); err != nil {
+				c.fail(fmt.Errorf("%w: send: %v", ErrTransport, err))
+				return
+			}
+		case <-c.broken:
+			return
+		}
+	}
+}
+
+// recvLoop is the dedicated reader: it decodes replies as the server
+// produces them — in any order — and routes each to its in-flight request
+// by ID. Reply progress re-arms the read deadline; draining the table
+// disarms it so idle connections never time out.
+func (c *Client) recvLoop() {
+	for {
+		var reply Reply
+		if err := c.dec.Decode(&reply); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.mu.Lock()
+				n := len(c.inflight)
+				if n == 0 {
+					// A deadline that expired as the table drained (or a
+					// leftover dial deadline): nothing was owed to us, and
+					// the server sends nothing unsolicited, so the stream
+					// is still at a frame boundary. Disarm and keep going.
+					c.conn.SetReadDeadline(time.Time{})
+				}
+				c.mu.Unlock()
+				if n == 0 {
+					continue
+				}
+				c.fail(fmt.Errorf("%w: %w: no reply for %v with %d requests in flight",
+					ErrTransport, ErrIOTimeout, c.ioTimeout, n))
+				return
+			}
+			if errors.Is(err, io.EOF) {
+				c.fail(fmt.Errorf("%w: server closed the connection", ErrTransport))
+			} else {
+				c.fail(fmt.Errorf("%w: receive: %v", ErrTransport, err))
+			}
+			return
+		}
+		c.mu.Lock()
+		p, ok := c.inflight[reply.ID]
+		if ok {
+			delete(c.inflight, reply.ID)
+		}
+		if c.ioTimeout > 0 {
+			if len(c.inflight) == 0 {
+				c.conn.SetReadDeadline(time.Time{})
+			} else {
+				c.conn.SetReadDeadline(time.Now().Add(c.ioTimeout))
+			}
+		}
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("%w: server answered unknown request id %d", ErrTransport, reply.ID))
+			return
+		}
+		p.reply = reply
+		close(p.done)
+	}
+}
+
+// fail records the connection's terminal error (first caller wins), closes
+// the conn, and delivers the error to every in-flight and queued request.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pend := c.inflight
+	c.inflight = make(map[uint64]*pending)
+	close(c.broken)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, p := range pend {
+		p.err = err
+		close(p.done)
+	}
+	// Drain requests the send goroutine will never pick up. Submitters
+	// racing the drain still resolve: their pending is either in the table
+	// above or caught here, because submit enqueues only after registering.
+	for {
+		select {
+		case p := <-c.sendCh:
+			if p.err == nil && !isDone(p.done) {
+				p.err = err
+				close(p.done)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// isDone reports whether a pending's done channel is already closed.
+func isDone(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Client) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Err returns the connection's terminal transport error, or nil while it is
+// still usable. Pools use it to discard broken connections.
+func (c *Client) Err() error { return c.stickyErr() }
 
 // Dim returns the served model's dimensionality, learned in the handshake.
 func (c *Client) Dim() int { return c.hello.Dim }
@@ -848,42 +1269,87 @@ func (c *Client) Classify(prepared []float64) (int, []float64, error) {
 	return results[0].Label, results[0].Scores, nil
 }
 
+// Labels extracts the predicted labels from classification results.
+func Labels(results []Result) []int {
+	labels := make([]int, len(results))
+	for i, r := range results {
+		labels[i] = r.Label
+	}
+	return labels
+}
+
 // ClassifyBatch classifies a batch of prepared queries, batching up to
 // MaxBatch vectors per round trip, and returns the predicted labels in
 // order. It stops at the first failure, returning the labels answered so
 // far.
 func (c *Client) ClassifyBatch(prepared [][]float64) ([]int, error) {
 	results, err := c.ClassifyBatchScores(prepared)
-	labels := make([]int, len(results))
-	for i, r := range results {
-		labels[i] = r.Label
-	}
-	return labels, err
+	return Labels(results), err
 }
 
-// ClassifyBatchScores is ClassifyBatch returning full results.
+// ClassifyBatchScores is ClassifyBatch returning full results. All chunks
+// are pipelined onto the connection at once — the server may answer them
+// out of order, and results are reassembled in query order — so a large
+// batch costs one round trip plus server time, not one round trip per
+// MaxBatch chunk.
 func (c *Client) ClassifyBatchScores(prepared [][]float64) ([]Result, error) {
-	out := make([]Result, 0, len(prepared))
 	chunk := c.hello.MaxBatch
 	if chunk <= 0 {
 		chunk = DefaultMaxBatch
 	}
+	type chunkPending struct {
+		start int
+		p     *pending
+	}
+	pendings := make([]chunkPending, 0, (len(prepared)+chunk-1)/chunk)
+	var submitErr error
 	for start := 0; start < len(prepared); start += chunk {
 		end := start + chunk
 		if end > len(prepared) {
 			end = len(prepared)
 		}
-		results, err := c.roundTrip(prepared[start:end])
+		p, err := c.submit(classifyRequest(prepared[start:end]))
 		if err != nil {
-			return out, fmt.Errorf("offload: batch at query %d: %w", start, err)
+			submitErr = fmt.Errorf("offload: batch at query %d: %w", start, err)
+			break
 		}
-		out = append(out, results...)
+		pendings = append(pendings, chunkPending{start: start, p: p})
 	}
-	return out, nil
+	out := make([]Result, 0, len(prepared))
+	for _, cp := range pendings {
+		reply, err := cp.p.wait()
+		if err == nil {
+			err = replyError(reply, cp.p.req)
+		}
+		if err != nil {
+			return out, fmt.Errorf("offload: batch at query %d: %w", cp.start, err)
+		}
+		out = append(out, reply.Results...)
+	}
+	return out, submitErr
 }
 
-// roundTrip sends one Request frame and decodes its Reply.
-func (c *Client) roundTrip(prepared [][]float64) ([]Result, error) {
+// ListModels asks the server for its current registry listing — every
+// served model's name, version, geometry and public encoder setup — so a
+// client can discover models without out-of-band configuration (v4).
+func (c *Client) ListModels() ([]ModelListing, error) {
+	p, err := c.submit(Request{Op: OpListModels})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := p.wait()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Code != "" {
+		return nil, codeError(reply.Code, reply.Detail)
+	}
+	return reply.Models, nil
+}
+
+// classifyRequest builds one classification frame, packing quantized
+// queries into the compact wire form.
+func classifyRequest(prepared [][]float64) Request {
 	req := Request{Queries: make([]Query, len(prepared))}
 	for i, v := range prepared {
 		if packed, ok := PackQuery(v); ok {
@@ -892,28 +1358,43 @@ func (c *Client) roundTrip(prepared [][]float64) ([]Result, error) {
 			req.Queries[i] = Query{Vector: v}
 		}
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("offload: send: %w", err)
-	}
-	var reply Reply
-	if err := c.dec.Decode(&reply); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("offload: server closed the connection")
-		}
-		return nil, fmt.Errorf("offload: receive: %w", err)
-	}
+	return req
+}
+
+// replyError converts a routed reply into the request's outcome.
+func replyError(reply Reply, req Request) error {
 	if reply.Code != "" {
-		return nil, codeError(reply.Code, reply.Detail)
+		return codeError(reply.Code, reply.Detail)
 	}
-	if len(reply.Results) != len(prepared) {
-		return nil, fmt.Errorf("offload: server answered %d of %d queries",
-			len(reply.Results), len(prepared))
+	if len(reply.Results) != len(req.Queries) {
+		return fmt.Errorf("offload: server answered %d of %d queries",
+			len(reply.Results), len(req.Queries))
+	}
+	return nil
+}
+
+// roundTrip pipelines one Request frame and waits for its Reply.
+func (c *Client) roundTrip(prepared [][]float64) ([]Result, error) {
+	p, err := c.submit(classifyRequest(prepared))
+	if err != nil {
+		return nil, err
+	}
+	reply, err := p.wait()
+	if err != nil {
+		return nil, err
+	}
+	if err := replyError(reply, p.req); err != nil {
+		return nil, err
 	}
 	return reply.Results, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection, failing any in-flight requests with an
+// error wrapping ErrTransport.
+func (c *Client) Close() error {
+	c.fail(fmt.Errorf("%w: client closed", ErrTransport))
+	return nil
+}
 
 // Wiretap records the queries that cross a connection — the honest-but-
 // curious channel observer of §I that the obfuscation defends against.

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -58,6 +59,35 @@ func dialToy(t *testing.T, addr string) *Client {
 		t.Fatal(err)
 	}
 	return c
+}
+
+// rawHandshake performs a hand-rolled handshake (any version byte) and
+// returns the conn's codecs — for tests that craft wire frames directly,
+// which must not go through a Client whose recv goroutine would consume
+// the replies.
+func rawHandshake(t *testing.T, addr string, version byte, hello Hello) (net.Conn, *gob.Encoder, *gob.Decoder) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if _, err := conn.Write([]byte{'P', 'H', 'D', version}); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello); err != nil {
+		t.Fatal(err)
+	}
+	var sh ServerHello
+	if err := dec.Decode(&sh); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Code != "" {
+		t.Fatalf("raw handshake rejected: %s (%s)", sh.Code, sh.Detail)
+	}
+	return conn, enc, dec
 }
 
 func TestClassifyOverTCP(t *testing.T) {
@@ -167,23 +197,14 @@ func TestHandshakeRejectsBadMagic(t *testing.T) {
 func TestServerRejectsOutOfAlphabetSymbols(t *testing.T) {
 	addr, srv, cleanup := startServer(t, toyModel())
 	defer cleanup()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := NewClient(conn, Hello{Dim: 4, Classes: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
 	// Craft a request whose packed symbols escape the advertised −2…+1
 	// alphabet; an honest PackQuery would refuse to build it.
-	enc := gob.NewEncoder(conn)
+	_, enc, dec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4, Classes: 2})
 	if err := enc.Encode(Request{Queries: []Query{{Packed: []int8{5, 0, 0, 0}}}}); err != nil {
 		t.Fatal(err)
 	}
 	var reply Reply
-	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+	if err := dec.Decode(&reply); err != nil {
 		t.Fatal(err)
 	}
 	if reply.Code != codeSymbol {
@@ -220,24 +241,16 @@ func TestServerRejectsOversizedBatch(t *testing.T) {
 		}
 	}
 	// A misbehaving client that ignores the limit is rejected.
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rc, err := NewClient(raw, Hello{Dim: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer rc.Close()
+	_, renc, rdec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4})
 	req := Request{Queries: make([]Query, 3)}
 	for i := range req.Queries {
 		req.Queries[i] = Query{Vector: []float64{1, 0, 0, 0}}
 	}
-	if err := gob.NewEncoder(raw).Encode(req); err != nil {
+	if err := renc.Encode(req); err != nil {
 		t.Fatal(err)
 	}
 	var reply Reply
-	if err := gob.NewDecoder(raw).Decode(&reply); err != nil {
+	if err := rdec.Decode(&reply); err != nil {
 		t.Fatal(err)
 	}
 	if err := codeError(reply.Code, reply.Detail); !errors.Is(err, ErrBatchTooLarge) {
@@ -984,17 +997,7 @@ func TestMalformedQueryWithBothWireFormsRejected(t *testing.T) {
 	// effective length follows q.vector(), which prefers Vector.
 	addr, srv, cleanup := startServer(t, labelModel(0))
 	defer cleanup()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := NewClient(conn, Hello{Dim: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	_, enc, dec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4})
 	// len(Vector)+len(Packed) == model dim, but the effective (Vector)
 	// length is 2: must be rejected, and the server must survive.
 	if err := enc.Encode(Request{Queries: []Query{{Vector: []float64{1, 1}, Packed: []int8{0, 0}}}}); err != nil {
@@ -1063,5 +1066,468 @@ func TestSetDefaultDoesNotRebindLiveConnections(t *testing.T) {
 	defer c2.Close()
 	if c2.Model() != "beta" {
 		t.Errorf("new default dial bound to %q, want beta", c2.Model())
+	}
+}
+
+// bigModel returns a 2-class model of the given dimensionality whose class
+// 0 vector is all +1 and class 1 all −1 — scoring cost scales with dim, so
+// tests can make frames take measurable server time.
+func bigModel(dim int) *hdc.Model {
+	m := hdc.NewModel(2, dim)
+	pos := make([]float64, dim)
+	neg := make([]float64, dim)
+	for i := range pos {
+		pos[i] = 1
+		neg[i] = -1
+	}
+	m.Add(0, pos)
+	m.Add(1, neg)
+	return m
+}
+
+// posQuery returns an all-ones query of the given dimensionality (class 0).
+func posQuery(dim int) []float64 {
+	q := make([]float64, dim)
+	for i := range q {
+		q[i] = 1
+	}
+	return q
+}
+
+func TestPipelinedRepliesOutOfOrder(t *testing.T) {
+	// v4 pipelining at the wire level: a heavy frame followed by a light
+	// frame on the same connection must be answerable out of order, with
+	// replies matched by request ID. With 2 workers the light frame's
+	// single query overtakes the heavy frame's 200.
+	const dim = 2048
+	addr, _, cleanup := startServer(t, bigModel(dim), WithWorkers(2))
+	defer cleanup()
+
+	heavy := Request{ID: 1, Queries: make([]Query, 200)}
+	for i := range heavy.Queries {
+		packed, ok := PackQuery(posQuery(dim))
+		if !ok {
+			t.Fatal("query should pack")
+		}
+		heavy.Queries[i] = Query{Packed: packed}
+	}
+	light := Request{ID: 2, Queries: []Query{heavy.Queries[0]}}
+
+	sawOutOfOrder := false
+	for attempt := 0; attempt < 5 && !sawOutOfOrder; attempt++ {
+		_, enc, dec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: dim})
+		if err := enc.Encode(heavy); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(light); err != nil {
+			t.Fatal(err)
+		}
+		var first, second Reply
+		if err := dec.Decode(&first); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Decode(&second); err != nil {
+			t.Fatal(err)
+		}
+		if first.Code != "" || second.Code != "" {
+			t.Fatalf("replies rejected: %+v / %+v", first.Code, second.Code)
+		}
+		ids := map[uint64]Reply{first.ID: first, second.ID: second}
+		if len(ids[1].Results) != 200 || len(ids[2].Results) != 1 {
+			t.Fatalf("results misrouted: id1=%d id2=%d", len(ids[1].Results), len(ids[2].Results))
+		}
+		if first.ID == 2 {
+			sawOutOfOrder = true
+		}
+	}
+	if !sawOutOfOrder {
+		t.Error("light frame never overtook the heavy frame: pipelined replies arrived strictly in order")
+	}
+}
+
+func TestConcurrentCallersShareOneConnection(t *testing.T) {
+	// The pipelined client is safe for concurrent use: many goroutines
+	// multiplex over one connection and every reply is routed to its
+	// caller by request ID.
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c := dialToy(t, addr)
+	defer c.Close()
+
+	const callers, rounds = 32, 20
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		want := i % 2
+		go func() {
+			q := []float64{1, 1, 0, 0}
+			if want == 1 {
+				q = []float64{0, 0, 1, 1}
+			}
+			for r := 0; r < rounds; r++ {
+				label, _, err := c.Classify(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if label != want {
+					errs <- fmt.Errorf("caller wanting %d got label %d", want, label)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Served() != callers*rounds {
+		t.Errorf("Served = %d, want %d", srv.Served(), callers*rounds)
+	}
+}
+
+func TestListModels(t *testing.T) {
+	reg := registry.New()
+	if _, err := reg.Register("alpha", labelModel(0), registry.EncoderInfo{Encoding: 1, Levels: 8, Features: 3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("beta", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetDefault("beta"); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	models, err := c.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models[0].Name != "alpha" || models[1].Name != "beta" {
+		t.Fatalf("models = %+v", models)
+	}
+	a := models[0]
+	if a.Dim != 4 || a.Classes != 2 || a.Version != 1 || a.Encoding != 1 || a.Levels != 8 || a.Features != 3 || a.Seed != 5 || a.Default {
+		t.Errorf("alpha listing = %+v", a)
+	}
+	if !models[1].Default {
+		t.Error("beta should be listed as the default")
+	}
+	// The listing tracks the live registry: a swap bumps the version.
+	if _, err := reg.Swap("alpha", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	models, err = c.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if models[0].Version != 2 {
+		t.Errorf("post-swap alpha version = %d, want 2", models[0].Version)
+	}
+}
+
+func TestUnsupportedOpRejected(t *testing.T) {
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	_, enc, dec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4})
+	if err := enc.Encode(Request{ID: 9, Op: "compress"}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.ID != 9 {
+		t.Errorf("reply ID = %d, want 9", reply.ID)
+	}
+	if err := codeError(reply.Code, reply.Detail); !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("unknown op answered %v, want ErrUnsupportedOp", err)
+	}
+}
+
+func TestIOTimeoutUnblocksHungServer(t *testing.T) {
+	// A server that completes the handshake then goes silent: without
+	// WithIOTimeout a Classify would block forever (the old client cleared
+	// the conn deadline after the handshake and never set one again).
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		dec := gob.NewDecoder(conn)
+		var hello Hello
+		if err := dec.Decode(&hello); err != nil {
+			return
+		}
+		gob.NewEncoder(conn).Encode(ServerHello{
+			Version: ProtocolVersion, Dim: 4, Classes: 2,
+			MaxBatch: 8, MinSymbol: MinSymbol, MaxSymbol: MaxSymbol,
+		})
+		// Keep reading requests, never answer.
+		var req Request
+		for dec.Decode(&req) == nil {
+		}
+	}()
+
+	c, err := Dial(context.Background(), "tcp", lis.Addr().String(), Hello{Dim: 4},
+		WithIOTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, _, err = c.Classify([]float64{1, 1, 0, 0})
+	if !errors.Is(err, ErrIOTimeout) || !errors.Is(err, ErrTransport) {
+		t.Errorf("hung server: err = %v, want ErrIOTimeout (wrapping ErrTransport)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("Classify blocked %v despite the 150ms i/o timeout", elapsed)
+	}
+}
+
+func TestIOTimeoutSparesIdleConnections(t *testing.T) {
+	// The timeout bounds reply progress, not connection lifetime: a conn
+	// idle far longer than the timeout must still serve the next query.
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4},
+		WithIOTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 2; round++ {
+		label, _, err := c.Classify([]float64{1, 1, 0, 0})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if label != 0 {
+			t.Fatalf("round %d: label = %d", round, label)
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+}
+
+func TestDialCancelledMidHandshake(t *testing.T) {
+	// A listener that accepts and never answers the handshake: cancelling
+	// the dial context must abort promptly with a transport error, not
+	// hang in the gob decode.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn // hold the conn open, never respond
+	}()
+	defer func() {
+		select {
+		case conn := <-accepted:
+			conn.Close()
+		default:
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Dial(ctx, "tcp", lis.Addr().String(), Hello{Dim: 4})
+	if !errors.Is(err, ErrTransport) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled handshake: err = %v, want ErrTransport wrapping context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Dial blocked %v after cancellation", elapsed)
+	}
+}
+
+func TestShutdownWithInFlightPipelinedRequests(t *testing.T) {
+	// Shutdown while a pipelined client has many frames outstanding: every
+	// frame the server accepted must be answered before its connection
+	// closes, later frames must fail with a clean transport error, and
+	// nothing may hang or lose a response.
+	const dim = 4096
+	addr, srv, _ := startServer(t, bigModel(dim), WithWorkers(2))
+	c, err := Dial(context.Background(), "tcp", addr, Hello{Dim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const frames = 8
+	batch := make([][]float64, 64)
+	for i := range batch {
+		batch[i] = posQuery(dim)
+	}
+	results := make(chan error, frames)
+	for i := 0; i < frames; i++ {
+		go func() {
+			labels, err := c.ClassifyBatch(batch)
+			if err == nil {
+				for _, l := range labels {
+					if l != 0 {
+						err = fmt.Errorf("label %d, want 0", l)
+						break
+					}
+				}
+			}
+			results <- err
+		}()
+	}
+	// Wait until the server has demonstrably started answering (first
+	// frame fully served), so later frames are genuinely in flight when
+	// the shutdown hits — under -race everything runs much slower, and a
+	// fixed sleep could fire before any frame even reached the server.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Served() < 64 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started answering")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancelT := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelT()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	succeeded := 0
+	for i := 0; i < frames; i++ {
+		select {
+		case err := <-results:
+			switch {
+			case err == nil:
+				succeeded++
+			case errors.Is(err, ErrTransport):
+				// Frame not yet accepted when shutdown hit: a clean,
+				// typed refusal — never a corrupt or missing reply.
+			default:
+				t.Errorf("frame failed with non-transport error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("a pipelined frame never resolved after Shutdown")
+		}
+	}
+	if succeeded == 0 {
+		t.Error("no in-flight frame survived a graceful shutdown")
+	}
+	t.Logf("graceful shutdown answered %d/%d pipelined frames", succeeded, frames)
+}
+
+// v3Hello mirrors the protocol-v3 client Hello wire shape (same fields as
+// v4's — v4 only added Request/Reply fields).
+type v3Hello struct {
+	Dim     int
+	Classes int
+	Model   string
+}
+
+// v3Request and v3Reply mirror the v3 frame shapes: no ID, no Op, no
+// Models. gob drops the extra v4 Reply fields for such a decoder.
+type v3Request struct {
+	Queries []Query
+}
+
+type v3Reply struct {
+	Code    string
+	Detail  string
+	Results []Result
+}
+
+func TestV3ClientStillServed(t *testing.T) {
+	// A byte-faithful v3 session (version byte 3, ID-less frames) must be
+	// served sequentially, strictly in order, against its named model.
+	reg := registry.New()
+	if _, err := reg.Register("m0", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("m1", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'P', 'H', 'D', 3}); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(v3Hello{Dim: 4, Model: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	var hello ServerHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != "" {
+		t.Fatalf("v3 handshake rejected: %s (%s)", hello.Code, hello.Detail)
+	}
+	if hello.Version != 3 {
+		t.Errorf("server answered v%d to a v3 client, want v3", hello.Version)
+	}
+	if hello.Model != "m1" {
+		t.Errorf("v3 client bound to %q, want m1", hello.Model)
+	}
+	// Stream several ID-less frames; each must be answered before the next
+	// is read (in-order, one reply per request).
+	for i := 0; i < 3; i++ {
+		if err := enc.Encode(v3Request{Queries: []Query{{Packed: []int8{1, 1, 0, 0}}}}); err != nil {
+			t.Fatal(err)
+		}
+		var reply v3Reply
+		if err := dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Code != "" || len(reply.Results) != 1 || reply.Results[0].Label != 1 {
+			t.Fatalf("v3 frame %d reply = %+v", i, reply)
+		}
+	}
+	if srv.Served() != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served())
+	}
+}
+
+func TestShutdownBoundedByIdlePeerThatNeverCloses(t *testing.T) {
+	// A v4 peer that handshakes, sends nothing, and ignores the graceful
+	// FIN: Shutdown must not block until its ctx expires — the half-close
+	// arms a read deadline that unpins the idle handler.
+	addr, srv, _ := startServer(t, toyModel())
+	conn, _, _ := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4})
+	_ = conn // held open, never closed, never written to again
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown = %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("Shutdown took %v against an idle peer, want ≤ the ~2s drain bound", elapsed)
 	}
 }

@@ -222,13 +222,22 @@ func (r *Registry) Lookup(name string) (*Entry, error) {
 // Models returns the current entries sorted by name — one consistent
 // snapshot, not a live view.
 func (r *Registry) Models() []*Entry {
+	entries, _ := r.SnapshotModels()
+	return entries
+}
+
+// SnapshotModels returns the entries sorted by name together with the
+// default model name, both read from the same snapshot — so a listing can
+// flag the default without racing a concurrent SetDefault between two
+// separate loads.
+func (r *Registry) SnapshotModels() ([]*Entry, string) {
 	snap := r.snap.Load()
 	out := make([]*Entry, 0, len(snap.entries))
 	for _, e := range snap.entries {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return out, snap.defaultName
 }
 
 // Len returns the number of registered models.

@@ -1,0 +1,208 @@
+package privehd
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"privehd/internal/cluster"
+	"privehd/internal/offload"
+)
+
+// Pool multiplexes any number of concurrent callers over a small, reused
+// set of pipelined connections to one serving address — the client-side
+// scaling layer for heavy traffic: instead of a connection per caller,
+// requests from every goroutine interleave over (at most) WithPoolSize
+// connections with per-request IDs, new connections are dialed only when
+// the live ones are saturated, idle ones are reaped, and broken ones are
+// redialed with exponential backoff. An operation that fails with
+// ErrTransport is retried once on a different connection (classification
+// is idempotent). All methods are safe for concurrent use.
+//
+// Like Remote, a Pool pairs the connections with the local Edge that
+// obfuscates queries before they leave the device — nothing about the
+// §III-C privacy story changes, only how many sockets carry the obfuscated
+// vectors.
+type Pool struct {
+	edge *Edge
+	pool *cluster.Pool
+}
+
+// PoolOption configures DialPool (and the per-replica pools of
+// DialCluster).
+type PoolOption func(*poolConfig)
+
+type poolConfig struct {
+	model       string
+	size        int
+	maxPerConn  int
+	ioTimeout   time.Duration
+	idleTimeout time.Duration
+	edgeOpts    []Option
+}
+
+// toInternal maps the public options to the internal pool configuration
+// (0 = internal default, negative = disabled).
+func (c poolConfig) toInternal() cluster.PoolConfig {
+	return cluster.PoolConfig{
+		Size:               c.size,
+		MaxInFlightPerConn: c.maxPerConn,
+		IOTimeout:          c.ioTimeout,
+		IdleTimeout:        c.idleTimeout,
+	}
+}
+
+// WithPoolModel selects which served model the pool binds to (default: the
+// server's default model). Unknown names are rejected with ErrUnknownModel
+// when the first connection handshakes.
+func WithPoolModel(name string) PoolOption {
+	return func(c *poolConfig) { c.model = name }
+}
+
+// WithPoolSize bounds how many connections the pool keeps (default 4).
+func WithPoolSize(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n > 0 {
+			c.size = n
+		}
+	}
+}
+
+// WithPoolMaxInFlight sets how many requests may be outstanding on one
+// pooled connection before the pool prefers opening another (default 32).
+func WithPoolMaxInFlight(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n > 0 {
+			c.maxPerConn = n
+		}
+	}
+}
+
+// WithPoolIOTimeout bounds reply progress on pooled connections (see
+// WithIOTimeout). The pool defaults to 30s so a hung replica can never
+// block a Predict forever; pass d ≤ 0 to disable the bound.
+func WithPoolIOTimeout(d time.Duration) PoolOption {
+	return func(c *poolConfig) {
+		if d <= 0 {
+			c.ioTimeout = -1
+			return
+		}
+		c.ioTimeout = d
+	}
+}
+
+// WithPoolIdleTimeout sets how long an unused pooled connection may linger
+// before being closed (default 90s); pass d ≤ 0 to keep idle connections
+// forever.
+func WithPoolIdleTimeout(d time.Duration) PoolOption {
+	return func(c *poolConfig) {
+		if d <= 0 {
+			c.idleTimeout = -1
+			return
+		}
+		c.idleTimeout = d
+	}
+}
+
+// WithPoolEdge supplies pipeline options — typically the §III-C defences
+// WithQueryMask and WithRawQueries — for the edge a nil-edge DialPool or
+// DialCluster auto-configures from the server's advertised encoder setup.
+// It is ignored when an explicit Edge is passed.
+func WithPoolEdge(opts ...Option) PoolOption {
+	return func(c *poolConfig) { c.edgeOpts = append(c.edgeOpts, opts...) }
+}
+
+// DialPool connects a pool of reused, pipelined connections to one serving
+// address and validates the first handshake eagerly (the context bounds
+// it). Pass the Edge whose obfuscated queries the pool should carry, or
+// nil to auto-configure one from the server's advertised encoder setup
+// exactly like DialModel (layer defences on with WithPoolEdge).
+func DialPool(ctx context.Context, network, addr string, edge *Edge, opts ...PoolOption) (*Pool, error) {
+	var cfg poolConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pcfg := cfg.toInternal()
+	pcfg.Network = network
+	pcfg.Addr = addr
+	pcfg.Hello = offload.Hello{Model: cfg.model}
+	if edge != nil {
+		pcfg.Hello.Dim = edge.Dim()
+	}
+	pool := cluster.NewPool(pcfg)
+	hello, err := pool.Hello(ctx)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	if edge == nil {
+		edge, err = edgeFromServerHello(hello, cfg.edgeOpts...)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+	return &Pool{edge: edge, pool: pool}, nil
+}
+
+// Edge returns the edge obfuscating the pool's queries.
+func (p *Pool) Edge() *Edge { return p.edge }
+
+// Model returns the name of the served model the pool is bound to.
+func (p *Pool) Model() string {
+	h, err := p.pool.Hello(context.Background())
+	if err != nil {
+		return ""
+	}
+	return h.Model
+}
+
+// Predict obfuscates one input on the edge and classifies it remotely on
+// some pooled connection.
+func (p *Pool) Predict(x []float64) (int, []float64, error) {
+	q, err := p.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p.pool.Classify(context.Background(), q)
+}
+
+// PredictBatch obfuscates a batch of inputs and classifies them remotely,
+// pipelining the chunks over one pooled connection.
+func (p *Pool) PredictBatch(X [][]float64) ([]int, error) {
+	qs, err := p.edge.PrepareBatch(X)
+	if err != nil {
+		return nil, err
+	}
+	return p.pool.ClassifyBatch(context.Background(), qs)
+}
+
+// PredictPrepared classifies an already-prepared query hypervector.
+func (p *Pool) PredictPrepared(q []float64) (int, []float64, error) {
+	if len(q) != p.edge.Dim() {
+		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), p.edge.Dim())
+	}
+	return p.pool.Classify(context.Background(), q)
+}
+
+// ListModels asks the pooled server for its registry listing (see
+// Remote.ListModels).
+func (p *Pool) ListModels() ([]ModelInfo, error) {
+	listings, err := p.pool.ListModels(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return modelInfosFromListings(listings), nil
+}
+
+// PoolStats is a snapshot of a pool's connection state: live connections,
+// operations currently in flight, and total successful dials (more dials
+// than connections means broken or idle-reaped connections were replaced).
+type PoolStats = cluster.PoolStats
+
+// Stats returns a snapshot of the pool's connection state.
+func (p *Pool) Stats() PoolStats { return p.pool.Stats() }
+
+// Close closes every pooled connection; in-flight calls fail with
+// ErrTransport.
+func (p *Pool) Close() error { return p.pool.Close() }

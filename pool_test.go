@@ -1,0 +1,452 @@
+package privehd_test
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privehd"
+
+	"privehd/internal/offload"
+)
+
+// startRegistryReplicas serves the same registry from n loopback
+// listeners — a one-process replica fleet — and returns their addresses,
+// servers, and a cleanup func.
+func startRegistryReplicas(t *testing.T, reg *privehd.Registry, n int) ([]string, []*privehd.Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*privehd.Server, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := privehd.NewRegistryServer(reg)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(context.Background(), lis) }()
+		t.Cleanup(func() {
+			srv.Close()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("replica Serve returned %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("replica did not stop")
+			}
+		})
+		addrs[i] = lis.Addr().String()
+		servers[i] = srv
+	}
+	return addrs, servers
+}
+
+func TestDialPoolPredict(t *testing.T) {
+	pipe, X, y := toyPipeline(t)
+	addr, srv, cleanup := startPipelineServer(t, pipe)
+	defer cleanup()
+
+	// nil edge: the pool auto-configures one from the advertised encoder
+	// setup, exactly like DialModel.
+	pool, err := privehd.DialPool(context.Background(), "tcp", addr, nil, privehd.WithPoolSize(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Edge() == nil || pool.Edge().Dim() != pipe.Dim() {
+		t.Fatalf("auto-configured edge = %+v", pool.Edge())
+	}
+	if pool.Model() != privehd.DefaultModelName {
+		t.Errorf("pool bound to %q", pool.Model())
+	}
+
+	labels, err := pool.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, l := range labels {
+		if l == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.9 {
+		t.Errorf("pooled accuracy %v on separable toy task", acc)
+	}
+
+	// Concurrent callers multiplex over the bounded connection set.
+	const callers = 16
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		idx := i % len(X)
+		go func() {
+			label, scores, err := pool.Predict(X[idx])
+			if err != nil {
+				errs <- err
+				return
+			}
+			if label != labels[idx] || len(scores) != pipe.Classes() {
+				errs <- fmt.Errorf("sample %d: got %d want %d", idx, label, labels[idx])
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pool.Stats(); st.Conns < 1 || st.Conns > 3 {
+		t.Errorf("pool stats = %+v, want 1..3 conns", st)
+	}
+	if srv.Served() != len(X)+callers {
+		t.Errorf("Served = %d, want %d", srv.Served(), len(X)+callers)
+	}
+}
+
+func TestDialPoolUnknownModelTyped(t *testing.T) {
+	pipe, _, _ := toyPipeline(t)
+	addr, _, cleanup := startPipelineServer(t, pipe)
+	defer cleanup()
+	_, err := privehd.DialPool(context.Background(), "tcp", addr, nil,
+		privehd.WithPoolModel("ghost"))
+	if !errors.Is(err, privehd.ErrUnknownModel) {
+		t.Errorf("DialPool(ghost) = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestDialClusterUnknownModelTyped(t *testing.T) {
+	pipe, _, _ := toyPipeline(t)
+	reg := privehd.NewRegistry()
+	if err := reg.Register("real", pipe); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startRegistryReplicas(t, reg, 2)
+	_, err := privehd.DialCluster(context.Background(), "tcp", addrs, nil,
+		privehd.WithClusterModel("ghost"))
+	if !errors.Is(err, privehd.ErrUnknownModel) {
+		t.Errorf("DialCluster(ghost) = %v, want ErrUnknownModel", err)
+	}
+	if errors.Is(err, privehd.ErrNoHealthyReplicas) {
+		t.Errorf("protocol rejection misreported as dead fleet: %v", err)
+	}
+}
+
+func TestDialClusterFailover(t *testing.T) {
+	pipe, X, y := toyPipeline(t)
+	reg := privehd.NewRegistry()
+	if err := reg.Register("toy", pipe); err != nil {
+		t.Fatal(err)
+	}
+	addrs, servers := startRegistryReplicas(t, reg, 3)
+
+	cl, err := privehd.DialCluster(context.Background(), "tcp", addrs, nil,
+		privehd.WithClusterModel("toy"),
+		privehd.WithClusterProbeInterval(100*time.Millisecond),
+		privehd.WithClusterPool(privehd.WithPoolIOTimeout(5*time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const callers, rounds = 16, 12
+	var total, succeeded, typed atomic.Int64
+	killAt := make(chan struct{})
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		idx := i % len(X)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				label, _, err := cl.Predict(X[idx])
+				switch {
+				case err == nil:
+					if label != y[idx] {
+						errs <- fmt.Errorf("sample %d misclassified as %d under failover", idx, label)
+						return
+					}
+					succeeded.Add(1)
+				case errors.Is(err, privehd.ErrTransport):
+					typed.Add(1) // includes ErrNoHealthyReplicas
+				default:
+					errs <- fmt.Errorf("untyped failover error: %v", err)
+					return
+				}
+				if total.Add(1) == callers*rounds/3 {
+					killOnce.Do(func() { close(killAt) })
+				}
+			}
+			errs <- nil
+		}()
+	}
+	go func() {
+		<-killAt
+		servers[1].Close() // kill a replica mid-run, dropping its conns
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster predictions hung")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := succeeded.Load() + typed.Load(); got != callers*rounds {
+		t.Fatalf("accounted %d of %d predictions", got, callers*rounds)
+	}
+	if succeeded.Load() < callers*rounds*9/10 {
+		t.Errorf("only %d/%d predictions survived the replica kill", succeeded.Load(), callers*rounds)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cl.Replicas()[1].Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed replica never ejected: %+v", cl.Replicas())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestListModelsDiscovery(t *testing.T) {
+	// Remote, Pool and Cluster all discover the registry over the wire.
+	p1, X, _ := toyPipeline(t)
+	p2, _, _ := toyPipeline(t, privehd.WithDim(256))
+	reg := privehd.NewRegistry()
+	if err := reg.Register("small", p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("big", p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetDefault("big"); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startRegistryReplicas(t, reg, 1)
+
+	check := func(t *testing.T, models []privehd.ModelInfo) {
+		t.Helper()
+		if len(models) != 2 {
+			t.Fatalf("listed %d models", len(models))
+		}
+		if models[0].Name != "big" || !models[0].Default || models[0].Dim != 512 {
+			t.Errorf("big = %+v", models[0])
+		}
+		if models[1].Name != "small" || models[1].Default || models[1].Dim != 256 {
+			t.Errorf("small = %+v", models[1])
+		}
+	}
+
+	remote, err := privehd.DialModel(context.Background(), "tcp", addrs[0], "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	models, err := remote.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, models)
+	// Registry.Models agrees with the wire listing (Default included).
+	check(t, reg.Models())
+
+	pool, err := privehd.DialPool(context.Background(), "tcp", addrs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	models, err = pool.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, models)
+
+	cl, err := privehd.DialCluster(context.Background(), "tcp", addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	models, err = cl.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, models)
+
+	// Discovery enables name-free workflows: pick a model from the wire
+	// listing and predict through it.
+	if _, _, err := pool.Predict(X[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// legacyHello mirrors the v2/v3 client Hello wire shape.
+type legacyHello struct {
+	Dim     int
+	Classes int
+	Model   string // ignored by v2 servers; gob omits the zero value
+}
+
+// legacyReply mirrors the v2/v3 client's view of a Reply: no ID, no
+// Models — gob drops the newer fields.
+type legacyReply struct {
+	Code    string
+	Detail  string
+	Results []offload.Result
+}
+
+// roundTripLegacy runs one hand-rolled v2 or v3 session against addr.
+func roundTripLegacy(t *testing.T, addr string, version byte, dim int, query []float64) legacyReply {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'P', 'H', 'D', version}); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(legacyHello{Dim: dim}); err != nil {
+		t.Fatal(err)
+	}
+	var hello offload.ServerHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != "" {
+		t.Fatalf("v%d handshake rejected: %s (%s)", version, hello.Code, hello.Detail)
+	}
+	if hello.Version != version {
+		t.Fatalf("server answered v%d to a v%d client", hello.Version, version)
+	}
+	if err := enc.Encode(struct{ Queries []offload.Query }{[]offload.Query{{Vector: query}}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply legacyReply
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestLegacyClientsServedAlongsidePool(t *testing.T) {
+	// Regression for the v4 upgrade: while a pipelined Pool hammers the
+	// server, byte-faithful v2 and v3 clients must still be served
+	// in-order against the default model.
+	pipe, X, y := toyPipeline(t)
+	addr, _, cleanup := startPipelineServer(t, pipe)
+	defer cleanup()
+
+	pool, err := privehd.DialPool(context.Background(), "tcp", addr, nil, privehd.WithPoolSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	stop := make(chan struct{})
+	poolErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				poolErr <- nil
+				return
+			default:
+			}
+			if _, err := pool.PredictBatch(X[:8]); err != nil {
+				poolErr <- err
+				return
+			}
+		}
+	}()
+
+	edge, err := pipe.Edge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []byte{2, 3} {
+		for i := 0; i < 4; i++ {
+			q, err := edge.Prepare(X[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			reply := roundTripLegacy(t, addr, version, pipe.Dim(), q)
+			if reply.Code != "" {
+				t.Fatalf("v%d frame rejected: %s", version, reply.Code)
+			}
+			if len(reply.Results) != 1 || reply.Results[0].Label != y[i] {
+				t.Errorf("v%d client got %+v for sample %d (want label %d)", version, reply.Results, i, y[i])
+			}
+		}
+	}
+	close(stop)
+	if err := <-poolErr; err != nil {
+		t.Fatalf("pool traffic failed alongside legacy clients: %v", err)
+	}
+}
+
+func TestDialWithIOTimeoutUnblocksHungServer(t *testing.T) {
+	// Public half of the WithIOTimeout satellite: a server that handshakes
+	// then goes silent must not block Predict forever.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		dec := gob.NewDecoder(conn)
+		var hello offload.Hello
+		if err := dec.Decode(&hello); err != nil {
+			return
+		}
+		gob.NewEncoder(conn).Encode(offload.ServerHello{
+			Version: privehd.ProtocolVersion, Dim: hello.Dim, Classes: 2, MaxBatch: 8,
+		})
+		io.Copy(io.Discard, conn) // read requests forever, answer nothing
+	}()
+
+	edge, err := privehd.NewEdge(
+		privehd.WithFeatures(12), privehd.WithDim(512), privehd.WithLevels(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := privehd.Dial(context.Background(), "tcp", lis.Addr().String(), edge,
+		privehd.WithIOTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	start := time.Now()
+	_, _, err = remote.Predict(make([]float64, 12))
+	if !errors.Is(err, privehd.ErrIOTimeout) || !errors.Is(err, privehd.ErrTransport) {
+		t.Errorf("hung server: err = %v, want ErrIOTimeout wrapping ErrTransport", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("Predict blocked %v despite 150ms i/o timeout", elapsed)
+	}
+}

@@ -49,11 +49,33 @@ type ModelInfo struct {
 	Dim     int
 	Classes int
 	// Encoding, Levels, Features and Seed are the encoder's shared public
-	// setup, which v3 edges auto-configure from.
+	// setup, which v3+ edges auto-configure from.
 	Encoding Encoding
 	Levels   int
 	Features int
 	Seed     uint64
+	// Default marks the model served to clients that name none.
+	Default bool
+}
+
+// modelInfosFromListings converts a wire registry listing (Remote/Pool/
+// Cluster ListModels) to the public ModelInfo shape.
+func modelInfosFromListings(listings []offload.ModelListing) []ModelInfo {
+	out := make([]ModelInfo, len(listings))
+	for i, l := range listings {
+		out[i] = ModelInfo{
+			Name:     l.Name,
+			Version:  l.Version,
+			Dim:      l.Dim,
+			Classes:  l.Classes,
+			Encoding: Encoding(l.Encoding),
+			Levels:   l.Levels,
+			Features: l.Features,
+			Seed:     l.Seed,
+			Default:  l.Default,
+		}
+	}
+	return out
 }
 
 // pipelineEntry extracts the served model and its public encoder setup from
@@ -118,7 +140,7 @@ func (r *Registry) DefaultName() string { return r.inner.DefaultName() }
 // Models returns one consistent snapshot of the published models, sorted
 // by name.
 func (r *Registry) Models() []ModelInfo {
-	entries := r.inner.Models()
+	entries, def := r.inner.SnapshotModels()
 	out := make([]ModelInfo, len(entries))
 	for i, e := range entries {
 		out[i] = ModelInfo{
@@ -130,6 +152,7 @@ func (r *Registry) Models() []ModelInfo {
 			Levels:   e.Encoder.Levels,
 			Features: e.Encoder.Features,
 			Seed:     e.Encoder.Seed,
+			Default:  e.Name == def,
 		}
 	}
 	return out

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"time"
 
 	"privehd/internal/offload"
 )
@@ -29,6 +30,17 @@ var (
 	// ErrBatchTooLarge reports a request exceeding the server's advertised
 	// batch limit.
 	ErrBatchTooLarge = offload.ErrBatchTooLarge
+	// ErrTransport reports a connection-level failure — dial, send,
+	// receive, i/o timeout, or a closed client — as opposed to a typed
+	// protocol rejection. Classification is idempotent, so operations
+	// failing with ErrTransport are safe to retry elsewhere; Pool and
+	// Cluster do exactly that. Errors that do NOT wrap ErrTransport came
+	// from a live server and would repeat on any replica.
+	ErrTransport = offload.ErrTransport
+	// ErrIOTimeout reports that a connection configured with WithIOTimeout
+	// saw no reply progress for the full timeout while requests were in
+	// flight. It always also wraps ErrTransport.
+	ErrIOTimeout = offload.ErrIOTimeout
 )
 
 // ServerOption configures a Server.
@@ -103,6 +115,11 @@ func Serve(ctx context.Context, lis net.Listener, p *Pipeline, opts ...ServerOpt
 
 // Remote is a connection to a Serve/ServeRegistry instance, paired with
 // the local Edge that obfuscates queries before they leave the device.
+// Remotes are safe for concurrent use: the underlying protocol (v4)
+// pipelines requests with per-request IDs over dedicated send/recv
+// goroutines, so concurrent Predict calls share the one connection
+// without waiting on each other's round trips. For a bounded set of
+// reused connections use DialPool; for replica failover use DialCluster.
 type Remote struct {
 	edge   *Edge
 	client *offload.Client
@@ -112,14 +129,34 @@ type Remote struct {
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	model string
+	model     string
+	ioTimeout time.Duration
 }
 
-// ForModel selects which served model the connection binds to (the v3
+// ForModel selects which served model the connection binds to (the v3+
 // handshake carries the name). Without it the server's default model
 // answers. Unknown names are rejected with ErrUnknownModel.
 func ForModel(name string) DialOption {
 	return func(c *dialConfig) { c.model = name }
+}
+
+// WithIOTimeout bounds how long the connection waits for progress: each
+// frame write must complete within d, and whenever requests are in flight
+// a reply must arrive within d of the last one (idle connections never
+// time out). Without it a hung server blocks Predict forever. On expiry
+// every in-flight call fails with an error wrapping ErrIOTimeout. Pools
+// and clusters default this to 30s; a bare Dial defaults to none.
+func WithIOTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.ioTimeout = d }
+}
+
+// clientOpts converts the dial configuration to protocol client options.
+func (c dialConfig) clientOpts() []offload.ClientOption {
+	var opts []offload.ClientOption
+	if c.ioTimeout > 0 {
+		opts = append(opts, offload.WithIOTimeout(c.ioTimeout))
+	}
+	return opts
 }
 
 // Dial connects an edge to a serving pipeline and performs the protocol
@@ -133,7 +170,7 @@ func Dial(ctx context.Context, network, addr string, edge *Edge, opts ...DialOpt
 	for _, o := range opts {
 		o(&cfg)
 	}
-	client, err := offload.Dial(ctx, network, addr, offload.Hello{Dim: edge.Dim(), Model: cfg.model})
+	client, err := offload.Dial(ctx, network, addr, offload.Hello{Dim: edge.Dim(), Model: cfg.model}, cfg.clientOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +184,7 @@ func NewRemote(conn net.Conn, edge *Edge, opts ...DialOption) (*Remote, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	client, err := offload.NewClient(conn, offload.Hello{Dim: edge.Dim(), Model: cfg.model})
+	client, err := offload.NewClient(conn, offload.Hello{Dim: edge.Dim(), Model: cfg.model}, cfg.clientOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +245,18 @@ func (r *Remote) ModelVersion() int { return r.client.ModelVersion() }
 // Edge returns the edge obfuscating this connection's queries — the one
 // passed to Dial, or the auto-configured one DialModel built.
 func (r *Remote) Edge() *Edge { return r.edge }
+
+// ListModels asks the server for its current registry listing — every
+// served model's name, version, geometry and public encoder setup, with
+// the default flagged — so clients can discover models over the wire
+// (protocol v4) instead of through out-of-band configuration.
+func (r *Remote) ListModels() ([]ModelInfo, error) {
+	listings, err := r.client.ListModels()
+	if err != nil {
+		return nil, err
+	}
+	return modelInfosFromListings(listings), nil
+}
 
 // Predict obfuscates one input on the edge and classifies it remotely,
 // returning the predicted label and per-class scores.
