@@ -81,6 +81,19 @@
 //	models, err := cl.ListModels()               // registry discovery over the wire
 //	label, scores, err := cl.Predict(x)          // balanced + failover
 //
+// Scoring runs in the integer domain wherever the query allows it: packed
+// −2…+1 queries (every quantization scheme of the paper) are scored
+// against cache-blocked int8/int16/int32 class planes derived once per
+// model publication — no float64 expansion, no float dot, no per-query
+// heap allocation, and bit-identical results to the float path (see
+// internal/intscore for the exactness argument). Registry entries carry
+// the prepared planes through their RCU snapshots, so hot swaps re-derive
+// them atomically; the serving worker pool, Predict/PredictBatch and
+// PredictVector all use the same engine. CI gates these hot paths against
+// a committed benchmark baseline (BENCH_baseline.json, cmd/benchgate):
+// >20% normalized ns/op regression or any allocation on a zero-alloc path
+// fails the build.
+//
 // LoadDataset serves the paper's synthetic stand-in workloads,
 // Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper
 // analysis, Pipeline.Hardware and the netlist builders expose the §III-D

@@ -28,6 +28,7 @@ import (
 	"privehd/internal/dp"
 	"privehd/internal/hdc"
 	"privehd/internal/hrand"
+	"privehd/internal/intscore"
 	"privehd/internal/prune"
 	"privehd/internal/quant"
 	"privehd/internal/vecmath"
@@ -145,6 +146,7 @@ type Pipeline struct {
 type predictScratch struct {
 	h      []float64 // raw encoding
 	q      []float64 // quantized query
+	packed []int8    // packed-alphabet form of q for the integer engine
 	scores []float64 // per-class similarities
 }
 
@@ -156,6 +158,7 @@ func (p *Pipeline) getScratch() *predictScratch {
 	return &predictScratch{
 		h:      make([]float64, p.cfg.HD.Dim),
 		q:      make([]float64, p.cfg.HD.Dim),
+		packed: make([]int8, p.cfg.HD.Dim),
 		scores: make([]float64, p.model.NumClasses()),
 	}
 }
@@ -366,7 +369,10 @@ func (p *Pipeline) PrepareQuery(x []float64) []float64 {
 
 // Predict classifies one input. The whole encode → quantize → mask → score
 // chain runs on pooled scratch buffers, so the serving hot path does not
-// allocate per query.
+// allocate per query. When the quantized query fits the packed −2…+1
+// alphabet and the model is precomputed, scoring runs on the integer-domain
+// engine (bit-identical to the float path) instead of a float64 dot per
+// class — the same engine the network server scores packed frames with.
 func (p *Pipeline) Predict(x []float64) int {
 	s := p.getScratch()
 	defer p.scratch.Put(s)
@@ -375,7 +381,29 @@ func (p *Pipeline) Predict(x []float64) int {
 	if p.mask != nil {
 		p.mask.Apply(s.q)
 	}
+	if e := p.model.PackedScorer(); e != nil {
+		if pk, ok := intscore.PackInto(s.q, s.packed); ok {
+			return vecmath.ArgMax(e.ScoresPackedInto(pk, s.scores))
+		}
+	}
 	return vecmath.ArgMax(p.model.ScoresInto(s.q, s.scores))
+}
+
+// PredictVector classifies an already-encoded (and possibly obfuscated or
+// hardware-quantized) hypervector on pooled scratch: a vector that fits
+// the packed −2…+1 alphabet is scored on the integer engine exactly like
+// a packed wire frame, anything else takes the float64 path. No pruning
+// mask is applied — the caller's vector is scored as given, matching
+// Model.Predict.
+func (p *Pipeline) PredictVector(h []float64) int {
+	s := p.getScratch()
+	defer p.scratch.Put(s)
+	if e := p.model.PackedScorer(); e != nil {
+		if pk, ok := intscore.PackInto(h, s.packed); ok {
+			return vecmath.ArgMax(e.ScoresPackedInto(pk, s.scores))
+		}
+	}
+	return vecmath.ArgMax(p.model.ScoresInto(h, s.scores))
 }
 
 // Evaluate returns accuracy over the dataset's test split.

@@ -3,7 +3,9 @@ package hdc
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"privehd/internal/intscore"
 	"privehd/internal/vecmath"
 )
 
@@ -17,6 +19,12 @@ type Model struct {
 	counts  []int // training vectors bundled per class, for diagnostics
 	norms   []float64
 	dirty   []bool
+
+	// packed is the integer-domain scoring engine over the class vectors,
+	// derived by Precompute and dropped by any mutation — the same
+	// freshness discipline as the norm caches, but tracked with an atomic
+	// pointer so concurrent readers never see a half-prepared engine.
+	packed atomic.Pointer[intscore.Engine]
 }
 
 // NewModel returns an empty model with the given number of classes and
@@ -55,13 +63,17 @@ func (m *Model) Class(l int) []float64 { return m.classes[l] }
 
 // Invalidate marks class l's cached norm stale after external mutation
 // (pruning and the DP privatizer edit class vectors in place).
-func (m *Model) Invalidate(l int) { m.dirty[l] = true }
+func (m *Model) Invalidate(l int) {
+	m.dirty[l] = true
+	m.packed.Store(nil)
+}
 
 // InvalidateAll marks every cached norm stale.
 func (m *Model) InvalidateAll() {
 	for l := range m.dirty {
 		m.dirty[l] = true
 	}
+	m.packed.Store(nil)
 }
 
 // Add bundles encoding h into class l (Eq. 3 / first half of Eq. 5).
@@ -72,6 +84,7 @@ func (m *Model) Add(l int, h []float64) {
 	vecmath.Add(m.classes[l], h)
 	m.counts[l]++
 	m.dirty[l] = true
+	m.packed.Store(nil)
 }
 
 // Sub removes encoding h from class l (second half of Eq. 5).
@@ -82,6 +95,7 @@ func (m *Model) Sub(l int, h []float64) {
 	vecmath.Sub(m.classes[l], h)
 	m.counts[l]--
 	m.dirty[l] = true
+	m.packed.Store(nil)
 }
 
 // norm returns the cached ℓ2 norm of class l, refreshing it if stale.
@@ -95,14 +109,21 @@ func (m *Model) norm(l int) float64 {
 
 // Precompute refreshes every cached class norm so that subsequent Scores and
 // Predict calls are read-only — a requirement for serving one model from
-// many goroutines. Mutating the model (Add, Sub, Invalidate) after
-// Precompute reintroduces lazy refresh and is not safe concurrently with
-// inference.
+// many goroutines — and derives the integer-domain scoring engine for
+// packed queries (PackedScorer). Mutating the model (Add, Sub, Invalidate)
+// after Precompute reintroduces lazy refresh, drops the engine, and is not
+// safe concurrently with inference.
 func (m *Model) Precompute() {
 	for l := range m.classes {
 		m.norm(l)
 	}
+	m.packed.Store(intscore.Prepare(m.classes))
 }
+
+// PackedScorer returns the integer scoring engine derived by the last
+// Precompute, or nil if the model was mutated (or never precomputed) since.
+// The engine is immutable and safe for concurrent use.
+func (m *Model) PackedScorer() *intscore.Engine { return m.packed.Load() }
 
 // Scores returns the norm-adjusted similarity H·C_l/‖C_l‖ for every class.
 // Per Eq. 4 the query-norm factor is identical across classes and omitted,
@@ -132,6 +153,49 @@ func (m *Model) ScoresInto(h, out []float64) []float64 {
 		out[l] = vecmath.Dot(h, m.classes[l]) / n
 	}
 	return out
+}
+
+// ScoresPackedInto is ScoresInto for a packed small-alphabet query: scores
+// are computed in the integer domain on the engine the last Precompute
+// derived (bit-identical to ScoresInto on the float64 expansion of q — see
+// the intscore package for the exactness argument), without ever expanding
+// the query. On a model mutated since Precompute it falls back to scoring
+// the packed symbols directly against the float class vectors — still no
+// expansion, still bit-identical, but with the lazy norm refresh that makes
+// it unsafe for concurrent use until the next Precompute.
+func (m *Model) ScoresPackedInto(q []int8, out []float64) []float64 {
+	if len(q) != m.dim {
+		panic(ErrDimension)
+	}
+	if len(out) != len(m.classes) {
+		panic(fmt.Sprintf("hdc: ScoresPackedInto buffer has %d slots, model has %d classes",
+			len(out), len(m.classes)))
+	}
+	if e := m.packed.Load(); e != nil {
+		return e.ScoresPackedInto(q, out)
+	}
+	for l := range m.classes {
+		n := m.norm(l)
+		if n == 0 {
+			out[l] = math.Inf(-1)
+			continue
+		}
+		out[l] = intscore.DotPacked(q, m.classes[l]) / n
+	}
+	return out
+}
+
+// PredictPacked returns the label with the highest similarity score for a
+// packed query. On a precomputed model it runs entirely on pooled engine
+// scratch — zero heap allocations per call.
+func (m *Model) PredictPacked(q []int8) int {
+	if len(q) != m.dim {
+		panic(ErrDimension)
+	}
+	if e := m.packed.Load(); e != nil {
+		return e.PredictPacked(q)
+	}
+	return vecmath.ArgMax(m.ScoresPackedInto(q, make([]float64, len(m.classes))))
 }
 
 // Predict returns the label with the highest similarity score for the

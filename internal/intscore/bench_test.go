@@ -1,0 +1,72 @@
+package intscore_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"privehd/internal/hdc"
+	"privehd/internal/intscore"
+)
+
+// benchSetup builds the acceptance geometry: D=4000, 26 classes (ISOLET-
+// shaped), integer class prototypes as bundling produces, and a biased-
+// ternary-shaped packed query.
+func benchSetup() (*hdc.Model, *intscore.Engine, []int8) {
+	const classes, dim = 26, 4000
+	rng := rand.New(rand.NewSource(99))
+	m := hdc.NewModel(classes, dim)
+	raw := make([][]float64, classes)
+	for l := 0; l < classes; l++ {
+		h := make([]float64, dim)
+		for i := range h {
+			h[i] = float64(rng.Intn(801) - 400)
+		}
+		raw[l] = h
+		m.Add(l, h)
+	}
+	m.Precompute()
+	q := make([]int8, dim)
+	for i := range q {
+		// p(0)=1/2, p(±1)=1/4 — the paper-default biased ternary occupancy.
+		switch rng.Intn(4) {
+		case 0:
+			q[i] = 1
+		case 1:
+			q[i] = -1
+		}
+	}
+	return m, intscore.Prepare(raw), q
+}
+
+// BenchmarkScoresPacked compares scoring one packed query against every
+// class on the legacy path (expand to []float64, float64 dot per class —
+// what the server did before the integer engine) and on the integer-domain
+// engine. The engine sub-benchmarks are the zero-alloc serving paths the CI
+// benchmark gate holds at 0 allocs/op.
+func BenchmarkScoresPacked(b *testing.B) {
+	m, e, q := benchSetup()
+	out := make([]float64, m.NumClasses())
+
+	b.Run("float64-expand", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := make([]float64, len(q)) // the per-query expansion the old path paid
+			for j, s := range q {
+				v[j] = float64(s)
+			}
+			m.ScoresInto(v, out)
+		}
+	})
+	b.Run("intscore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.ScoresPackedInto(q, out)
+		}
+	})
+	b.Run("intscore-predict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.PredictPacked(q)
+		}
+	})
+}

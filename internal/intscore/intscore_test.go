@@ -1,0 +1,315 @@
+package intscore_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privehd/internal/hdc"
+	"privehd/internal/intscore"
+	"privehd/internal/quant"
+	"privehd/internal/vecmath"
+)
+
+// refScores is the float64-expansion reference the engine must match: expand
+// the packed query, then compute exactly what hdc.Model.ScoresInto computes
+// (vecmath.Dot / vecmath.Norm2 per class, −Inf for empty classes).
+func refScores(classes [][]float64, q []int8) []float64 {
+	v := make([]float64, len(q))
+	for i, s := range q {
+		v[i] = float64(s)
+	}
+	out := make([]float64, len(classes))
+	for l, c := range classes {
+		n := vecmath.Norm2(c)
+		if n == 0 {
+			out[l] = math.Inf(-1)
+			continue
+		}
+		out[l] = vecmath.Dot(v, c) / n
+	}
+	return out
+}
+
+// alphabets the packed wire can carry, per quantization scheme.
+func alphabets() map[string][]int8 {
+	out := map[string][]int8{}
+	for _, q := range quant.Schemes() {
+		syms := make([]int8, 0, 4)
+		for _, v := range q.Alphabet() {
+			syms = append(syms, int8(v))
+		}
+		out[q.Name()] = syms
+	}
+	return out
+}
+
+// randPacked draws a query over the given alphabet.
+func randPacked(rng *rand.Rand, dim int, alphabet []int8) []int8 {
+	q := make([]int8, dim)
+	for i := range q {
+		q[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return q
+}
+
+// randIntClasses builds integer-valued class prototypes with |v| ≤ mag —
+// what bundling mag/2-ish quantized encodings produces. Class 0 is left
+// all-zero when zeroClass is set, exercising the −Inf path.
+func randIntClasses(rng *rand.Rand, classes, dim int, mag int64, zeroClass bool) [][]float64 {
+	out := make([][]float64, classes)
+	for l := range out {
+		c := make([]float64, dim)
+		if !(zeroClass && l == 0) {
+			for i := range c {
+				c[i] = float64(rng.Int63n(2*mag+1) - mag)
+			}
+		}
+		out[l] = c
+	}
+	return out
+}
+
+// checkClose asserts engine scores match the reference within the documented
+// 1e-9 relative tolerance (the implementation is in fact bit-identical).
+func checkClose(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d scores, want %d", len(got), len(want))
+	}
+	for l := range got {
+		if math.IsInf(want[l], -1) {
+			if !math.IsInf(got[l], -1) {
+				t.Fatalf("class %d: got %v, want -Inf", l, got[l])
+			}
+			continue
+		}
+		tol := 1e-9 * math.Max(1, math.Abs(want[l]))
+		if math.Abs(got[l]-want[l]) > tol {
+			t.Fatalf("class %d: got %v, want %v (diff %g > tol %g)",
+				l, got[l], want[l], got[l]-want[l], tol)
+		}
+	}
+}
+
+// TestEquivalence sweeps geometries that do and do not divide the block
+// size, every packed alphabet, all three plane widths, and zero-norm
+// classes, asserting ScoresPackedInto matches the float64-expansion
+// reference.
+func TestEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := []int{1, 3, 7, 63, 64, 255, 256, 257, 1000, 4001}
+	mags := map[string]int64{"int8": 100, "int16": 30000, "int32": 4_000_000}
+	for name, alphabet := range alphabets() {
+		for _, dim := range dims {
+			for magName, mag := range mags {
+				classes := randIntClasses(rng, 5, dim, mag, true)
+				e := intscore.Prepare(classes)
+				if e.IntegerClasses() != 5 {
+					t.Fatalf("%s dim=%d %s: %d integer classes, want 5", name, dim, magName, e.IntegerClasses())
+				}
+				q := randPacked(rng, dim, alphabet)
+				got := e.ScoresPackedInto(q, make([]float64, len(classes)))
+				checkClose(t, got, refScores(classes, q))
+			}
+		}
+	}
+}
+
+// TestEquivalenceOddBlockSizes re-runs the sweep with block sizes that do
+// not divide the dimension, including pathological ones.
+func TestEquivalenceOddBlockSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range []int{1, 5, 257, 1000} {
+		for _, bd := range []int{1, 3, 7, 256, 1024} {
+			classes := randIntClasses(rng, 4, dim, 500, false)
+			e := intscore.PrepareBlocked(classes, bd)
+			q := randPacked(rng, dim, []int8{-2, -1, 0, 1})
+			got := e.ScoresPackedInto(q, make([]float64, len(classes)))
+			checkClose(t, got, refScores(classes, q))
+		}
+	}
+}
+
+// TestFloatFallbackRows covers models whose class vectors are not integer-
+// valued (a DP-noised release): those classes must fall back to float rows —
+// still scored without expanding the query — and mixed models must score
+// both kinds correctly side by side.
+func TestFloatFallbackRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dim := 513
+	classes := randIntClasses(rng, 6, dim, 1000, true)
+	// Classes 2 and 4 get fractional noise; the rest stay integer.
+	for _, l := range []int{2, 4} {
+		for i := range classes[l] {
+			classes[l][i] += rng.NormFloat64()
+		}
+	}
+	e := intscore.Prepare(classes)
+	if e.IntegerClasses() != 4 {
+		t.Fatalf("IntegerClasses = %d, want 4", e.IntegerClasses())
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randPacked(rng, dim, []int8{-2, -1, 0, 1})
+		got := e.ScoresPackedInto(q, make([]float64, len(classes)))
+		checkClose(t, got, refScores(classes, q))
+	}
+}
+
+// TestBitIdenticalToModel asserts the strongest form of the contract: on a
+// precomputed hdc.Model with integer class vectors, ScoresPackedInto is
+// bit-for-bit identical to ScoresInto on the expanded query.
+func TestBitIdenticalToModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const dim, nclasses = 777, 9
+	m := hdc.NewModel(nclasses, dim)
+	for l := 0; l < nclasses; l++ {
+		for rep := 0; rep < 3; rep++ {
+			h := make([]float64, dim)
+			for i := range h {
+				h[i] = float64(rng.Intn(4) - 2) // −2…+1 quantized encoding
+			}
+			m.Add(l, h)
+		}
+	}
+	m.Precompute()
+	if m.PackedScorer() == nil {
+		t.Fatal("Precompute did not derive a packed scorer")
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := randPacked(rng, dim, []int8{-2, -1, 0, 1})
+		v := make([]float64, dim)
+		for i, s := range q {
+			v[i] = float64(s)
+		}
+		want := m.ScoresInto(v, make([]float64, nclasses))
+		got := m.ScoresPackedInto(q, make([]float64, nclasses))
+		for l := range want {
+			if got[l] != want[l] {
+				t.Fatalf("trial %d class %d: packed %v != float %v", trial, l, got[l], want[l])
+			}
+		}
+		if pl, fl := m.PredictPacked(q), m.Predict(v); pl != fl {
+			t.Fatalf("trial %d: PredictPacked %d != Predict %d", trial, pl, fl)
+		}
+	}
+}
+
+// TestModelMutationDropsScorer asserts the engine follows the norm-cache
+// freshness discipline: any mutation invalidates it, and the fallback path
+// still scores correctly until the next Precompute.
+func TestModelMutationDropsScorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := hdc.NewModel(3, 64)
+	h := make([]float64, 64)
+	for i := range h {
+		h[i] = float64(rng.Intn(3) - 1)
+	}
+	m.Add(1, h)
+	m.Precompute()
+	if m.PackedScorer() == nil {
+		t.Fatal("no scorer after Precompute")
+	}
+	m.Add(2, h)
+	if m.PackedScorer() != nil {
+		t.Fatal("scorer survived Add")
+	}
+	q := randPacked(rng, 64, []int8{-1, 0, 1})
+	classes := [][]float64{m.Class(0), m.Class(1), m.Class(2)}
+	checkClose(t, m.ScoresPackedInto(q, make([]float64, 3)), refScores(classes, q))
+	m.Precompute()
+	if m.PackedScorer() == nil {
+		t.Fatal("no scorer after re-Precompute")
+	}
+	m.InvalidateAll()
+	if m.PackedScorer() != nil {
+		t.Fatal("scorer survived InvalidateAll")
+	}
+}
+
+// TestPlaneWidths pins the width-narrowing logic to the class magnitudes.
+func TestPlaneWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, tc := range []struct {
+		mag  int64
+		bits int
+	}{{100, 8}, {5000, 16}, {1 << 20, 32}} {
+		e := intscore.Prepare(randIntClasses(rng, 2, 128, tc.mag, false))
+		if e.PlaneBits() != tc.bits {
+			t.Fatalf("mag %d: PlaneBits = %d, want %d", tc.mag, e.PlaneBits(), tc.bits)
+		}
+	}
+}
+
+// TestPackInto covers the pack/validate contract both with and without a
+// reusable buffer.
+func TestPackInto(t *testing.T) {
+	ok := []float64{-2, -1, 0, 1, 1, -2}
+	buf := make([]int8, 8)
+	q, packed := intscore.PackInto(ok, buf)
+	if !packed {
+		t.Fatal("valid alphabet rejected")
+	}
+	if len(q) != len(ok) {
+		t.Fatalf("packed length %d, want %d", len(q), len(ok))
+	}
+	if &q[0] != &buf[0] {
+		t.Fatal("PackInto did not reuse the provided buffer")
+	}
+	for i, v := range ok {
+		if float64(q[i]) != v {
+			t.Fatalf("symbol %d: packed %d, want %v", i, q[i], v)
+		}
+	}
+	for _, bad := range [][]float64{{0.5}, {-3}, {2}, {math.NaN()}, {math.Inf(1)}} {
+		if _, packed := intscore.PackInto(bad, nil); packed {
+			t.Fatalf("invalid value %v accepted", bad[0])
+		}
+	}
+	if q, packed := intscore.PackInto(nil, nil); !packed || len(q) != 0 {
+		t.Fatal("empty vector should pack to an empty query")
+	}
+}
+
+// TestZeroAllocScoring pins the hot-path allocation contract: ScoresPacked-
+// Into with a caller buffer and PredictPacked allocate nothing per query.
+func TestZeroAllocScoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	classes := randIntClasses(rng, 26, 4000, 1000, false)
+	e := intscore.Prepare(classes)
+	q := randPacked(rng, 4000, []int8{-2, -1, 0, 1})
+	out := make([]float64, 26)
+	if n := testing.AllocsPerRun(50, func() { e.ScoresPackedInto(q, out) }); n != 0 {
+		t.Fatalf("ScoresPackedInto allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { e.PredictPacked(q) }); n != 0 {
+		t.Fatalf("PredictPacked allocates %v per op, want 0", n)
+	}
+}
+
+// FuzzScoresPacked fuzzes the packed alphabet against the float64-expansion
+// reference on a fixed mixed model (integer planes + one float fallback row
+// + one zero class).
+func FuzzScoresPacked(f *testing.F) {
+	const dim = 97
+	rng := rand.New(rand.NewSource(8))
+	classes := randIntClasses(rng, 4, dim, 2000, true)
+	for i := range classes[3] {
+		classes[3][i] += 0.25 // force one float fallback row
+	}
+	e := intscore.PrepareBlocked(classes, 32)
+	f.Add([]byte{0, 1, 2, 3, 255})
+	f.Add(make([]byte, dim))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := make([]int8, dim)
+		for i := range q {
+			var b byte
+			if len(data) > 0 {
+				b = data[i%len(data)]
+			}
+			q[i] = int8(b%4) - 2 // map every byte into −2…+1
+		}
+		got := e.ScoresPackedInto(q, make([]float64, len(classes)))
+		checkClose(t, got, refScores(classes, q))
+	})
+}

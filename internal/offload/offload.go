@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"privehd/internal/hdc"
+	"privehd/internal/intscore"
 	"privehd/internal/registry"
 	"privehd/internal/vecmath"
 )
@@ -102,10 +103,11 @@ const DefaultMaxBatch = 256
 // MinSymbol and MaxSymbol bound the packed-query alphabet: −2…+1 covers
 // every quantization scheme in the quant package (bipolar, ternary, biased
 // ternary and 2-bit). Servers advertise these bounds in the handshake and
-// reject packed symbols outside them.
+// reject packed symbols outside them. They alias the intscore bounds, since
+// the integer scoring engine is specified over the same alphabet.
 const (
-	MinSymbol int8 = -2
-	MaxSymbol int8 = 1
+	MinSymbol = intscore.MinSymbol
+	MaxSymbol = intscore.MaxSymbol
 )
 
 // Typed protocol failures. Errors returned by Dial, NewClient, Classify and
@@ -244,16 +246,27 @@ type Query struct {
 	Packed []int8
 }
 
-// vector returns the query as float64s regardless of wire form.
-func (q Query) vector() []float64 {
+// vecScratch recycles float64 expansion buffers for the non-hot paths that
+// still need a packed query as a float vector (the wiretap record path); the
+// scoring hot path no longer expands at all.
+var vecScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// vectorInto returns the query as float64s regardless of wire form,
+// expanding packed queries into *buf (grown as needed) instead of
+// allocating per call. The returned slice aliases either q.Vector or *buf
+// and is only valid until the buffer's next use.
+func (q Query) vectorInto(buf *[]float64) []float64 {
 	if q.Vector != nil {
 		return q.Vector
 	}
-	out := make([]float64, len(q.Packed))
-	for i, v := range q.Packed {
-		out[i] = float64(v)
+	if cap(*buf) < len(q.Packed) {
+		*buf = make([]float64, len(q.Packed))
 	}
-	return out
+	v := (*buf)[:len(q.Packed)]
+	for i, s := range q.Packed {
+		v[i] = float64(s)
+	}
+	return v
 }
 
 // PackQuery converts a quantized hypervector to the compact wire form. It
@@ -261,15 +274,7 @@ func (q Query) vector() []float64 {
 // [MinSymbol, MaxSymbol] — i.e. the query was not actually quantized by one
 // of the paper's schemes and must travel full-precision.
 func PackQuery(h []float64) ([]int8, bool) {
-	out := make([]int8, len(h))
-	for i, v := range h {
-		iv := int(v)
-		if float64(iv) != v || iv < int(MinSymbol) || iv > int(MaxSymbol) {
-			return nil, false
-		}
-		out[i] = int8(iv)
-	}
-	return out, true
+	return intscore.PackInto(h, nil)
 }
 
 // Request ops selectable per frame since v4. The zero value is
@@ -423,18 +428,33 @@ func NewRegistryServer(reg *registry.Registry, opts ...ServerOption) *Server {
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // task is one query dispatched to the worker pool: score query against
-// model, store into *out, signal wg.
+// model (packed queries on the registry entry's integer engine), store into
+// *out, signal wg.
 type task struct {
-	model *hdc.Model
-	query Query
-	out   *Result
-	wg    *sync.WaitGroup
+	model  *hdc.Model
+	scorer *intscore.Engine
+	query  Query
+	out    *Result
+	wg     *sync.WaitGroup
 }
 
-// run scores the task's query.
+// run scores the task's query. Packed queries are scored in the integer
+// domain on the entry's prepared planes — no float64 expansion, no float
+// dot — falling back to the model's expansion-free packed path if the entry
+// somehow carries no engine. Vector wins when both wire fields are
+// (ab)used, exactly as answerClassify validated the frame's dimensionality
+// — so a frame carrying a valid Vector plus a wrong-length Packed can
+// never reach the packed scorer and panic a pool worker. The scores slice
+// is the only per-query allocation: it escapes into the Reply.
 func (t task) run() {
-	v := t.query.vector()
-	scores := t.model.Scores(v)
+	scores := make([]float64, t.model.NumClasses())
+	if t.query.Vector != nil {
+		t.model.ScoresInto(t.query.Vector, scores)
+	} else if t.scorer != nil {
+		t.scorer.ScoresPackedInto(t.query.Packed, scores)
+	} else {
+		t.model.ScoresPackedInto(t.query.Packed, scores)
+	}
 	*t.out = Result{Label: vecmath.ArgMax(scores), Scores: scores}
 	t.wg.Done()
 }
@@ -913,9 +933,9 @@ func (s *Server) answerClassify(modelName string, req Request) Reply {
 						i, j, sym, MinSymbol, MaxSymbol)}
 			}
 		}
-		// Effective wire length mirrors q.vector(): Vector wins when both
-		// fields are (ab)used, so a malformed query can never reach a pool
-		// worker with the wrong dimensionality.
+		// Effective wire length mirrors the scoring path: Vector wins when
+		// both fields are (ab)used, so a malformed query can never reach a
+		// pool worker with the wrong dimensionality.
 		n := len(q.Packed)
 		if q.Vector != nil {
 			n = len(q.Vector)
@@ -929,7 +949,7 @@ func (s *Server) answerClassify(modelName string, req Request) Reply {
 	var wg sync.WaitGroup
 	wg.Add(len(req.Queries))
 	for i, q := range req.Queries {
-		s.dispatch(task{model: model, query: q, out: &results[i], wg: &wg})
+		s.dispatch(task{model: model, scorer: entry.Scorer, query: q, out: &results[i], wg: &wg})
 	}
 	wg.Wait()
 	s.mu.Lock()
@@ -1450,13 +1470,18 @@ func Tap(conn net.Conn) (net.Conn, *Wiretap) {
 		if err := dec.Decode(&hello); err != nil {
 			return
 		}
+		// Expand packed queries through one pooled scratch buffer for the
+		// life of the tap (record copies what it keeps) instead of
+		// allocating a fresh float64 vector per observed query.
+		buf := vecScratch.Get().(*[]float64)
+		defer vecScratch.Put(buf)
 		for {
 			var req Request
 			if err := dec.Decode(&req); err != nil {
 				return
 			}
 			for _, q := range req.Queries {
-				tap.record(q.vector())
+				tap.record(q.vectorInto(buf))
 			}
 		}
 	}()

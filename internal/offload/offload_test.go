@@ -994,7 +994,8 @@ func TestWorkerPoolServesManyConnections(t *testing.T) {
 func TestMalformedQueryWithBothWireFormsRejected(t *testing.T) {
 	// A query abusing both wire forms (Vector and Packed set) must get a
 	// typed dimension rejection, never a panic in a pool worker: the
-	// effective length follows q.vector(), which prefers Vector.
+	// effective length prefers Vector, the same precedence task.run scores
+	// with (see TestServerAbusedQueryBothFields for the accepted case).
 	addr, srv, cleanup := startServer(t, labelModel(0))
 	defer cleanup()
 	_, enc, dec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4})

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"privehd/internal/hdc"
+	"privehd/internal/intscore"
 )
 
 // ErrUnknownModel reports a lookup, swap or deregistration of a model name
@@ -71,6 +72,12 @@ type Entry struct {
 	// Model is the served model. The registry precomputes its norm caches
 	// at publication; it must not be mutated afterwards.
 	Model *hdc.Model
+	// Scorer is the integer-domain scoring engine for packed queries,
+	// derived from Model at publication together with the norm caches. It
+	// is immutable like the rest of the entry, so a query that resolved
+	// this entry can never score against half-prepared planes however the
+	// registry changes mid-flight.
+	Scorer *intscore.Engine
 	// Encoder is the model's public encoder setup (may be zero for
 	// bare-model entries).
 	Encoder EncoderInfo
@@ -125,7 +132,8 @@ func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*E
 	if model == nil {
 		return nil, errors.New("registry: model must not be nil")
 	}
-	// Freeze the norm caches so serving goroutines only ever read.
+	// Freeze the norm caches and derive the packed-query integer planes so
+	// serving goroutines only ever read.
 	model.Precompute()
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -133,7 +141,7 @@ func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*E
 	if _, exists := next.entries[name]; exists {
 		return nil, fmt.Errorf("registry: model %q already registered (use Swap to update it)", name)
 	}
-	e := &Entry{Name: name, Version: 1, Model: model, Encoder: info}
+	e := &Entry{Name: name, Version: 1, Model: model, Scorer: model.PackedScorer(), Encoder: info}
 	next.entries[name] = e
 	if next.defaultName == "" {
 		next.defaultName = name
@@ -159,7 +167,7 @@ func (r *Registry) Swap(name string, model *hdc.Model, info EncoderInfo) (*Entry
 	if !exists {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
-	e := &Entry{Name: name, Version: old.Version + 1, Model: model, Encoder: info}
+	e := &Entry{Name: name, Version: old.Version + 1, Model: model, Scorer: model.PackedScorer(), Encoder: info}
 	next.entries[name] = e
 	r.publish(next)
 	return e, nil

@@ -1,0 +1,112 @@
+package registry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"privehd/internal/hdc"
+)
+
+// buildVersioned returns a deterministic integer-valued model for version v:
+// every version has distinct class vectors, so a score vector identifies
+// exactly which publication it was computed against.
+func buildVersioned(v, classes, dim int) *hdc.Model {
+	m := hdc.NewModel(classes, dim)
+	rng := rand.New(rand.NewSource(int64(1000 + v)))
+	for l := 0; l < classes; l++ {
+		h := make([]float64, dim)
+		for i := range h {
+			h[i] = float64(rng.Intn(2001) - 1000)
+		}
+		m.Add(l, h)
+	}
+	return m
+}
+
+// expectedScores computes the reference scores of q against version v's
+// model via the float64 path on a private clone, so the published model's
+// caches are never touched.
+func expectedScores(v, classes, dim int, q []int8) []float64 {
+	m := buildVersioned(v, classes, dim)
+	m.Precompute()
+	x := make([]float64, dim)
+	for i, s := range q {
+		x[i] = float64(s)
+	}
+	return m.ScoresInto(x, make([]float64, classes))
+}
+
+// TestSwapUnderLoadRederivesScorerAtomically hammers a registry with hot
+// swaps while readers score a fixed packed query through each resolved
+// entry's integer engine. Every observed score vector must exactly match
+// one published version — and specifically the version the entry
+// advertises — proving the integer planes are re-derived atomically with
+// the snapshot: no query ever scores against a half-prepared engine or a
+// mix of old and new prototypes. Run under -race in CI.
+func TestSwapUnderLoadRederivesScorerAtomically(t *testing.T) {
+	const (
+		classes  = 4
+		dim      = 512
+		versions = 8
+		swaps    = 300
+		readers  = 8
+	)
+	rng := rand.New(rand.NewSource(9))
+	q := make([]int8, dim)
+	for i := range q {
+		q[i] = int8(rng.Intn(4)) - 2
+	}
+	want := make([][]float64, versions)
+	for v := range want {
+		want[v] = expectedScores(v, classes, dim, q)
+	}
+
+	r := New()
+	if _, err := r.Register("m", buildVersioned(0, classes, dim), EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, classes)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, err := r.Lookup("m")
+				if err != nil {
+					t.Errorf("Lookup: %v", err)
+					return
+				}
+				if e.Scorer == nil {
+					t.Errorf("version %d published without a scorer", e.Version)
+					return
+				}
+				e.Scorer.ScoresPackedInto(q, out)
+				exp := want[(e.Version-1)%versions]
+				for l := range out {
+					if out[l] != exp[l] {
+						t.Errorf("version %d class %d: scored %v, want %v — query saw a half-prepared snapshot",
+							e.Version, l, out[l], exp[l])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for k := 1; k <= swaps; k++ {
+		if _, err := r.Swap("m", buildVersioned(k%versions, classes, dim), EncoderInfo{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -320,7 +320,10 @@ func (p *Pipeline) PredictBatch(X [][]float64) ([]int, error) {
 
 // PredictVector classifies an already-encoded (and possibly obfuscated or
 // hardware-quantized) hypervector against the trained model — what the
-// serving side of the §III-C split does with each offloaded query.
+// serving side of the §III-C split does with each offloaded query. A vector
+// that fits the packed −2…+1 alphabet (any of the paper's quantization
+// schemes) is scored on the integer-domain engine, exactly like a packed
+// frame arriving over the wire; anything else takes the float64 path.
 func (p *Pipeline) PredictVector(h []float64) (int, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -331,7 +334,7 @@ func (p *Pipeline) PredictVector(h []float64) (int, error) {
 	if len(h) != p.cfg.dim {
 		return 0, fmt.Errorf("privehd: PredictVector got dim %d, model dim %d", len(h), p.cfg.dim)
 	}
-	return cp.Model().Predict(h), nil
+	return cp.PredictVector(h), nil
 }
 
 // Evaluate returns accuracy over a labelled sample set.
