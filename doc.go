@@ -81,18 +81,25 @@
 //	models, err := cl.ListModels()               // registry discovery over the wire
 //	label, scores, err := cl.Predict(x)          // balanced + failover
 //
-// Scoring runs in the integer domain wherever the query allows it: packed
-// −2…+1 queries (every quantization scheme of the paper) are scored
-// against cache-blocked int8/int16/int32 class planes derived once per
-// model publication — no float64 expansion, no float dot, no per-query
-// heap allocation, and bit-identical results to the float path (see
-// internal/intscore for the exactness argument). Registry entries carry
+// The whole local hot path runs in the integer domain. Encoding is
+// bit-sliced (internal/encslice): base and level hypervectors stay packed
+// one bit per dimension and both paper encodings are evaluated by
+// carry-save-adder popcount accumulation over transposed bit-planes
+// instead of a per-feature float64 multiply-add — with a fused path that
+// derives the quantized −2…+1 query straight from the integer counts, and
+// a batch kernel that amortizes each pass over the item memory across
+// several rows (training, PredictBatch). Scoring consumes the packed
+// query against cache-blocked int8/int16/int32 class planes derived once
+// per model publication — no float64 expansion, no float dot, no
+// per-query heap allocation, and bit-identical results to the float
+// reference path at every stage (see internal/encslice and
+// internal/intscore for the exactness arguments). Registry entries carry
 // the prepared planes through their RCU snapshots, so hot swaps re-derive
 // them atomically; the serving worker pool, Predict/PredictBatch and
-// PredictVector all use the same engine. CI gates these hot paths against
-// a committed benchmark baseline (BENCH_baseline.json, cmd/benchgate):
-// >20% normalized ns/op regression or any allocation on a zero-alloc path
-// fails the build.
+// PredictVector all use the same engines. CI gates these hot paths —
+// encoder benchmarks included — against a committed benchmark baseline
+// (BENCH_baseline.json, cmd/benchgate): >20% normalized ns/op regression
+// or any allocation on a zero-alloc path fails the build.
 //
 // LoadDataset serves the paper's synthetic stand-in workloads,
 // Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper

@@ -22,13 +22,16 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"privehd/internal/dataset"
 	"privehd/internal/dp"
+	"privehd/internal/encslice"
 	"privehd/internal/hdc"
 	"privehd/internal/hrand"
 	"privehd/internal/intscore"
+	"privehd/internal/par"
 	"privehd/internal/prune"
 	"privehd/internal/quant"
 	"privehd/internal/vecmath"
@@ -135,6 +138,14 @@ type Pipeline struct {
 	mask    *prune.Mask // nil when unpruned
 	report  PrivacyReport
 
+	// packedEnc + scheme enable the fused bit-sliced encode→quantize fast
+	// path: when the configured quantizer maps onto a packed scheme and the
+	// encoder carries an encslice engine, Predict derives the packed −2…+1
+	// query straight from integer popcounts — no float hypervector, no
+	// separate quantization pass. Resolved once at construction.
+	packedEnc hdc.PackedEncoder
+	scheme    encslice.Scheme
+
 	// scratch recycles per-query encode/quantize/score buffers across
 	// Predict calls — the serving hot path answers each query with zero
 	// heap allocations. Buffers are per-goroutine via sync.Pool, so
@@ -160,6 +171,47 @@ func (p *Pipeline) getScratch() *predictScratch {
 		q:      make([]float64, p.cfg.HD.Dim),
 		packed: make([]int8, p.cfg.HD.Dim),
 		scores: make([]float64, p.model.NumClasses()),
+	}
+}
+
+// packedScheme maps a quant scheme onto the engine's fused quantization
+// rule; false means the quantizer has no packed form (Identity, or a
+// custom implementation) and inference must go through the float path.
+func packedScheme(q quant.Quantizer) (encslice.Scheme, bool) {
+	switch q.(type) {
+	case quant.Bipolar:
+		return encslice.SchemeBipolar, true
+	case quant.Ternary:
+		return encslice.SchemeTernary, true
+	case quant.BiasedTernary:
+		return encslice.SchemeBiasedTernary, true
+	case quant.TwoBit:
+		return encslice.SchemeTwoBit, true
+	}
+	return encslice.SchemeNone, false
+}
+
+// initFastPath resolves the fused encode→quantize route once so Predict
+// only pays a nil check per query.
+func (p *Pipeline) initFastPath() {
+	pe, ok := p.encoder.(hdc.PackedEncoder)
+	if !ok {
+		return
+	}
+	s, ok := packedScheme(p.cfg.Quantizer)
+	if !ok {
+		return
+	}
+	p.packedEnc, p.scheme = pe, s
+}
+
+// maskPacked zeroes the pruned dimensions of a packed query — the int8
+// form of mask.Apply, run after quantization exactly like the float path.
+func maskPacked(q []int8, m *prune.Mask) {
+	for j, keep := range m.Keep {
+		if !keep {
+			q[j] = 0
+		}
 	}
 }
 
@@ -199,6 +251,7 @@ func TrainData(cfg Config, X [][]float64, y []int, classes int) (*Pipeline, erro
 	}
 
 	p := &Pipeline{cfg: cfg, encoder: enc, model: model}
+	p.initFastPath()
 	keep := cfg.HD.Dim
 	if cfg.KeepDims > 0 && cfg.KeepDims < cfg.HD.Dim {
 		keep = cfg.KeepDims
@@ -264,7 +317,7 @@ func NewUntrained(cfg Config, classes int) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:     cfg,
 		encoder: enc,
 		model:   hdc.NewModel(classes, cfg.HD.Dim),
@@ -273,7 +326,9 @@ func NewUntrained(cfg Config, classes int) (*Pipeline, error) {
 			Dim:       cfg.HD.Dim,
 			KeptDims:  cfg.HD.Dim,
 		},
-	}, nil
+	}
+	p.initFastPath()
+	return p, nil
 }
 
 // OnlineTrain feeds a stream batch through similarity-weighted single-pass
@@ -339,7 +394,9 @@ func Restore(cfg Config, model *hdc.Model, mask *prune.Mask, report PrivacyRepor
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{cfg: cfg, encoder: enc, model: model, mask: mask, report: report}, nil
+	p := &Pipeline{cfg: cfg, encoder: enc, model: model, mask: mask, report: report}
+	p.initFastPath()
+	return p, nil
 }
 
 // Report returns the pipeline's privacy summary.
@@ -369,13 +426,20 @@ func (p *Pipeline) PrepareQuery(x []float64) []float64 {
 
 // Predict classifies one input. The whole encode → quantize → mask → score
 // chain runs on pooled scratch buffers, so the serving hot path does not
-// allocate per query. When the quantized query fits the packed −2…+1
-// alphabet and the model is precomputed, scoring runs on the integer-domain
-// engine (bit-identical to the float path) instead of a float64 dot per
-// class — the same engine the network server scores packed frames with.
+// allocate per query. With a paper quantizer and an engine-backed encoder
+// the chain never leaves the integer domain: the bit-sliced engine derives
+// the packed −2…+1 query straight from popcounts (no float hypervector, no
+// separate quantization pass) and the integer scoring engine consumes it —
+// both stages bit-identical to the float reference path.
 func (p *Pipeline) Predict(x []float64) int {
 	s := p.getScratch()
 	defer p.scratch.Put(s)
+	if p.packedEnc != nil && p.packedEnc.EncodePackedInto(x, p.scheme, s.packed) {
+		if p.mask != nil {
+			maskPacked(s.packed, p.mask)
+		}
+		return vecmath.ArgMax(p.model.ScoresPackedInto(s.packed, s.scores))
+	}
 	h := hdc.EncodeInto(p.encoder, x, s.h)
 	quant.QuantizeInto(p.cfg.Quantizer, s.q, h)
 	if p.mask != nil {
@@ -387,6 +451,32 @@ func (p *Pipeline) Predict(x []float64) int {
 		}
 	}
 	return vecmath.ArgMax(p.model.ScoresInto(s.q, s.scores))
+}
+
+// PredictBatch classifies every row of X concurrently (workers from the
+// pipeline config; GOMAXPROCS when unset), returning labels in order. Rows
+// are claimed off an atomic cursor and each worker runs the pooled Predict
+// chain, so the batch allocates only the result slice. The model's caches
+// are frozen first (Precompute) so the concurrent scoring is read-only.
+func (p *Pipeline) PredictBatch(X [][]float64) []int {
+	out := make([]int, len(X))
+	if len(X) == 0 {
+		return out
+	}
+	if p.model.PackedScorer() == nil {
+		// Never precomputed, or mutated since: freeze norms (and derive the
+		// integer scorer) so concurrent Predict calls don't race on the
+		// lazy caches.
+		p.model.Precompute()
+	}
+	workers := p.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	par.ForEach(len(X), workers, func(i int) {
+		out[i] = p.Predict(X[i])
+	})
+	return out
 }
 
 // PredictVector classifies an already-encoded (and possibly obfuscated or
@@ -413,19 +503,14 @@ func (p *Pipeline) Evaluate(d *dataset.Dataset) float64 {
 
 // EvaluateData returns accuracy over raw samples and labels.
 func (p *Pipeline) EvaluateData(X [][]float64, y []int) float64 {
-	queries := hdc.EncodeBatch(p.encoder, X, p.cfg.Workers)
+	if len(X) == 0 {
+		return 0
+	}
 	correct := 0
-	for i, raw := range queries {
-		h := p.cfg.Quantizer.Quantize(raw)
-		if p.mask != nil {
-			p.mask.Apply(h)
-		}
-		if p.model.Predict(h) == y[i] {
+	for i, label := range p.PredictBatch(X) {
+		if label == y[i] {
 			correct++
 		}
 	}
-	if len(queries) == 0 {
-		return 0
-	}
-	return float64(correct) / float64(len(queries))
+	return float64(correct) / float64(len(X))
 }

@@ -2,9 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"privehd/internal/encslice"
 	"privehd/internal/hdc"
 	"privehd/internal/hrand"
+	"privehd/internal/par"
 	"privehd/internal/prune"
 	"privehd/internal/quant"
 )
@@ -34,7 +38,12 @@ type EdgeConfig struct {
 type Edge struct {
 	cfg     EdgeConfig
 	encoder hdc.Encoder
-	mask    *prune.Mask // nil when MaskDims == 0
+	// packed is the encoder's fused bit-sliced path, non-nil when the
+	// device can derive the 1-bit query straight from popcounts.
+	packed hdc.PackedEncoder
+	mask   *prune.Mask // nil when MaskDims == 0
+	// scratch pools the packed-query buffer the fused path quantizes into.
+	scratch sync.Pool
 }
 
 // NewEdge builds the edge-side encoder.
@@ -50,6 +59,7 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 		return nil, err
 	}
 	e := &Edge{cfg: cfg, encoder: enc}
+	e.packed, _ = enc.(hdc.PackedEncoder)
 	if cfg.MaskDims > 0 {
 		src := hrand.New(cfg.MaskSeed)
 		e.mask = prune.RandomMask(cfg.HD.Dim, cfg.MaskDims, src.SampleK)
@@ -64,30 +74,56 @@ func (e *Edge) Encoder() hdc.Encoder { return e.encoder }
 func (e *Edge) Mask() *prune.Mask { return e.mask }
 
 // Prepare returns the obfuscated query hypervector for one input — what
-// actually crosses the network.
+// actually crosses the network. A quantizing edge with an engine-backed
+// encoder derives the 1-bit query on the fused bit-sliced path (sign bits
+// straight from integer popcounts, bit-identical to encode-then-quantize);
+// only the returned wire vector is allocated.
 func (e *Edge) Prepare(x []float64) []float64 {
-	h := e.encoder.Encode(x)
-	if e.cfg.Quantize {
-		h = quant.Bipolar{}.Quantize(h)
-	}
+	h := e.prepareUnmasked(x)
 	if e.mask != nil {
 		e.mask.Apply(h)
 	}
 	return h
 }
 
-// PrepareBatch obfuscates a batch of inputs.
-func (e *Edge) PrepareBatch(X [][]float64, workers int) [][]float64 {
-	raw := hdc.EncodeBatch(e.encoder, X, workers)
-	out := make([][]float64, len(raw))
-	for i, h := range raw {
-		if e.cfg.Quantize {
-			h = quant.Bipolar{}.Quantize(h)
-		}
-		if e.mask != nil {
-			h = e.mask.AppliedCopy(h)
-		}
-		out[i] = h
+// prepareUnmasked encodes (and, when configured, 1-bit quantizes) one
+// input into a fresh vector.
+func (e *Edge) prepareUnmasked(x []float64) []float64 {
+	if !e.cfg.Quantize {
+		return e.encoder.Encode(x)
 	}
+	if e.packed != nil {
+		pk := e.getPacked()
+		if e.packed.EncodePackedInto(x, encslice.SchemeBipolar, *pk) {
+			h := make([]float64, e.cfg.HD.Dim)
+			for j, s := range *pk {
+				h[j] = float64(s)
+			}
+			e.scratch.Put(pk)
+			return h
+		}
+		e.scratch.Put(pk)
+	}
+	return quant.Bipolar{}.Quantize(e.encoder.Encode(x))
+}
+
+func (e *Edge) getPacked() *[]int8 {
+	if p, ok := e.scratch.Get().(*[]int8); ok {
+		return p
+	}
+	s := make([]int8, e.cfg.HD.Dim)
+	return &s
+}
+
+// PrepareBatch obfuscates a batch of inputs, spreading Prepare over
+// workers (<=0 selects GOMAXPROCS) with rows claimed off an atomic cursor.
+func (e *Edge) PrepareBatch(X [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(X))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	par.ForEach(len(X), workers, func(i int) {
+		out[i] = e.Prepare(X[i])
+	})
 	return out
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"privehd/internal/dp"
+	"privehd/internal/hdc"
+	"privehd/internal/hrand"
+	"privehd/internal/quant"
+)
+
+// fastPathConfigs crosses encodings × paper quantizers × pruning × DP —
+// every combination the fused bit-sliced Predict path must match the float
+// reference chain on, bit for bit.
+func fastPathConfigs() []Config {
+	var out []Config
+	for _, enc := range []Encoding{EncodingLevel, EncodingScalar} {
+		for _, q := range []quant.Quantizer{
+			quant.Bipolar{}, quant.Ternary{}, quant.BiasedTernary{}, quant.TwoBit{}, quant.Identity{},
+		} {
+			cfg := Config{
+				HD:        hdc.Config{Dim: 450, Features: 19, Levels: 12, Seed: 77},
+				Encoding:  enc,
+				Quantizer: q,
+			}
+			out = append(out, cfg)
+			pruned := cfg
+			pruned.KeepDims = 300
+			pruned.RetrainEpochs = 1
+			out = append(out, pruned)
+			noised := cfg
+			noised.DP = &dp.Params{Epsilon: 2, Delta: 1e-5}
+			out = append(out, noised)
+		}
+	}
+	return out
+}
+
+func fastPathData(features int) ([][]float64, []int) {
+	src := hrand.New(99)
+	const samples, classes = 40, 5
+	X := make([][]float64, samples)
+	y := make([]int, samples)
+	for i := range X {
+		x := make([]float64, features)
+		for k := range x {
+			x[k] = src.Float64()
+		}
+		X[i] = x
+		y[i] = i % classes
+	}
+	return X, y
+}
+
+// TestPredictFusedMatchesFloatChain pins the acceptance contract: Predict's
+// fused integer-domain chain classifies exactly like the float reference
+// chain (PrepareQuery + Model.Predict) for every quantizer, pruned or not,
+// DP-noised or not, on both encodings and on precomputed and lazily-normed
+// models alike.
+func TestPredictFusedMatchesFloatChain(t *testing.T) {
+	for _, cfg := range fastPathConfigs() {
+		X, y := fastPathData(cfg.HD.Features)
+		p, err := TrainData(cfg, X, y, 5)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		check := func(stage string) {
+			for i, x := range X {
+				want := p.Model().Predict(p.PrepareQuery(x))
+				if got := p.Predict(x); got != want {
+					t.Fatalf("%s %s/%s sample %d: fused Predict %d, float chain %d",
+						stage, cfg.Quantizer.Name(), encName(cfg.Encoding), i, got, want)
+				}
+			}
+		}
+		check("lazy") // no Precompute: packed scoring falls back to DotPacked rows
+		p.Model().Precompute()
+		check("precomputed")
+	}
+}
+
+func encName(e Encoding) string {
+	if e == EncodingScalar {
+		return "scalar"
+	}
+	return "level"
+}
+
+// TestPredictBatchMatchesPredict checks the atomic-cursor batch dispatch
+// returns exactly the sequential labels, at worker counts above and below
+// the row count.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	cfg := Config{
+		HD:        hdc.Config{Dim: 300, Features: 17, Levels: 8, Seed: 3},
+		Encoding:  EncodingLevel,
+		Quantizer: quant.BiasedTernary{},
+	}
+	X, y := fastPathData(cfg.HD.Features)
+	for _, workers := range []int{0, 1, 3, 64} {
+		cfg.Workers = workers
+		p, err := TrainData(cfg, X, y, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.PredictBatch(X)
+		for i, x := range X {
+			if want := p.Predict(x); got[i] != want {
+				t.Fatalf("workers=%d sample %d: batch %d, sequential %d", workers, i, got[i], want)
+			}
+		}
+	}
+	// Empty batch must not touch the model.
+	p, err := TrainData(cfg, X, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.PredictBatch(nil); len(out) != 0 {
+		t.Fatalf("PredictBatch(nil) returned %v", out)
+	}
+}
+
+// TestEdgePrepareFusedMatchesReference checks the edge's fused 1-bit path
+// against encode-then-quantize-then-mask done by hand, with and without
+// dimension masking, on both encodings.
+func TestEdgePrepareFusedMatchesReference(t *testing.T) {
+	for _, enc := range []Encoding{EncodingLevel, EncodingScalar} {
+		for _, maskDims := range []int{0, 100} {
+			e, err := NewEdge(EdgeConfig{
+				HD:       hdc.Config{Dim: 310, Features: 21, Levels: 10, Seed: 8},
+				Encoding: enc,
+				Quantize: true,
+				MaskDims: maskDims,
+				MaskSeed: 9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			X, _ := fastPathData(21)
+			for i, x := range X[:8] {
+				want := quant.Bipolar{}.Quantize(e.Encoder().Encode(x))
+				if m := e.Mask(); m != nil {
+					m.Apply(want)
+				}
+				got := e.Prepare(x)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("enc=%v mask=%d sample %d dim %d: fused %v, reference %v",
+							enc, maskDims, i, j, got[j], want[j])
+					}
+				}
+			}
+			// PrepareBatch must agree with Prepare row by row.
+			batch := e.PrepareBatch(X, 3)
+			for i, x := range X {
+				want := e.Prepare(x)
+				for j := range want {
+					if batch[i][j] != want[j] {
+						t.Fatalf("batch sample %d dim %d mismatch", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictZeroAllocs pins the serving contract: the fused Predict chain
+// allocates nothing per query once the pools are warm.
+func TestPredictZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under the race detector")
+	}
+	for _, q := range []quant.Quantizer{quant.Bipolar{}, quant.BiasedTernary{}, quant.TwoBit{}} {
+		cfg := Config{
+			HD:        hdc.Config{Dim: 512, Features: 33, Levels: 16, Seed: 5},
+			Encoding:  EncodingLevel,
+			Quantizer: q,
+		}
+		X, y := fastPathData(cfg.HD.Features)
+		p, err := TrainData(cfg, X, y, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Model().Precompute()
+		x := X[0]
+		p.Predict(x) // warm the pools
+		p.Predict(x)
+		if n := testing.AllocsPerRun(50, func() { p.Predict(x) }); n != 0 {
+			t.Errorf("%s: Predict allocates %v per run", q.Name(), n)
+		}
+	}
+}

@@ -1,0 +1,649 @@
+// Package encslice is the bit-sliced encoding engine: it evaluates the two
+// paper encodings (Eq. 2a/2b) entirely in the bit domain, replacing the
+// per-feature float64 multiply-add over all D dimensions with carry-save-
+// adder (Harley–Seal-style) popcount accumulation over packed bit-planes —
+// the software form of the paper's FPGA mapping, where every Eq. 2b partial
+// product is one XNOR and the accumulation is an adder tree (Fig. 7).
+//
+// # Representation
+//
+// Base and level hypervectors are ±1 bipolar vectors packed one bit per
+// dimension (bit=1 ⇔ +1, the bitvec convention). The engine stores them
+// word-major ("transposed"): word w of every base vector is contiguous, so
+// the per-word kernels stream one 64-dimension column of the whole item
+// memory with unit stride, and a multi-query batch reuses each column while
+// it is hot in cache.
+//
+// # Counting
+//
+// For 64 dimensions at a time the engine counts, per bit lane, how many of
+// the F partial-product planes have the bit set. Planes are consumed eight
+// at a time through a CSA tree into one-weight/two-weight/four-weight
+// bit-slices; each tree emits a single eight-weight carry word that ripples
+// into a small stack of higher-order counter planes. After all planes are
+// absorbed, lane j's count is simply the binary number assembled from the
+// slices:
+//
+//	cnt(j) = ones_j + 2·twos_j + 4·fours_j + 8·eights_j + 16·Σ_l hi[l]_j·2^l
+//
+// Every addition is a 64-lane bitwise operation, so the amortized cost is a
+// handful of word ops per feature per 64 dimensions — versus 64 float64
+// multiply-adds on the float path.
+//
+// # The two encodings
+//
+// Level (Eq. 2b): plane k is L_{v_k} ⊙ B_k (XNOR of the packed words) and
+// h[j] = 2·cnt[j] − F exactly — identical to the reference float loop,
+// which only ever adds ±1 terms and is therefore exact integer arithmetic
+// in float64.
+//
+// Scalar (Eq. 2a): h[j] = Σ_k f(v_k)·B_k[j] with f(v) = lv/(ℓ−1) for the
+// integer level index lv. The engine groups features by the binary digits
+// of lv — group p holds the features whose level index has bit p set — and
+// CSA-counts each group's base planes:
+//
+//	(ℓ−1)·h[j] = Σ_p 2^p · (2·cnt_p[j] − |S_p|)
+//
+// The numerator is exact integer math (Σ_k lv_k·(±1), bounded well below
+// 2^53), finished by a single float64 division by ℓ−1. Grouping by digit
+// needs only ⌈log2 ℓ⌉ counting passes instead of one per distinct level
+// value, while computing the same Σ_f f·(2·cnt_f[j] − |S_f|) sum.
+//
+// # Fused quantization
+//
+// Serving's Predict path needs only the quantized −2…+1 query, so
+// EncodePackedInto derives it straight from the integer numerators without
+// materializing a float hypervector: the quantizers' sign and rank rules
+// commute with the strictly monotone map n ↦ n/(ℓ−1) (distinct integers in
+// range never collide after the division), so ranking the integers with the
+// same tie-by-index order produces output bit-identical to running
+// quant.QuantizeInto on the float encoding.
+//
+// Engines are immutable after construction and safe for concurrent use;
+// per-call working sets come from an internal sync.Pool, so the encoding
+// hot paths allocate nothing.
+package encslice
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Scheme selects the fused quantization rule of EncodePackedInto. The
+// values mirror the quant package's paper schemes; callers map their
+// quantizer onto a Scheme (SchemeNone disables the fused path).
+type Scheme int
+
+const (
+	// SchemeNone marks "no fused quantization available".
+	SchemeNone Scheme = iota
+	// SchemeBipolar is sign quantization onto {−1,+1} (zero maps to +1).
+	SchemeBipolar
+	// SchemeTernary zeroes the ⌊D/3⌋ smallest-magnitude dimensions.
+	SchemeTernary
+	// SchemeBiasedTernary zeroes the ⌊D/2⌋ smallest-magnitude dimensions.
+	SchemeBiasedTernary
+	// SchemeTwoBit maps value-rank quartiles onto {−2,−1,0,+1}.
+	SchemeTwoBit
+)
+
+// Engine limits: level indices travel as uint16, counts and scalar
+// numerators as int32, and the high counter stack is a fixed array.
+const (
+	maxLevels   = 1 << 16
+	maxFeatures = 1 << 20
+	hiPlanes    = 16 // features < 2^20 ⇒ at most 16 planes above eights
+)
+
+// Engine encodes queries for one fixed item (and, in level mode, level)
+// memory. It is immutable after construction and safe for concurrent use.
+type Engine struct {
+	dim      int
+	features int
+	levels   int
+	words    int // ⌈dim/64⌉
+
+	scalar  bool
+	denom   float64 // ℓ−1 as float64; scalar-mode divisor
+	maxBits int     // scalar: bits.Len(ℓ−1), number of digit groups
+	hi      int     // high counter planes needed for counts ≤ features
+
+	// baseT[w*features+k] is word w of base hypervector k; lvlT (level mode
+	// only) is the same layout over the ℓ level hypervectors. Tail bits
+	// beyond dim are never extracted, so their content is irrelevant.
+	baseT []uint64
+	lvlT  []uint64
+
+	scratch sync.Pool
+}
+
+// scratch is one call's pooled working set.
+type scratch struct {
+	v     []int32  // per-dimension integer numerators
+	keys  []uint32 // radix-rank sort keys
+	idx   []int    // rank buffer for the fused quantizers
+	tmp   []int    // radix-rank scatter buffer
+	lists []uint16 // scalar: concatenated digit-group feature lists
+	off   []int    // scalar: maxBits+1 offsets into lists
+}
+
+// planes is the per-word CSA accumulator state: lane j's plane count is the
+// binary number ones_j | twos_j<<1 | fours_j<<2 | eights_j<<3 | hi[l]_j<<(4+l).
+type planes struct {
+	ones, twos, fours, eights uint64
+	hi                        [hiPlanes]uint64
+}
+
+// counts reads the first nd lane counts off the counter slices into dst;
+// hiN is the engine's high-plane depth. This is the single read-off used
+// by every kernel, so the counter representation is interpreted in exactly
+// one place.
+func (pl *planes) counts(dst *[64]int32, nd, hiN int) {
+	for b := 0; b < nd; b++ {
+		dst[b] = int32(pl.ones>>b&1) |
+			int32(pl.twos>>b&1)<<1 |
+			int32(pl.fours>>b&1)<<2 |
+			int32(pl.eights>>b&1)<<3
+	}
+	for l := 0; l < hiN; l++ {
+		w := pl.hi[l]
+		for b := 0; b < nd; b++ {
+			dst[b] |= int32(w>>b&1) << (4 + l)
+		}
+	}
+}
+
+// NewLevel builds an Eq. 2b engine from packed word slices: base[k] and
+// level[i] are the bitvec words (64 dims per word, bit=1 ⇔ +1) of base
+// hypervector k and level hypervector i. The words are copied into the
+// engine's transposed layout; callers may mutate theirs afterwards.
+func NewLevel(dim int, base, level [][]uint64) (*Engine, error) {
+	e, err := newEngine(dim, len(base), len(level), false)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.fill(e.baseT, base, "base"); err != nil {
+		return nil, err
+	}
+	if err := e.fill(e.lvlT, level, "level"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewScalar builds an Eq. 2a engine over the given packed base vectors and
+// quantization level count.
+func NewScalar(dim, levels int, base [][]uint64) (*Engine, error) {
+	e, err := newEngine(dim, len(base), levels, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.fill(e.baseT, base, "base"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func newEngine(dim, features, levels int, scalar bool) (*Engine, error) {
+	switch {
+	case dim <= 0:
+		return nil, fmt.Errorf("encslice: dim must be positive, got %d", dim)
+	case features <= 0:
+		return nil, fmt.Errorf("encslice: need at least one base vector")
+	case features >= maxFeatures:
+		return nil, fmt.Errorf("encslice: %d features exceeds the engine limit %d", features, maxFeatures)
+	case levels < 2:
+		return nil, fmt.Errorf("encslice: need at least 2 levels, got %d", levels)
+	case levels > maxLevels:
+		return nil, fmt.Errorf("encslice: %d levels exceeds the engine limit %d", levels, maxLevels)
+	}
+	if scalar && features > math.MaxInt32/(levels-1) {
+		// The scalar numerator Σ lv_k·(±1) must fit int32.
+		return nil, fmt.Errorf("encslice: features×(levels-1) = %d×%d overflows the integer numerator", features, levels-1)
+	}
+	if scalar && features > maxLevels {
+		// The scalar digit-group lists index features as uint16.
+		return nil, fmt.Errorf("encslice: %d features exceeds the scalar-mode limit %d", features, maxLevels)
+	}
+	hi := bits.Len(uint(features)) - 4
+	if hi < 0 {
+		hi = 0
+	}
+	e := &Engine{
+		dim:      dim,
+		features: features,
+		levels:   levels,
+		words:    (dim + 63) / 64,
+		scalar:   scalar,
+		denom:    float64(levels - 1),
+		maxBits:  bits.Len(uint(levels - 1)),
+		hi:       hi,
+	}
+	e.baseT = make([]uint64, e.words*features)
+	if !scalar {
+		e.lvlT = make([]uint64, e.words*levels)
+	}
+	return e, nil
+}
+
+// fill transposes packed vectors into dst's word-major layout.
+func (e *Engine) fill(dst []uint64, vecs [][]uint64, what string) error {
+	n := len(vecs)
+	for i, v := range vecs {
+		if len(v) != e.words {
+			return fmt.Errorf("encslice: %s vector %d has %d words, want %d", what, i, len(v), e.words)
+		}
+		for w, word := range v {
+			dst[w*n+i] = word
+		}
+	}
+	return nil
+}
+
+// Dim returns the hypervector dimensionality D_hv.
+func (e *Engine) Dim() int { return e.dim }
+
+// Features returns the input dimensionality D_iv.
+func (e *Engine) Features() int { return e.features }
+
+// Levels returns the quantization level count ℓ_iv.
+func (e *Engine) Levels() int { return e.levels }
+
+func (e *Engine) get() *scratch {
+	if s, ok := e.scratch.Get().(*scratch); ok {
+		return s
+	}
+	s := &scratch{
+		v:    make([]int32, e.dim),
+		keys: make([]uint32, e.dim),
+		idx:  make([]int, e.dim),
+		tmp:  make([]int, e.dim),
+	}
+	if e.scalar {
+		s.lists = make([]uint16, e.features*e.maxBits)
+		s.off = make([]int, e.maxBits+1)
+	}
+	return s
+}
+
+func (e *Engine) checkLvi(lvi []uint16) {
+	if len(lvi) != e.features {
+		panic(fmt.Sprintf("encslice: got %d level indices, engine has %d features", len(lvi), e.features))
+	}
+}
+
+// EncodeInto writes the encoding determined by the per-feature level
+// indices into h (length Dim). Level indices must be < Levels; out-of-range
+// indices panic. The result is exact: bit-identical to the reference Eq. 2b
+// float loop, and equal to the exactly-evaluated Eq. 2a sum (a single
+// float64 division of the integer numerator by ℓ−1) in scalar mode.
+func (e *Engine) EncodeInto(lvi []uint16, h []float64) {
+	e.checkLvi(lvi)
+	if len(h) != e.dim {
+		panic(fmt.Sprintf("encslice: EncodeInto buffer has dim %d, want %d", len(h), e.dim))
+	}
+	s := e.get()
+	e.countsInto(lvi, s)
+	if e.scalar {
+		for j, n := range s.v {
+			h[j] = float64(n) / e.denom
+		}
+	} else {
+		for j, n := range s.v {
+			h[j] = float64(n)
+		}
+	}
+	e.scratch.Put(s)
+}
+
+// EncodeBatchInto encodes `rows` queries at once: lvi holds rows×Features
+// level indices (row-major) and h receives rows×Dim encodings (row-major).
+// In level mode the kernel walks the transposed item memory word-column by
+// word-column with the rows innermost, so each 64-dimension column of every
+// base vector is loaded once per batch instead of once per query. Scalar
+// rows are encoded one at a time (their digit groups differ per row, so
+// there is no shared pass to amortize).
+func (e *Engine) EncodeBatchInto(lvi []uint16, rows int, h []float64) {
+	if rows <= 0 {
+		return
+	}
+	if len(lvi) != rows*e.features {
+		panic(fmt.Sprintf("encslice: batch has %d level indices, want %d×%d", len(lvi), rows, e.features))
+	}
+	if len(h) != rows*e.dim {
+		panic(fmt.Sprintf("encslice: batch buffer has %d values, want %d×%d", len(h), rows, e.dim))
+	}
+	if e.scalar {
+		for r := 0; r < rows; r++ {
+			e.EncodeInto(lvi[r*e.features:(r+1)*e.features], h[r*e.dim:(r+1)*e.dim])
+		}
+		return
+	}
+	F, L, dim := e.features, e.levels, e.dim
+	for w := 0; w < e.words; w++ {
+		bw := e.baseT[w*F : w*F+F]
+		lw := e.lvlT[w*L : w*L+L]
+		off := w * 64
+		nd := dim - off
+		if nd > 64 {
+			nd = 64
+		}
+		var cnt [64]int32
+		for r := 0; r < rows; r++ {
+			pl := accumXnor(bw, lw, lvi[r*F:(r+1)*F])
+			pl.counts(&cnt, nd, e.hi)
+			row := h[r*dim+off:]
+			for b := 0; b < nd; b++ {
+				row[b] = float64(2*cnt[b] - int32(F))
+			}
+		}
+	}
+}
+
+// EncodePackedInto fuses encode and quantize: it derives the packed −2…+1
+// query for the given scheme straight from the integer counts, never
+// materializing the float encoding — the Predict hot path's form. Output is
+// bit-identical to encoding with EncodeInto and quantizing the float result
+// with the corresponding quant scheme.
+func (e *Engine) EncodePackedInto(lvi []uint16, scheme Scheme, dst []int8) {
+	e.checkLvi(lvi)
+	if len(dst) != e.dim {
+		panic(fmt.Sprintf("encslice: EncodePackedInto buffer has dim %d, want %d", len(dst), e.dim))
+	}
+	s := e.get()
+	e.countsInto(lvi, s)
+	quantizeInts(s, scheme, dst)
+	e.scratch.Put(s)
+}
+
+// countsInto fills s.v with the per-dimension integer numerators:
+// 2·cnt − F in level mode, Σ_k lv_k·(±1) in scalar mode.
+func (e *Engine) countsInto(lvi []uint16, s *scratch) {
+	if e.scalar {
+		e.countsScalar(lvi, s)
+	} else {
+		e.countsLevel(lvi, s.v)
+	}
+}
+
+func (e *Engine) countsLevel(lvi []uint16, v []int32) {
+	F, L, dim := e.features, e.levels, e.dim
+	var cnt [64]int32
+	for w := 0; w < e.words; w++ {
+		pl := accumXnor(e.baseT[w*F:w*F+F], e.lvlT[w*L:w*L+L], lvi)
+		off := w * 64
+		nd := dim - off
+		if nd > 64 {
+			nd = 64
+		}
+		pl.counts(&cnt, nd, e.hi)
+		for b := 0; b < nd; b++ {
+			v[off+b] = 2*cnt[b] - int32(F)
+		}
+	}
+}
+
+func (e *Engine) countsScalar(lvi []uint16, s *scratch) {
+	F, dim, mb := e.features, e.dim, e.maxBits
+	// Partition features into digit groups once per query (shared by every
+	// word column): group p lists the features whose level index has bit p
+	// set. Level-0 features have no set bits and — like the reference
+	// loop's `if f == 0 continue` — cost nothing anywhere below.
+	var m [maxLevelBits]int
+	for _, lv := range lvi {
+		for p := 0; p < mb; p++ {
+			m[p] += int(lv >> p & 1)
+		}
+	}
+	s.off[0] = 0
+	var cursor [maxLevelBits]int
+	for p := 0; p < mb; p++ {
+		cursor[p] = s.off[p]
+		s.off[p+1] = s.off[p] + m[p]
+	}
+	for k, lv := range lvi {
+		for p := 0; p < mb; p++ {
+			if lv>>p&1 == 1 {
+				s.lists[cursor[p]] = uint16(k)
+				cursor[p]++
+			}
+		}
+	}
+	for w := 0; w < e.words; w++ {
+		bw := e.baseT[w*F : w*F+F]
+		off := w * 64
+		nd := dim - off
+		if nd > 64 {
+			nd = 64
+		}
+		var n, cnt [64]int32
+		for p := 0; p < mb; p++ {
+			list := s.lists[s.off[p]:s.off[p+1]]
+			if len(list) == 0 {
+				continue
+			}
+			pl := accumList(bw, list)
+			pl.counts(&cnt, nd, e.hi)
+			mp := int32(len(list))
+			for b := 0; b < nd; b++ {
+				n[b] += (2*cnt[b] - mp) << p
+			}
+		}
+		copy(s.v[off:off+nd], n[:nd])
+	}
+}
+
+// maxLevelBits bounds maxBits: levels ≤ 2^16 ⇒ level indices have ≤ 16 bits.
+const maxLevelBits = 16
+
+// accumXnor absorbs the F planes ^(lw[lvi[k]] ^ bw[k]) — the packed Eq. 2b
+// partial products over one 64-dimension word column — into CSA counter
+// slices. Planes are consumed eight at a time: a carry-save tree compresses
+// them into the ones/twos/fours slices and one eight-weight carry that
+// ripples into the high counter stack; leftovers ripple in individually.
+func accumXnor(bw, lw []uint64, lvi []uint16) (pl planes) {
+	F := len(bw)
+	k := 0
+	for ; k+8 <= F; k += 8 {
+		x0 := ^(lw[lvi[k]] ^ bw[k])
+		x1 := ^(lw[lvi[k+1]] ^ bw[k+1])
+		x2 := ^(lw[lvi[k+2]] ^ bw[k+2])
+		x3 := ^(lw[lvi[k+3]] ^ bw[k+3])
+		x4 := ^(lw[lvi[k+4]] ^ bw[k+4])
+		x5 := ^(lw[lvi[k+5]] ^ bw[k+5])
+		x6 := ^(lw[lvi[k+6]] ^ bw[k+6])
+		x7 := ^(lw[lvi[k+7]] ^ bw[k+7])
+		pl.add8(x0, x1, x2, x3, x4, x5, x6, x7)
+	}
+	for ; k < F; k++ {
+		pl.add1(^(lw[lvi[k]] ^ bw[k]))
+	}
+	return pl
+}
+
+// accumList is accumXnor for scalar digit groups: the planes are the base
+// vectors themselves, selected by the group's feature list.
+func accumList(bw []uint64, list []uint16) (pl planes) {
+	i := 0
+	for ; i+8 <= len(list); i += 8 {
+		pl.add8(
+			bw[list[i]], bw[list[i+1]], bw[list[i+2]], bw[list[i+3]],
+			bw[list[i+4]], bw[list[i+5]], bw[list[i+6]], bw[list[i+7]])
+	}
+	for ; i < len(list); i++ {
+		pl.add1(bw[list[i]])
+	}
+	return pl
+}
+
+// add8 absorbs eight planes through a carry-save adder tree: three CSA
+// layers compress them against the running ones/twos/fours slices, emitting
+// one eight-weight carry word that ripples into eights and the high stack.
+// Each CSA is sum = a⊕b⊕c, carry = maj(a,b,c), evaluated lane-wise over 64
+// dimensions at once.
+func (pl *planes) add8(x0, x1, x2, x3, x4, x5, x6, x7 uint64) {
+	u := pl.ones ^ x0
+	t0 := (pl.ones & x0) | (u & x1)
+	pl.ones = u ^ x1
+	u = pl.ones ^ x2
+	t1 := (pl.ones & x2) | (u & x3)
+	pl.ones = u ^ x3
+	u = pl.twos ^ t0
+	f0 := (pl.twos & t0) | (u & t1)
+	pl.twos = u ^ t1
+
+	u = pl.ones ^ x4
+	t0 = (pl.ones & x4) | (u & x5)
+	pl.ones = u ^ x5
+	u = pl.ones ^ x6
+	t1 = (pl.ones & x6) | (u & x7)
+	pl.ones = u ^ x7
+	u = pl.twos ^ t0
+	f1 := (pl.twos & t0) | (u & t1)
+	pl.twos = u ^ t1
+
+	u = pl.fours ^ f0
+	e0 := (pl.fours & f0) | (u & f1)
+	pl.fours = u ^ f1
+
+	carry := pl.eights & e0
+	pl.eights ^= e0
+	for l := 0; carry != 0; l++ {
+		pl.hi[l], carry = pl.hi[l]^carry, pl.hi[l]&carry
+	}
+}
+
+// add1 absorbs a single plane by rippling it up the counter slices.
+func (pl *planes) add1(x uint64) {
+	pl.ones, x = pl.ones^x, pl.ones&x
+	pl.twos, x = pl.twos^x, pl.twos&x
+	pl.fours, x = pl.fours^x, pl.fours&x
+	pl.eights, x = pl.eights^x, pl.eights&x
+	for l := 0; x != 0; l++ {
+		pl.hi[l], x = pl.hi[l]^x, pl.hi[l]&x
+	}
+}
+
+// quantizeInts maps the integer numerators onto the scheme's packed
+// alphabet, mirroring quant.QuantizeInto on the float encoding exactly: the
+// numerator-to-float map is strictly monotone (and zero-preserving), so
+// sign tests and rank orders — including the tie-by-index rule — coincide.
+func quantizeInts(s *scratch, scheme Scheme, dst []int8) {
+	v := s.v
+	switch scheme {
+	case SchemeBipolar:
+		for j, n := range v {
+			if n >= 0 {
+				dst[j] = 1
+			} else {
+				dst[j] = -1
+			}
+		}
+	case SchemeTernary, SchemeBiasedTernary:
+		frac := 1.0 / 3.0
+		if scheme == SchemeBiasedTernary {
+			frac = 0.5
+		}
+		// Same expression as quant.ternaryQuantizeInto's zero count, so the
+		// split index matches bit for bit.
+		nz := int(frac * float64(len(v)))
+		idx := s.rankInts(true)
+		for r, i := range idx {
+			x := v[i]
+			switch {
+			case r < nz || x == 0:
+				dst[i] = 0
+			case x > 0:
+				dst[i] = 1
+			default:
+				dst[i] = -1
+			}
+		}
+	case SchemeTwoBit:
+		idx := s.rankInts(false)
+		n := len(v)
+		symbols := [4]int8{-2, -1, 0, 1}
+		for r, i := range idx {
+			dst[i] = symbols[4*r/n]
+		}
+	default:
+		panic(fmt.Sprintf("encslice: unknown quantization scheme %d", scheme))
+	}
+}
+
+// radixBits is the LSD radix-rank digit width: 2^11 buckets keep the
+// histogram small while one pass covers the whole key range of a level-mode
+// encoding (|2·cnt − F| ≤ F).
+const radixBits = 11
+
+// rankInts orders the numerators ascending — by |v| when byAbs, by value
+// otherwise — with ties broken by index, and returns the index permutation.
+// This is the same total order vecmath.AbsRankInto/RankInto impose on the
+// float encoding, computed by a stable LSD radix sort instead of a
+// comparison sort: keys are rebased to [0, max−min] so a level-mode query
+// sorts in a single counting pass, and stability preserves the ascending
+// index order within equal keys.
+func (s *scratch) rankInts(byAbs bool) []int {
+	v, keys := s.v, s.keys
+	var maxKey uint32
+	if byAbs {
+		for j, x := range v {
+			if x < 0 {
+				x = -x
+			}
+			k := uint32(x)
+			keys[j] = k
+			if k > maxKey {
+				maxKey = k
+			}
+		}
+	} else {
+		minV := v[0]
+		for _, x := range v {
+			if x < minV {
+				minV = x
+			}
+		}
+		for j, x := range v {
+			k := uint32(x - minV)
+			keys[j] = k
+			if k > maxKey {
+				maxKey = k
+			}
+		}
+	}
+	idx, tmp := s.idx, s.tmp
+	for i := range idx {
+		idx[i] = i
+	}
+	var count [1 << radixBits]int32
+	for shift := 0; shift == 0 || maxKey>>shift > 0; shift += radixBits {
+		const mask = 1<<radixBits - 1
+		// On the most significant pass digits beyond the max are absent;
+		// earlier passes can see any digit.
+		hi := uint32(mask) + 1
+		if top := maxKey >> shift; top < mask {
+			hi = top + 1
+		}
+		for d := uint32(0); d < hi; d++ {
+			count[d] = 0
+		}
+		for _, i := range idx {
+			count[keys[i]>>shift&mask]++
+		}
+		var sum int32
+		for d := uint32(0); d < hi; d++ {
+			count[d], sum = sum, sum+count[d]
+		}
+		for _, i := range idx {
+			d := keys[i] >> shift & mask
+			tmp[count[d]] = i
+			count[d]++
+		}
+		idx, tmp = tmp, idx
+	}
+	s.idx, s.tmp = idx, tmp
+	return idx
+}

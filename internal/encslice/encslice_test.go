@@ -1,0 +1,376 @@
+package encslice_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"privehd/internal/bitvec"
+	"privehd/internal/encslice"
+	"privehd/internal/intscore"
+	"privehd/internal/quant"
+)
+
+// genVectors returns n random packed ±1 vectors of the given dimension and
+// their word slices.
+func genVectors(rng *rand.Rand, n, dim int) ([]*bitvec.Vector, [][]uint64) {
+	vecs := make([]*bitvec.Vector, n)
+	words := make([][]uint64, n)
+	for i := range vecs {
+		v := bitvec.New(dim)
+		for j := 0; j < dim; j++ {
+			if rng.Intn(2) == 1 {
+				v.Set(j, true)
+			}
+		}
+		vecs[i] = v
+		words[i] = v.Words()
+	}
+	return vecs, words
+}
+
+func genIndices(rng *rand.Rand, features, levels int) []uint16 {
+	lvi := make([]uint16, features)
+	for k := range lvi {
+		lvi[k] = uint16(rng.Intn(levels))
+	}
+	return lvi
+}
+
+// refLevel is the reference Eq. 2b float loop: h[j] = Σ_k L_{v_k}[j]·B_k[j],
+// accumulated term by term as the pre-engine encoder did. Every term is ±1,
+// so the float64 accumulation is exact integer arithmetic.
+func refLevel(base, lvl []*bitvec.Vector, lvi []uint16, dim int) []float64 {
+	h := make([]float64, dim)
+	for k, li := range lvi {
+		l, b := lvl[li], base[k]
+		for j := 0; j < dim; j++ {
+			h[j] += l.Sign(j) * b.Sign(j)
+		}
+	}
+	return h
+}
+
+// refScalar is the exactly-evaluated Eq. 2a reference: the integer numerator
+// Σ_k lv_k·B_k[j] accumulated term by term (exact — all partial sums are
+// small integers), finished by one division by ℓ−1.
+func refScalar(base []*bitvec.Vector, lvi []uint16, dim, levels int) []float64 {
+	h := make([]float64, dim)
+	for k, li := range lvi {
+		lv := float64(li)
+		if lv == 0 {
+			continue
+		}
+		b := base[k]
+		for j := 0; j < dim; j++ {
+			h[j] += lv * b.Sign(j)
+		}
+	}
+	d := float64(levels - 1)
+	for j := range h {
+		h[j] /= d
+	}
+	return h
+}
+
+var geometries = []struct {
+	dim, features, levels int
+}{
+	{1, 1, 2},
+	{63, 7, 2},
+	{64, 8, 3},
+	{65, 16, 4},
+	{127, 5, 100},
+	{128, 31, 7},
+	{130, 33, 64},
+	{320, 40, 101},
+	{1000, 17, 5},
+}
+
+func TestLevelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range geometries {
+		base, baseW := genVectors(rng, g.features, g.dim)
+		lvl, lvlW := genVectors(rng, g.levels, g.dim)
+		e, err := encslice.NewLevel(g.dim, baseW, lvlW)
+		if err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			lvi := genIndices(rng, g.features, g.levels)
+			want := refLevel(base, lvl, lvi, g.dim)
+			got := make([]float64, g.dim)
+			e.EncodeInto(lvi, got)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%+v trial %d dim %d: engine %v, reference %v", g, trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestScalarMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, g := range geometries {
+		base, baseW := genVectors(rng, g.features, g.dim)
+		e, err := encslice.NewScalar(g.dim, g.levels, baseW)
+		if err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			lvi := genIndices(rng, g.features, g.levels)
+			want := refScalar(base, lvi, g.dim, g.levels)
+			got := make([]float64, g.dim)
+			e.EncodeInto(lvi, got)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%+v trial %d dim %d: engine %v, reference %v", g, trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAllZeroIndices(t *testing.T) {
+	// Level index 0 everywhere: level mode must return Σ_k L_0⊙B_k, scalar
+	// mode the zero vector (every feature value is f_0 = 0).
+	rng := rand.New(rand.NewSource(3))
+	const dim, features, levels = 190, 12, 8
+	base, baseW := genVectors(rng, features, dim)
+	lvl, lvlW := genVectors(rng, levels, dim)
+	lvi := make([]uint16, features)
+
+	le, err := encslice.NewLevel(dim, baseW, lvlW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, dim)
+	le.EncodeInto(lvi, got)
+	want := refLevel(base, lvl, lvi, dim)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("level dim %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+
+	se, err := encslice.NewScalar(dim, levels, baseW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.EncodeInto(lvi, got)
+	for j, v := range got {
+		if v != 0 {
+			t.Fatalf("scalar dim %d: all-zero features encoded to %v, want 0", j, v)
+		}
+	}
+}
+
+// schemes pairs every fused scheme with the quant package rule it must
+// reproduce bit for bit.
+var schemes = []struct {
+	name   string
+	scheme encslice.Scheme
+	q      quant.Quantizer
+}{
+	{"bipolar", encslice.SchemeBipolar, quant.Bipolar{}},
+	{"ternary", encslice.SchemeTernary, quant.Ternary{}},
+	{"ternary-biased", encslice.SchemeBiasedTernary, quant.BiasedTernary{}},
+	{"2bit", encslice.SchemeTwoBit, quant.TwoBit{}},
+}
+
+func TestEncodePackedMatchesQuantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, g := range geometries {
+		_, baseW := genVectors(rng, g.features, g.dim)
+		_, lvlW := genVectors(rng, g.levels, g.dim)
+		le, err := encslice.NewLevel(g.dim, baseW, lvlW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := encslice.NewScalar(g.dim, g.levels, baseW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range []*encslice.Engine{le, se} {
+			for trial := 0; trial < 3; trial++ {
+				lvi := genIndices(rng, g.features, g.levels)
+				h := make([]float64, g.dim)
+				e.EncodeInto(lvi, h)
+				for _, sc := range schemes {
+					wantF := make([]float64, g.dim)
+					quant.QuantizeInto(sc.q, wantF, h)
+					want, ok := intscore.PackInto(wantF, nil)
+					if !ok {
+						t.Fatalf("%s: quantized reference does not pack", sc.name)
+					}
+					got := make([]int8, g.dim)
+					e.EncodePackedInto(lvi, sc.scheme, got)
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("%+v %s dim %d: fused %d, quantized float %d (h=%v)",
+								g, sc.name, j, got[j], want[j], h[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const dim, features, levels, rows = 257, 21, 16, 9
+	_, baseW := genVectors(rng, features, dim)
+	_, lvlW := genVectors(rng, levels, dim)
+	le, err := encslice.NewLevel(dim, baseW, lvlW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := encslice.NewScalar(dim, levels, baseW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*encslice.Engine{le, se} {
+		lvi := make([]uint16, rows*features)
+		for i := range lvi {
+			lvi[i] = uint16(rng.Intn(levels))
+		}
+		batch := make([]float64, rows*dim)
+		e.EncodeBatchInto(lvi, rows, batch)
+		single := make([]float64, dim)
+		for r := 0; r < rows; r++ {
+			e.EncodeInto(lvi[r*features:(r+1)*features], single)
+			for j := range single {
+				if batch[r*dim+j] != single[j] {
+					t.Fatalf("row %d dim %d: batch %v, single %v", r, j, batch[r*dim+j], single[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRejectsUnsupportedGeometry(t *testing.T) {
+	_, baseW := genVectors(rand.New(rand.NewSource(6)), 2, 64)
+	if _, err := encslice.NewLevel(0, baseW, baseW); err == nil {
+		t.Error("accepted dim 0")
+	}
+	if _, err := encslice.NewLevel(64, nil, baseW); err == nil {
+		t.Error("accepted empty base memory")
+	}
+	if _, err := encslice.NewScalar(64, 1, baseW); err == nil {
+		t.Error("accepted 1 level")
+	}
+	if _, err := encslice.NewScalar(64, 1<<17, baseW); err == nil {
+		t.Error("accepted levels beyond the uint16 index range")
+	}
+	bigBase := make([][]uint64, 1<<16+1)
+	for i := range bigBase {
+		bigBase[i] = baseW[0]
+	}
+	if _, err := encslice.NewScalar(64, 2, bigBase); err == nil {
+		t.Error("accepted scalar features beyond the uint16 list-index range")
+	}
+	if _, err := encslice.NewLevel(64, bigBase, baseW); err != nil {
+		t.Errorf("level mode rejected %d features: %v (only scalar lists index features as uint16)", len(bigBase), err)
+	}
+	if _, err := encslice.NewLevel(128, baseW, baseW); err == nil {
+		t.Error("accepted word slices shorter than the dimension")
+	}
+}
+
+func TestEncodeAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under the race detector")
+	}
+	rng := rand.New(rand.NewSource(7))
+	const dim, features, levels = 512, 40, 12
+	_, baseW := genVectors(rng, features, dim)
+	_, lvlW := genVectors(rng, levels, dim)
+	le, err := encslice.NewLevel(dim, baseW, lvlW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := encslice.NewScalar(dim, levels, baseW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvi := genIndices(rng, features, levels)
+	h := make([]float64, dim)
+	pk := make([]int8, dim)
+	for name, e := range map[string]*encslice.Engine{"level": le, "scalar": se} {
+		e.EncodeInto(lvi, h) // warm the pool
+		if n := testing.AllocsPerRun(20, func() { e.EncodeInto(lvi, h) }); n != 0 {
+			t.Errorf("%s EncodeInto allocates %v per run", name, n)
+		}
+		e.EncodePackedInto(lvi, encslice.SchemeBiasedTernary, pk)
+		if n := testing.AllocsPerRun(20, func() {
+			e.EncodePackedInto(lvi, encslice.SchemeBiasedTernary, pk)
+		}); n != 0 {
+			t.Errorf("%s EncodePackedInto allocates %v per run", name, n)
+		}
+	}
+}
+
+// FuzzEncodeAgainstReference drives both engine modes (and the fused
+// quantize path) against the reference loops over fuzzer-chosen geometry
+// and bit patterns.
+func FuzzEncodeAgainstReference(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(8), uint8(4))
+	f.Add(int64(2), uint16(63), uint8(9), uint8(2))
+	f.Add(int64(3), uint16(130), uint8(16), uint8(31))
+	f.Add(int64(4), uint16(1), uint8(1), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, dimRaw uint16, featRaw, lvlRaw uint8) {
+		dim := int(dimRaw)%300 + 1
+		features := int(featRaw)%48 + 1
+		levels := int(lvlRaw)%40 + 2
+		rng := rand.New(rand.NewSource(seed))
+		base, baseW := genVectors(rng, features, dim)
+		lvl, lvlW := genVectors(rng, levels, dim)
+		lvi := genIndices(rng, features, levels)
+
+		le, err := encslice.NewLevel(dim, baseW, lvlW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, dim)
+		le.EncodeInto(lvi, got)
+		want := refLevel(base, lvl, lvi, dim)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("level dim %d: %v vs %v", j, got[j], want[j])
+			}
+		}
+
+		se, err := encslice.NewScalar(dim, levels, baseW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se.EncodeInto(lvi, got)
+		want = refScalar(base, lvi, dim, levels)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("scalar dim %d: %v vs %v", j, got[j], want[j])
+			}
+		}
+
+		// Fused path vs quantizing the float encoding.
+		for _, e := range []*encslice.Engine{le, se} {
+			h := make([]float64, dim)
+			e.EncodeInto(lvi, h)
+			sc := schemes[int(uint64(seed)%uint64(len(schemes)))]
+			wantF := make([]float64, dim)
+			quant.QuantizeInto(sc.q, wantF, h)
+			wantPk, ok := intscore.PackInto(wantF, nil)
+			if !ok {
+				t.Fatal("reference quantization does not pack")
+			}
+			gotPk := make([]int8, dim)
+			e.EncodePackedInto(lvi, sc.scheme, gotPk)
+			for j := range wantPk {
+				if gotPk[j] != wantPk[j] {
+					t.Fatalf("%s dim %d: fused %d vs %d", sc.name, j, gotPk[j], wantPk[j])
+				}
+			}
+		}
+	})
+}

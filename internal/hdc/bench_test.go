@@ -3,6 +3,7 @@ package hdc
 import (
 	"testing"
 
+	"privehd/internal/encslice"
 	"privehd/internal/hrand"
 )
 
@@ -40,6 +41,82 @@ func BenchmarkScalarEncode617x10k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = enc.Encode(x)
 	}
+}
+
+// BenchmarkEncode measures the bit-sliced engine against the reference
+// float loops at the serving geometry (617 features → D_hv = 4,000, the
+// same shape BenchmarkPipelinePredict runs end to end), plus the fused
+// encode→quantize path and the multi-row batch kernel. The *-ref cases are
+// the pre-engine implementations, kept as the committed before/after
+// record; all engine paths must stay allocation-free.
+func BenchmarkEncode(b *testing.B) {
+	cfg := Config{Dim: 4000, Features: 617, Levels: 100, Seed: 1}
+	le, err := NewLevelEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	se, err := NewScalarEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchFeatures(cfg.Features)
+	h := make([]float64, cfg.Dim)
+	pk := make([]int8, cfg.Dim)
+
+	b.Run("level", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			le.EncodeInto(x, h)
+		}
+	})
+	b.Run("level-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			le.encodeRefInto(x, h)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			se.EncodeInto(x, h)
+		}
+	})
+	b.Run("scalar-ref", func(b *testing.B) {
+		for k := 0; k < cfg.Features; k++ {
+			se.item.Floats(k) // materialize float bases outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			se.encodeRefInto(x, h)
+		}
+	})
+	b.Run("level-packed", func(b *testing.B) {
+		// The fused Predict form: packed biased-ternary query straight from
+		// integer counts.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			le.EncodePackedInto(x, encslice.SchemeBiasedTernary, pk)
+		}
+	})
+	b.Run("scalar-packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			se.EncodePackedInto(x, encslice.SchemeBiasedTernary, pk)
+		}
+	})
+	b.Run("level-batch8", func(b *testing.B) {
+		// One op encodes 8 rows through the multi-row kernel (each item-
+		// memory column loaded once per chunk).
+		X := make([][]float64, 8)
+		for i := range X {
+			X[i] = benchFeatures(cfg.Features)
+		}
+		hb := make([]float64, len(X)*cfg.Dim)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			le.encodeRows(X, hb)
+		}
+	})
 }
 
 func BenchmarkPredict26x10k(b *testing.B) {

@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"privehd/internal/bitvec"
+	"privehd/internal/encslice"
 	"privehd/internal/hrand"
+	"privehd/internal/par"
 )
 
 // ScalarEncoder implements paper Eq. 2a:
@@ -17,9 +19,17 @@ import (
 // corresponding bipolar base hypervector. The encoding is linear in the
 // feature values, which is exactly what the Eq. 9–10 reconstruction attack
 // exploits.
+//
+// The sum is evaluated exactly: f(v) = lv/(ℓ−1) for an integer level index
+// lv, so (ℓ−1)·~H is an integer vector the bit-sliced engine computes with
+// popcount arithmetic, finished by a single float64 division. (The
+// pre-engine implementation accumulated the rounded float level values per
+// feature instead; results agree to within one unit in the last place per
+// feature, and the exact form is the better reference.)
 type ScalarEncoder struct {
-	cfg  Config
-	item *ItemMemory
+	cfg    Config
+	item   *ItemMemory
+	engine *encslice.Engine // nil → reference float loop (unsupported geometry)
 }
 
 // NewScalarEncoder builds a scalar (Eq. 2a) encoder for the configuration.
@@ -28,10 +38,14 @@ func NewScalarEncoder(cfg Config) (*ScalarEncoder, error) {
 		return nil, err
 	}
 	src := hrand.New(cfg.Seed)
-	return &ScalarEncoder{
+	e := &ScalarEncoder{
 		cfg:  cfg,
 		item: NewItemMemory(src.Split(0), cfg.Features, cfg.Dim),
-	}, nil
+	}
+	// Geometry outside the engine's limits (gigantic level counts) keeps
+	// the reference loop; the engine error is deliberately dropped.
+	e.engine, _ = encslice.NewScalar(cfg.Dim, cfg.Levels, packedWords(e.item))
+	return e, nil
 }
 
 // Dim returns D_hv.
@@ -55,28 +69,74 @@ func (e *ScalarEncoder) Encode(features []float64) []float64 {
 // EncodeInto is Encode writing into a caller-provided Dim-length buffer —
 // the allocation-free form for pooled serving hot paths. It returns h.
 func (e *ScalarEncoder) EncodeInto(features, h []float64) []float64 {
-	if len(features) != e.cfg.Features {
-		panic(fmt.Sprintf("hdc: ScalarEncoder.Encode got %d features, want %d",
-			len(features), e.cfg.Features))
+	e.check(features, len(h))
+	if e.engine != nil {
+		p := getLvi(e.cfg.Features)
+		e.engine.EncodeInto(fillLvi(*p, features, e.cfg.Levels), h)
+		putLvi(p)
+		return h
 	}
-	if len(h) != e.cfg.Dim {
-		panic(fmt.Sprintf("hdc: ScalarEncoder.EncodeInto buffer has dim %d, want %d",
-			len(h), e.cfg.Dim))
-	}
+	return e.encodeRefInto(features, h)
+}
+
+// encodeRefInto is the reference Eq. 2a loop: the exact integer numerator
+// accumulated per feature (every partial sum is a small integer, so the
+// float64 arithmetic is exact and bit-identical to the engine), divided
+// once by ℓ−1. It is the fallback for geometries the engine rejects and
+// the oracle the equivalence tests compare the engine against.
+func (e *ScalarEncoder) encodeRefInto(features, h []float64) []float64 {
 	for j := range h {
 		h[j] = 0
 	}
 	for k, v := range features {
-		f := LevelValue(LevelIndex(v, e.cfg.Levels), e.cfg.Levels)
-		if f == 0 {
+		// The level-value numerator LevelValue·(ℓ−1) is the index itself.
+		lv := float64(LevelIndex(v, e.cfg.Levels))
+		if lv == 0 {
 			continue
 		}
 		base := e.item.Floats(k)
 		for j, b := range base {
-			h[j] += f * b
+			h[j] += lv * b
 		}
 	}
+	d := float64(e.cfg.Levels - 1)
+	for j := range h {
+		h[j] /= d
+	}
 	return h
+}
+
+// EncodePackedInto fuses encode and quantize on the bit-sliced engine,
+// writing the packed −2…+1 query for the scheme into dst (length Dim) —
+// bit-identical to encoding and then quantizing the float hypervector. It
+// reports false (writing nothing) when no engine is available for the
+// geometry or the scheme is SchemeNone; callers then take the float path.
+func (e *ScalarEncoder) EncodePackedInto(features []float64, scheme encslice.Scheme, dst []int8) bool {
+	if e.engine == nil || scheme == encslice.SchemeNone {
+		return false
+	}
+	e.check(features, len(dst))
+	p := getLvi(e.cfg.Features)
+	e.engine.EncodePackedInto(fillLvi(*p, features, e.cfg.Levels), scheme, dst)
+	putLvi(p)
+	return true
+}
+
+// encodeRows encodes len(X) feature rows into the contiguous buffer h
+// (len(X)×Dim) on the engine's batch kernel; false means no engine.
+func (e *ScalarEncoder) encodeRows(X [][]float64, h []float64) bool {
+	return encodeRowsOn(e.engine, e.cfg, X, h)
+}
+
+func (e *ScalarEncoder) check(features []float64, dimLen int) {
+	if len(features) != e.cfg.Features {
+		panic(fmt.Sprintf("hdc: ScalarEncoder.Encode got %d features, want %d",
+			len(features), e.cfg.Features))
+	}
+	if dimLen != e.cfg.Dim {
+		panic(fmt.Sprintf("hdc: ScalarEncoder.EncodeInto buffer has dim %d, want %d",
+			dimLen, e.cfg.Dim))
+	}
 }
 
 // LevelEncoder implements paper Eq. 2b:
@@ -87,11 +147,13 @@ func (e *ScalarEncoder) EncodeInto(features, h []float64) []float64 {
 // XNOR-multiplied with the feature's base hypervector and the ±1 products
 // are accumulated. This is the encoding the FPGA implementation adopts
 // ("better optimization opportunity") because every partial product is a
-// single bit.
+// single bit — which is also why the bit-sliced engine computes it with
+// XNOR + carry-save popcount accumulation instead of a float64 MAC.
 type LevelEncoder struct {
-	cfg   Config
-	item  *ItemMemory
-	level *LevelMemory
+	cfg    Config
+	item   *ItemMemory
+	level  *LevelMemory
+	engine *encslice.Engine // nil → reference AccumulateXnorInto loop
 }
 
 // NewLevelEncoder builds a level (Eq. 2b) encoder for the configuration.
@@ -100,11 +162,17 @@ func NewLevelEncoder(cfg Config) (*LevelEncoder, error) {
 		return nil, err
 	}
 	src := hrand.New(cfg.Seed)
-	return &LevelEncoder{
+	e := &LevelEncoder{
 		cfg:   cfg,
 		item:  NewItemMemory(src.Split(0), cfg.Features, cfg.Dim),
 		level: NewLevelMemory(src.Split(1), cfg.Levels, cfg.Dim),
-	}, nil
+	}
+	lvl := make([][]uint64, cfg.Levels)
+	for i := range lvl {
+		lvl[i] = e.level.Packed(i).Words()
+	}
+	e.engine, _ = encslice.NewLevel(cfg.Dim, packedWords(e.item), lvl)
+	return e, nil
 }
 
 // Dim returns D_hv.
@@ -131,14 +199,21 @@ func (e *LevelEncoder) Encode(features []float64) []float64 {
 // EncodeInto is Encode writing into a caller-provided Dim-length buffer —
 // the allocation-free form for pooled serving hot paths. It returns h.
 func (e *LevelEncoder) EncodeInto(features, h []float64) []float64 {
-	if len(features) != e.cfg.Features {
-		panic(fmt.Sprintf("hdc: LevelEncoder.Encode got %d features, want %d",
-			len(features), e.cfg.Features))
+	e.check(features, len(h))
+	if e.engine != nil {
+		p := getLvi(e.cfg.Features)
+		e.engine.EncodeInto(fillLvi(*p, features, e.cfg.Levels), h)
+		putLvi(p)
+		return h
 	}
-	if len(h) != e.cfg.Dim {
-		panic(fmt.Sprintf("hdc: LevelEncoder.EncodeInto buffer has dim %d, want %d",
-			len(h), e.cfg.Dim))
-	}
+	return e.encodeRefInto(features, h)
+}
+
+// encodeRefInto is the reference Eq. 2b loop (word-expanding XNOR
+// accumulation): the fallback for geometries the engine rejects and the
+// oracle the equivalence tests compare the engine against. Both paths add
+// only ±1 terms, so they are bit-identical.
+func (e *LevelEncoder) encodeRefInto(features, h []float64) []float64 {
 	for j := range h {
 		h[j] = 0
 	}
@@ -147,6 +222,37 @@ func (e *LevelEncoder) EncodeInto(features, h []float64) []float64 {
 		bitvec.AccumulateXnorInto(lvl, e.item.Packed(k), h)
 	}
 	return h
+}
+
+// EncodePackedInto fuses encode and quantize on the bit-sliced engine; see
+// ScalarEncoder.EncodePackedInto.
+func (e *LevelEncoder) EncodePackedInto(features []float64, scheme encslice.Scheme, dst []int8) bool {
+	if e.engine == nil || scheme == encslice.SchemeNone {
+		return false
+	}
+	e.check(features, len(dst))
+	p := getLvi(e.cfg.Features)
+	e.engine.EncodePackedInto(fillLvi(*p, features, e.cfg.Levels), scheme, dst)
+	putLvi(p)
+	return true
+}
+
+// encodeRows encodes len(X) feature rows into the contiguous buffer h on
+// the engine's batch kernel, which streams each 64-dimension column of the
+// item memory once for the whole chunk of rows.
+func (e *LevelEncoder) encodeRows(X [][]float64, h []float64) bool {
+	return encodeRowsOn(e.engine, e.cfg, X, h)
+}
+
+func (e *LevelEncoder) check(features []float64, dimLen int) {
+	if len(features) != e.cfg.Features {
+		panic(fmt.Sprintf("hdc: LevelEncoder.Encode got %d features, want %d",
+			len(features), e.cfg.Features))
+	}
+	if dimLen != e.cfg.Dim {
+		panic(fmt.Sprintf("hdc: LevelEncoder.EncodeInto buffer has dim %d, want %d",
+			dimLen, e.cfg.Dim))
+	}
 }
 
 // BitPlanes returns, for each feature k, the packed ±1 partial product
@@ -166,12 +272,83 @@ func (e *LevelEncoder) BitPlanes(features []float64) []*bitvec.Vector {
 	return planes
 }
 
+// packedWords collects the item memory's packed word slices for engine
+// construction (the engine copies them into its transposed layout).
+func packedWords(m *ItemMemory) [][]uint64 {
+	words := make([][]uint64, m.Len())
+	for k := range words {
+		words[k] = m.Packed(k).Words()
+	}
+	return words
+}
+
+// lviPool recycles the per-call level-index scratch shared by every
+// engine-backed encode path.
+var lviPool sync.Pool
+
+func getLvi(n int) *[]uint16 {
+	if p, ok := lviPool.Get().(*[]uint16); ok && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	s := make([]uint16, n)
+	return &s
+}
+
+func putLvi(p *[]uint16) { lviPool.Put(p) }
+
+// fillLvi writes each feature's quantization level index into buf.
+func fillLvi(buf []uint16, features []float64, levels int) []uint16 {
+	for k, v := range features {
+		buf[k] = uint16(LevelIndex(v, levels))
+	}
+	return buf
+}
+
+// encodeRowsOn runs the engine's multi-row batch kernel for a chunk of
+// feature rows, computing all level indices up front into pooled scratch.
+func encodeRowsOn(engine *encslice.Engine, cfg Config, X [][]float64, h []float64) bool {
+	if engine == nil {
+		return false
+	}
+	F := cfg.Features
+	p := getLvi(len(X) * F)
+	lvi := *p
+	for r, x := range X {
+		if len(x) != F {
+			panic(fmt.Sprintf("hdc: EncodeBatch row has %d features, want %d", len(x), F))
+		}
+		fillLvi(lvi[r*F:(r+1)*F], x, cfg.Levels)
+	}
+	engine.EncodeBatchInto(lvi, len(X), h)
+	putLvi(p)
+	return true
+}
+
 // IntoEncoder is implemented by encoders that can encode into a reused
 // buffer; both paper encoders do.
 type IntoEncoder interface {
 	Encoder
 	// EncodeInto encodes into the caller's Dim-length buffer and returns it.
 	EncodeInto(features, h []float64) []float64
+}
+
+// PackedEncoder is implemented by encoders with a bit-sliced engine that
+// can emit the quantized, packed −2…+1 query directly from integer counts —
+// the fused fast path serving Predict runs per query.
+type PackedEncoder interface {
+	Encoder
+	// EncodePackedInto writes the packed quantization of the encoding into
+	// dst (length Dim) and reports whether the fused path was available;
+	// on false, nothing is written and the caller must encode + quantize
+	// through the float path.
+	EncodePackedInto(features []float64, scheme encslice.Scheme, dst []int8) bool
+}
+
+// rowsEncoder is the internal batch hook: encode a chunk of rows into one
+// contiguous buffer, amortizing item-memory passes across the chunk.
+type rowsEncoder interface {
+	encodeRows(X [][]float64, h []float64) bool
 }
 
 // EncodeInto encodes with enc into the caller's buffer when the encoder
@@ -183,10 +360,21 @@ func EncodeInto(enc Encoder, features, h []float64) []float64 {
 	return enc.Encode(features)
 }
 
+// encodeBatchChunk is how many rows one worker claims at a time: large
+// enough for the engine's batch kernel to amortize each item-memory column
+// across the chunk, small enough to keep workers balanced on short batches.
+const encodeBatchChunk = 8
+
 // EncodeBatch encodes every row of X concurrently and returns the encodings
 // in order. workers <= 0 selects GOMAXPROCS. The encoder must be safe for
 // concurrent reads, which both paper encoders are after construction
 // (warmed caches); EncodeBatch warms them before fanning out.
+//
+// For IntoEncoders the returned rows are views into one contiguous backing
+// array (len(X)·Dim floats, one allocation) and workers claim fixed-size
+// chunks off an atomic cursor, encoding through EncodeInto — or through the
+// bit-sliced engine's multi-row kernel when the encoder has one. Callers
+// must not append to the returned rows.
 func EncodeBatch(enc Encoder, X [][]float64, workers int) [][]float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -196,25 +384,32 @@ func EncodeBatch(enc Encoder, X [][]float64, workers int) [][]float64 {
 	}
 	warmEncoder(enc)
 	out := make([][]float64, len(X))
-	var wg sync.WaitGroup
-	next := make(chan int, len(X))
-	for i := range X {
-		next <- i
+	ie, hasInto := enc.(IntoEncoder)
+	var backing []float64
+	var re rowsEncoder
+	dim := enc.Dim()
+	if hasInto {
+		backing = make([]float64, len(X)*dim)
+		for i := range out {
+			out[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+		re, _ = enc.(rowsEncoder)
 	}
-	close(next)
-	if workers > len(X) {
-		workers = len(X)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
+	par.ForEachChunk(len(X), encodeBatchChunk, workers, func(start, end int) {
+		if !hasInto {
+			for i := start; i < end; i++ {
 				out[i] = enc.Encode(X[i])
 			}
-		}()
-	}
-	wg.Wait()
+			return
+		}
+		rows := X[start:end]
+		if re != nil && re.encodeRows(rows, backing[start*dim:end*dim]) {
+			return
+		}
+		for i, x := range rows {
+			ie.EncodeInto(x, out[start+i])
+		}
+	})
 	return out
 }
 
@@ -223,11 +418,16 @@ func EncodeBatch(enc Encoder, X [][]float64, workers int) [][]float64 {
 func warmEncoder(enc Encoder) {
 	switch e := enc.(type) {
 	case *ScalarEncoder:
-		for k := 0; k < e.cfg.Features; k++ {
-			e.item.Floats(k)
+		if e.engine == nil {
+			// Only the reference loop touches the lazily-cached float
+			// bases; the engine reads packed words, immutable after
+			// construction.
+			for k := 0; k < e.cfg.Features; k++ {
+				e.item.Floats(k)
+			}
 		}
 	case *LevelEncoder:
-		// LevelEncoder.Encode touches only packed vectors, which are
+		// LevelEncoder paths touch only packed vectors, which are
 		// immutable after construction; nothing to warm.
 	case interface{ Warm() }:
 		e.Warm()

@@ -1,0 +1,147 @@
+package hdc
+
+import (
+	"testing"
+
+	"privehd/internal/encslice"
+	"privehd/internal/hrand"
+)
+
+// engineGeometries stresses the word tiling: dimensions around the 64-bit
+// word size, feature counts around the 8-wide CSA group, small and large
+// level counts.
+var engineGeometries = []Config{
+	{Dim: 1, Features: 1, Levels: 2, Seed: 11},
+	{Dim: 63, Features: 7, Levels: 2, Seed: 12},
+	{Dim: 64, Features: 8, Levels: 3, Seed: 13},
+	{Dim: 65, Features: 9, Levels: 16, Seed: 14},
+	{Dim: 130, Features: 23, Levels: 100, Seed: 15},
+	{Dim: 257, Features: 40, Levels: 101, Seed: 16},
+}
+
+func engineInputs(cfg Config, trial int) []float64 {
+	src := hrand.New(cfg.Seed + uint64(trial)*97)
+	x := make([]float64, cfg.Features)
+	for k := range x {
+		switch trial % 3 {
+		case 0:
+			x[k] = src.Float64()
+		case 1:
+			// Saturating inputs exercise the clamp ends of LevelIndex.
+			x[k] = 2*src.Float64() - 0.5
+		default:
+			x[k] = 0 // all-zero features: every level index is 0
+		}
+	}
+	return x
+}
+
+// TestEncodersMatchReferenceLoops pins the tentpole contract: the
+// bit-sliced engine path of both paper encoders is bit-identical to the
+// reference float loops (the pre-engine implementations).
+func TestEncodersMatchReferenceLoops(t *testing.T) {
+	for _, cfg := range engineGeometries {
+		le := mustLevel(t, cfg)
+		se := mustScalar(t, cfg)
+		if le.engine == nil || se.engine == nil {
+			t.Fatalf("%+v: engine not built for supported geometry", cfg)
+		}
+		for trial := 0; trial < 6; trial++ {
+			x := engineInputs(cfg, trial)
+			for name, enc := range map[string]IntoEncoder{"level": le, "scalar": se} {
+				got := enc.EncodeInto(x, make([]float64, cfg.Dim))
+				var want []float64
+				switch e := enc.(type) {
+				case *LevelEncoder:
+					want = e.encodeRefInto(x, make([]float64, cfg.Dim))
+				case *ScalarEncoder:
+					want = e.encodeRefInto(x, make([]float64, cfg.Dim))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%s %+v trial %d dim %d: engine %v, reference %v",
+							name, cfg, trial, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncodePackedIntoMatchesEncodeQuantize checks the fused path against
+// encoding and sign-quantizing by hand (the full cross-scheme equivalence
+// against the quant package lives in the encslice and core tests, which may
+// import it).
+func TestEncodePackedIntoMatchesEncodeQuantize(t *testing.T) {
+	for _, cfg := range engineGeometries {
+		for _, enc := range []PackedEncoder{mustLevel(t, cfg), mustScalar(t, cfg)} {
+			x := engineInputs(cfg, 0)
+			dst := make([]int8, cfg.Dim)
+			if !enc.EncodePackedInto(x, encslice.SchemeBipolar, dst) {
+				t.Fatalf("%+v: fused path unavailable", cfg)
+			}
+			h := enc.Encode(x)
+			for j, v := range h {
+				want := int8(1)
+				if v < 0 {
+					want = -1
+				}
+				if dst[j] != want {
+					t.Fatalf("%+v dim %d: fused %d, sign(%v) = %d", cfg, j, dst[j], v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodePackedIntoRejectsSchemeNone(t *testing.T) {
+	cfg := engineGeometries[3]
+	enc := mustLevel(t, cfg)
+	dst := make([]int8, cfg.Dim)
+	if enc.EncodePackedInto(engineInputs(cfg, 0), encslice.SchemeNone, dst) {
+		t.Fatal("EncodePackedInto accepted SchemeNone")
+	}
+}
+
+// TestEncodeBatchChunkBoundaries drives the atomic-cursor dispatch over row
+// counts around the chunk size, including a batch smaller than one chunk.
+func TestEncodeBatchChunkBoundaries(t *testing.T) {
+	cfg := Config{Dim: 96, Features: 11, Levels: 6, Seed: 20}
+	enc := mustLevel(t, cfg)
+	for _, rows := range []int{1, encodeBatchChunk - 1, encodeBatchChunk, encodeBatchChunk + 1, 3*encodeBatchChunk + 5} {
+		src := hrand.New(uint64(rows))
+		X := make([][]float64, rows)
+		for i := range X {
+			X[i] = make([]float64, cfg.Features)
+			for k := range X[i] {
+				X[i][k] = src.Float64()
+			}
+		}
+		got := EncodeBatch(enc, X, 3)
+		for i := range X {
+			want := enc.Encode(X[i])
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("rows=%d sample %d dim %d: batch %v, sequential %v",
+						rows, i, j, got[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBatchRowsAreWriteSafe verifies the contiguous-backing rows are
+// full-capacity slices: appending to one must not bleed into its neighbour.
+func TestEncodeBatchRowsAreWriteSafe(t *testing.T) {
+	cfg := Config{Dim: 32, Features: 4, Levels: 4, Seed: 21}
+	enc := mustLevel(t, cfg)
+	X := [][]float64{{0.1, 0.5, 0.9, 0.3}, {0.8, 0.2, 0.6, 0.4}}
+	out := EncodeBatch(enc, X, 1)
+	want1 := append([]float64(nil), out[1]...)
+	_ = append(out[0], 999) // must reallocate, not overwrite out[1][0]
+	for j := range want1 {
+		if out[1][j] != want1[j] {
+			t.Fatalf("append to row 0 corrupted row 1 at dim %d", j)
+		}
+	}
+}

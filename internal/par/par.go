@@ -1,0 +1,63 @@
+// Package par is the one shared fan-out primitive for the data-parallel
+// hot paths: workers claim work off an atomic cursor until it runs dry.
+// Encoding batches, prediction batches and edge obfuscation batches all
+// dispatch through it, so the clamping and claiming rules live in exactly
+// one place.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), spread over up to `workers`
+// goroutines (workers <= 1, or n < 2, runs inline). Items are claimed one
+// at a time off an atomic cursor, so uneven per-item cost self-balances.
+// fn must be safe for concurrent calls with distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachChunk(n, 1, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachChunk covers [0, n) with half-open chunks [start, end) of the
+// given size, spread over up to `workers` goroutines claiming chunks off
+// an atomic cursor. The final chunk is truncated to n. Chunking amortizes
+// per-claim overhead when fn has a cheaper batch form (e.g. the encoder's
+// multi-row kernel).
+func ForEachChunk(n, chunk, workers int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	tasks := (n + chunk - 1) / chunk
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for start := 0; start < n; start += chunk {
+			fn(start, min(start+chunk, n))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := (int(next.Add(1)) - 1) * chunk
+				if start >= n {
+					return
+				}
+				fn(start, min(start+chunk, n))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,47 @@
+package par_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"privehd/internal/par"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 3, 16, 2000} {
+			hits := make([]int32, n)
+			par.ForEach(n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 100} {
+		for _, chunk := range []int{0, 1, 8, 200} {
+			for _, workers := range []int{1, 4} {
+				hits := make([]int32, n)
+				par.ForEachChunk(n, chunk, workers, func(start, end int) {
+					if start >= end || end > n {
+						t.Errorf("n=%d chunk=%d: bad range [%d,%d)", n, chunk, start, end)
+					}
+					for i := start; i < end; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d chunk=%d workers=%d: index %d visited %d times", n, chunk, workers, i, h)
+					}
+				}
+			}
+		}
+	}
+}

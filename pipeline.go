@@ -6,9 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"privehd/internal/core"
 	"privehd/internal/dp"
@@ -271,7 +269,8 @@ func (p *Pipeline) Predict(x []float64) (int, error) {
 
 // PredictBatch classifies many inputs, spreading encoding and inference
 // over goroutines (WithWorkers bounds the parallelism; the default uses
-// every CPU).
+// every CPU). Every worker runs the fused bit-sliced encode→quantize→score
+// chain on pooled scratch, so the batch allocates only the result slice.
 func (p *Pipeline) PredictBatch(X [][]float64) ([]int, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -285,37 +284,7 @@ func (p *Pipeline) PredictBatch(X [][]float64) ([]int, error) {
 				i, len(x), p.cfg.features)
 		}
 	}
-	workers := p.cfg.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(X) {
-		workers = len(X)
-	}
-	out := make([]int, len(X))
-	if workers <= 1 {
-		for i, x := range X {
-			out[i] = cp.Predict(x)
-		}
-		return out, nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(X) {
-					return
-				}
-				out[i] = cp.Predict(X[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return out, nil
+	return cp.PredictBatch(X), nil
 }
 
 // PredictVector classifies an already-encoded (and possibly obfuscated or
