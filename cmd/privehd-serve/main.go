@@ -26,6 +26,17 @@
 // clients (privehd.DialCluster) balance over and fail across:
 //
 //	privehd-serve -addr :7311 -replicas 3
+//
+// -store DIR makes the deployment durable: every published model lives in
+// a crash-safe versioned store under DIR, and a restart replays the exact
+// active versions and default that were live before. Models already in the
+// store win over same-named -model flags; new names from -model flags (and
+// a first-boot self-trained model) are published into the store. -admin
+// ADDR (requires -store and -admin-token TOKEN, or PRIVEHD_ADMIN_TOKEN in
+// the environment) adds the HTTP management plane: upload, activate,
+// rollback, set-default, deregister and list — see privehd.ServeAdmin.
+//
+//	privehd-serve -store /var/lib/privehd -admin 127.0.0.1:7312 -admin-token t
 package main
 
 import (
@@ -52,6 +63,13 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// fatal prints one error line and exits non-zero — the contract operators
+// and process supervisors rely on for startup failures.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var models modelFlags
 	flag.Var(&models, "model",
@@ -75,20 +93,43 @@ func main() {
 	// Eq. 2a form — matching `privehd infer`'s default.
 	encName := flag.String("encoding", "scalar",
 		"paper encoding for the self-trained model: level (Eq. 2b) or scalar (Eq. 2a)")
+	storeDir := flag.String("store", "",
+		"durable model store directory: published models survive restarts (created if missing)")
+	adminAddr := flag.String("admin", "",
+		"HTTP management-plane listen address (requires -store and an admin token)")
+	adminToken := flag.String("admin-token", "",
+		"bearer token for the -admin API (or set PRIVEHD_ADMIN_TOKEN)")
 	flag.Parse()
 
-	reg, err := buildRegistry(models, *defaultName, *name, *dim, *levels, *seed, *small, *encName)
+	if *adminAddr != "" && *storeDir == "" {
+		fatal(fmt.Errorf("-admin requires -store: the management plane mutates durable state"))
+	}
+	token := *adminToken
+	if token == "" {
+		token = os.Getenv("PRIVEHD_ADMIN_TOKEN")
+	}
+	if *adminAddr != "" && token == "" {
+		fatal(fmt.Errorf("-admin requires -admin-token (or PRIVEHD_ADMIN_TOKEN): refusing an unauthenticated management plane"))
+	}
+
+	reg, mgr, sources, err := buildDeployment(models, *storeDir, *defaultName,
+		*name, *dim, *levels, *seed, *small, *encName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *replicas < 1 {
 		*replicas = 1
 	}
 	listeners, err := listenReplicas(*addr, *replicas)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	var adminLis net.Listener
+	if *adminAddr != "" {
+		adminLis, err = net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(fmt.Errorf("admin listener: %w", err))
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,31 +141,44 @@ func main() {
 	}
 	fmt.Printf("serving %d model(s) on %s (protocol v%d, default %q):\n",
 		reg.Len(), strings.Join(replicaAddrs, ", "), privehd.ProtocolVersion, reg.DefaultName())
+	// One line per model with its provenance, so an operator can check a
+	// recovery at a glance: "store" means it survived a restart.
 	for _, m := range reg.Models() {
-		fmt.Printf("  %-16s v%d  D=%d  classes=%d  %s encoding, %d levels, seed %d\n",
-			m.Name, m.Version, m.Dim, m.Classes, m.Encoding, m.Levels, m.Seed)
+		fmt.Printf("  %-16s v%-3d source=%-7s D=%d  classes=%d  %s encoding, %d levels, seed %d\n",
+			m.Name, m.Version, sources[m.Name], m.Dim, m.Classes, m.Encoding, m.Levels, m.Seed)
 	}
 	fmt.Println("v3+ clients auto-configure from the handshake (privehd.DialModel)")
 	if len(listeners) > 1 {
 		fmt.Printf("cluster clients balance and fail over across all %d replicas (privehd.DialCluster)\n",
 			len(listeners))
 	}
+	if adminLis != nil {
+		fmt.Printf("management plane on http://%s/v1/models (bearer auth)\n", adminLis.Addr())
+	}
 	opts := []privehd.ServerOption{privehd.WithMaxBatch(*maxBatch)}
 	if *workers > 0 {
 		opts = append(opts, privehd.WithServerWorkers(*workers))
 	}
 	// One server per listener, all answering from the same live registry:
-	// a Register or Swap takes effect on every replica at once.
-	errCh := make(chan error, len(listeners))
+	// a Register or Swap takes effect on every replica at once. The admin
+	// plane joins the same error channel, so its failure tears the process
+	// down non-zero like a data-plane failure would.
+	serves := len(listeners)
+	errCh := make(chan error, serves+1)
 	for _, lis := range listeners {
 		go func(lis net.Listener) {
 			errCh <- privehd.ServeRegistry(ctx, lis, reg, opts...)
 		}(lis)
 	}
-	for range listeners {
+	if adminLis != nil {
+		serves++
+		go func() {
+			errCh <- privehd.ServeAdmin(ctx, adminLis, mgr, token)
+		}()
+	}
+	for i := 0; i < serves; i++ {
 		if err := <-errCh; err != nil {
-			fmt.Fprintln(os.Stderr, "privehd-serve:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	fmt.Println("privehd-serve: shut down cleanly")
@@ -168,47 +222,86 @@ func listenReplicas(addr string, n int) ([]net.Listener, error) {
 	return listeners, nil
 }
 
-// buildRegistry loads every -model flag into a registry, or trains a
-// single default model when none was given.
-func buildRegistry(models modelFlags, defaultName, dataset string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Registry, error) {
+// buildDeployment assembles the serving state: replay the store (when
+// -store is set), layer -model flags on top (store wins on name clashes —
+// an operator flag must not silently shadow a durable publication), and
+// self-train a model only if nothing else produced one. sources records
+// each model's provenance for the startup log. mgr is nil without -store.
+func buildDeployment(models modelFlags, storeDir, defaultName, dataset string,
+	dim, levels int, seed uint64, small bool, encName string,
+) (*privehd.Registry, *privehd.Manager, map[string]string, error) {
 	reg := privehd.NewRegistry()
-	if len(models) == 0 {
-		pipe, err := trainPipeline(dataset, dim, levels, seed, small, encName)
+	sources := make(map[string]string)
+	var mgr *privehd.Manager
+	if storeDir != "" {
+		var err error
+		mgr, err = privehd.OpenManager(storeDir, reg)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		if err := reg.Register(privehd.DefaultModelName, pipe); err != nil {
-			return nil, err
+		for _, m := range reg.Models() {
+			sources[m.Name] = "store"
 		}
-		return reg, nil
 	}
+
+	// publish makes a pipeline live — durably when a store backs us.
+	publish := func(name string, pipe *privehd.Pipeline) error {
+		if mgr != nil {
+			_, err := mgr.Publish(name, pipe)
+			return err
+		}
+		return reg.Register(name, pipe)
+	}
+
 	for _, spec := range models {
 		name, path := privehd.DefaultModelName, spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			name, path = spec[:i], spec[i+1:]
 		}
 		if name == "" || path == "" {
-			return nil, fmt.Errorf("bad -model %q (want name=path or a bare path)", spec)
+			return nil, nil, nil, fmt.Errorf("bad -model %q (want name=path or a bare path)", spec)
+		}
+		if sources[name] == "store" {
+			fmt.Printf("model %q already in the store; ignoring -model %s (deregister it over the admin API to replace)\n",
+				name, path)
+			continue
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		pipe, err := privehd.Load(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("loading %s: %w", path, err)
 		}
-		if err := reg.Register(name, pipe); err != nil {
-			return nil, err
+		if err := publish(name, pipe); err != nil {
+			return nil, nil, nil, err
 		}
+		sources[name] = "flag"
 	}
+
+	if reg.Len() == 0 {
+		pipe, err := trainPipeline(dataset, dim, levels, seed, small, encName)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := publish(privehd.DefaultModelName, pipe); err != nil {
+			return nil, nil, nil, err
+		}
+		sources[privehd.DefaultModelName] = "trained"
+	}
+
 	if defaultName != "" {
-		if err := reg.SetDefault(defaultName); err != nil {
-			return nil, err
+		if mgr != nil {
+			if err := mgr.SetDefault(defaultName); err != nil {
+				return nil, nil, nil, err
+			}
+		} else if err := reg.SetDefault(defaultName); err != nil {
+			return nil, nil, nil, err
 		}
 	}
-	return reg, nil
+	return reg, mgr, sources, nil
 }
 
 // trainPipeline trains the self-served model on a synthetic workload.

@@ -81,6 +81,21 @@
 //	models, err := cl.ListModels()               // registry discovery over the wire
 //	label, scores, err := cl.Predict(x)          // balanced + failover
 //
+// A Manager makes the deployment durable: OpenManager binds the registry
+// to a crash-safe versioned on-disk model store and replays the last
+// committed state — exact active versions and default — on restart, and
+// ServeAdmin exposes the authenticated HTTP management plane (upload,
+// activate, rollback, set-default, deregister, list with live served
+// counters) over it. Every mutation is publish-after-persist: the store
+// commits (temp-file + fsync + rename) before the registry swap goes
+// live, so a crash never advertises state that won't survive. Load is
+// hardened for this boundary — malformed or hostile blobs fail with
+// ErrCorruptModel, bounded allocations, never a panic:
+//
+//	mgr, err := privehd.OpenManager("/var/lib/privehd", reg)
+//	ver, err := mgr.Publish("isolet", pipe)      // durable, then live
+//	go privehd.ServeAdmin(ctx, adminLis, mgr, token)
+//
 // The whole local hot path runs in the integer domain. Encoding is
 // bit-sliced (internal/encslice): base and level hypervectors stay packed
 // one bit per dimension and both paper encodings are evaluated by

@@ -9,16 +9,25 @@
 // registry is scaled out to a 3-replica fleet that a pooled, pipelined
 // Cluster client balances over — discovering the models over the wire,
 // surviving a replica kill mid-traffic, and watching the prober eject the
-// corpse.
+// corpse. The finale is the management plane: every publication went
+// through a durable on-disk store, so the whole deployment is killed and
+// restarted into exactly the state it had — then an authenticated HTTP
+// rollback takes the served model back a version under live traffic
+// without dropping a request.
 //
 //	go run ./examples/cloud_inference
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,15 +52,26 @@ func main() {
 	more := full.Subset(0.3)
 
 	// --- Cloud: train two full-precision models and serve both from one
-	// listener; "mnist" (the first registered) is the default.
+	// listener; "mnist" (the first published) is the default. Publications
+	// go through a Manager bound to an on-disk store, so each one is
+	// durable — the restart act at the end replays this exact state.
 	pipeline := train(data.TrainX, data.TrainY, dim, levels, seed)
 	better := train(more.TrainX, more.TrainY, dim, levels, seed)
 
-	registry := privehd.NewRegistry()
-	if err := registry.Register("mnist", pipeline); err != nil {
+	storeDir, err := os.MkdirTemp("", "privehd-store-")
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := registry.Register("mnist-large", better); err != nil {
+	defer os.RemoveAll(storeDir)
+	registry := privehd.NewRegistry()
+	manager, err := privehd.OpenManager(storeDir, registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := manager.Publish("mnist", pipeline); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := manager.Publish("mnist-large", better); err != nil {
 		log.Fatal(err)
 	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -138,8 +158,10 @@ func main() {
 
 	// --- Hot swap: publish the better model under "mnist" while the
 	// client's connection stays up. The next request frame is answered by
-	// the new publication; nothing reconnects, no query fails.
-	if err := registry.Swap("mnist", better); err != nil {
+	// the new publication; nothing reconnects, no query fails. Publishing
+	// through the manager commits v2 to the store before the registry
+	// serves it, so a crash at any instant keeps a consistent state.
+	if _, err := manager.Publish("mnist", better); err != nil {
 		log.Fatal(err)
 	}
 	labels, err = remote.PredictBatch(data.TestX[:n])
@@ -239,6 +261,138 @@ func main() {
 		}
 		fmt.Printf("  replica %-22s %-8s %d conns\n", st.Addr, state, st.Conns)
 	}
+
+	// --- Restart recovery: kill the whole deployment and boot a fresh one
+	// from the store. Every publication above was durable, so the new
+	// registry comes back with the same models, active versions ("mnist"
+	// at v2 — the hot swap survived) and default, without retraining.
+	clusterClient.Close()
+	remote.Close()
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let the old listeners die
+
+	registry2 := privehd.NewRegistry()
+	manager2, err := privehd.OpenManager(storeDir, registry2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncloud: restarted from %s — recovered state:\n", storeDir)
+	for _, st := range manager2.Status() {
+		def := ""
+		if st.Default {
+			def = "  (default)"
+		}
+		fmt.Printf("  %-12s active v%d of %d stored version(s)%s\n",
+			st.Name, st.ActiveVersion, len(st.Versions), def)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	dataLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	adminLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := privehd.ServeRegistry(ctx2, dataLis, registry2, privehd.WithServerWorkers(4)); err != nil {
+			log.Println("serve:", err)
+		}
+	}()
+	const adminToken = "cloud-inference-demo"
+	go func() {
+		if err := privehd.ServeAdmin(ctx2, adminLis, manager2, adminToken); err != nil {
+			log.Println("admin:", err)
+		}
+	}()
+
+	// --- Remote rollback: an operator decides v2 was a mistake and rolls
+	// "mnist" back over the authenticated HTTP management plane while an
+	// edge client keeps querying. The RCU swap means no request is dropped:
+	// frames in flight finish on v2, later frames score on v1.
+	remote2, err := privehd.DialModel(ctx2, "tcp", dataLis.Addr().String(), "mnist",
+		privehd.WithQueryMask(dim/6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote2.Close()
+	fmt.Printf("edge: reconnected to recovered \"mnist\" v%d\n", remote2.ModelVersion())
+
+	trafficDone := make(chan int)
+	stopTraffic := make(chan struct{})
+	go func() {
+		answered := 0
+		for i := 0; ; i++ {
+			select {
+			case <-stopTraffic:
+				trafficDone <- answered
+				return
+			default:
+			}
+			if _, _, err := remote2.Predict(data.TestX[i%n]); err != nil {
+				log.Fatal("query dropped during rollback: ", err)
+			}
+			answered++
+		}
+	}()
+
+	body := adminCall(adminLis.Addr().String(), adminToken, "POST", "/v1/models/mnist/rollback", nil)
+	var rolled struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(body, &rolled); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // traffic across the swap
+	close(stopTraffic)
+	answered := <-trafficDone
+	fmt.Printf("admin: rolled \"mnist\" back to v%d over HTTP; %d live queries answered across the swap, none dropped\n",
+		rolled.Version, answered)
+
+	// The listing shows the durable result: v1 active again, history kept,
+	// live served counters ticking.
+	body = adminCall(adminLis.Addr().String(), adminToken, "GET", "/v1/models", nil)
+	var listing struct {
+		Models []struct {
+			Name    string `json:"name"`
+			Active  int    `json:"active_version"`
+			Served  uint64 `json:"served"`
+			History []any  `json:"versions"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("admin: GET /v1/models after the rollback:")
+	for _, m := range listing.Models {
+		fmt.Printf("  %-12s active v%d  %d version(s) stored  %d queries served\n",
+			m.Name, m.Active, len(m.History), m.Served)
+	}
+}
+
+// adminCall performs one authenticated management-plane request, failing
+// the demo on any non-2xx answer.
+func adminCall(addr, token, method, path string, payload []byte) []byte {
+	req, err := http.NewRequest(method, "http://"+addr+path, bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("admin %s %s: %d: %s", method, path, resp.StatusCode, body)
+	}
+	return body
 }
 
 // train fits one full-precision model; clients obfuscate on their side

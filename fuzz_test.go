@@ -1,0 +1,122 @@
+package privehd_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"privehd"
+)
+
+// savedPipeline trains a toy pipeline and returns its Save bytes — the
+// seed corpus for the loader fuzz and the starting point for the
+// deterministic corruption tests.
+func savedPipeline(tb testing.TB, opts ...privehd.Option) []byte {
+	tb.Helper()
+	X, y := toyData(60, 10)
+	base := []privehd.Option{
+		privehd.WithDim(256),
+		privehd.WithLevels(4),
+		privehd.WithSeed(7),
+		privehd.WithRetrain(0),
+	}
+	p, err := privehd.New(append(base, opts...)...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := p.Train(X, y); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSaveLoad is the store's boot-safety contract: Load must never panic
+// on arbitrary bytes, and anything it does accept must be a usable
+// pipeline that round-trips through Save again.
+func FuzzSaveLoad(f *testing.F) {
+	f.Add(savedPipeline(f))
+	f.Add(savedPipeline(f, privehd.WithPruning(128), privehd.WithQuantizer("bipolar")))
+	f.Add([]byte{})
+	f.Add([]byte("not a gob"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := privehd.Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		// Accepted input must be a live pipeline: geometry readable,
+		// Save round-trip loadable.
+		if p.Dim() <= 0 {
+			t.Fatalf("Load accepted a pipeline with dim %d", p.Dim())
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("accepted pipeline does not re-Save: %v", err)
+		}
+		if _, err := privehd.Load(&buf); err != nil {
+			t.Fatalf("re-saved pipeline does not re-Load: %v", err)
+		}
+	})
+}
+
+// TestLoadHostileBytes runs the deterministic corruption sweep — every
+// truncation boundary and a bit flip in every byte position of a real
+// saved pipeline. Load must reject each with ErrCorruptModel (or accept a
+// lucky flip that kept the blob well-formed), never panic.
+func TestLoadHostileBytes(t *testing.T) {
+	blob := savedPipeline(t)
+
+	t.Run("truncations", func(t *testing.T) {
+		step := len(blob)/97 + 1
+		for n := 0; n < len(blob); n += step {
+			if _, err := privehd.Load(bytes.NewReader(blob[:n])); err == nil {
+				t.Fatalf("Load accepted a %d/%d-byte truncation", n, len(blob))
+			} else if !errors.Is(err, privehd.ErrCorruptModel) {
+				t.Fatalf("truncation at %d: error %v does not wrap ErrCorruptModel", n, err)
+			}
+		}
+	})
+
+	t.Run("bitflips", func(t *testing.T) {
+		step := len(blob)/211 + 1
+		for i := 0; i < len(blob); i += step {
+			for _, bit := range []byte{0x01, 0x80} {
+				mut := append([]byte(nil), blob...)
+				mut[i] ^= bit
+				p, err := privehd.Load(bytes.NewReader(mut))
+				if err != nil {
+					continue // rejected without panicking: the contract
+				}
+				// A flip that survived decode (e.g. in a float payload)
+				// must still have produced a usable pipeline.
+				if p.Dim() <= 0 {
+					t.Fatalf("flip at byte %d produced dim %d", i, p.Dim())
+				}
+			}
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		for _, data := range [][]byte{nil, {0}, {0xff, 0xff, 0xff, 0xff}, bytes.Repeat([]byte{0x7f}, 4096)} {
+			if _, err := privehd.Load(bytes.NewReader(data)); err == nil {
+				t.Fatal("Load accepted garbage")
+			}
+		}
+	})
+}
+
+// TestLoadRoundTrip pins the happy path the fuzz only exercises by luck: a
+// freshly saved pipeline loads back with identical geometry.
+func TestLoadRoundTrip(t *testing.T) {
+	blob := savedPipeline(t)
+	p, err := privehd.Load(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 256 {
+		t.Fatalf("round-trip dim = %d, want 256", p.Dim())
+	}
+}

@@ -1,0 +1,285 @@
+// Package admin is the HTTP management plane for a serving deployment: a
+// small bearer-token-authenticated JSON API over net/http through which an
+// operator uploads model versions, activates or rolls them back, sets the
+// default, and lists what is live — the control plane next to the offload
+// protocol's data plane.
+//
+// The package knows nothing about stores or registries; it speaks to a
+// Backend, and the privehd.Manager is the production implementation. Every
+// mutation the Backend performs is expected to be durable before it is
+// visible (publish-after-persist), so the API never advertises state a
+// crash would lose.
+//
+// Endpoints (all under bearer auth):
+//
+//	GET    /v1/models                        list models, versions, counters
+//	GET    /v1/models/{name}                 one model's status
+//	POST   /v1/models/{name}/versions        upload a blob as a new version
+//	                                         (?activate=false to stage only)
+//	POST   /v1/models/{name}/activate        activate ?version=N
+//	POST   /v1/models/{name}/rollback        activate the previous version
+//	POST   /v1/models/{name}/default         make {name} the default model
+//	DELETE /v1/models/{name}                 deregister and delete
+package admin
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"privehd/internal/hdc"
+	"privehd/internal/registry"
+	"privehd/internal/store"
+)
+
+// DefaultMaxUpload bounds upload bodies when NewHandler is given no other
+// limit: 256 MiB holds any plausible Prive-HD model (the paper's D=10,000
+// geometry saves in single-digit megabytes) while keeping a hostile client
+// from exhausting memory.
+const DefaultMaxUpload = 256 << 20
+
+// VersionInfo is one stored version in a listing.
+type VersionInfo struct {
+	Version int       `json:"version"`
+	SHA256  string    `json:"sha256"`
+	Size    int64     `json:"size"`
+	Created time.Time `json:"created"`
+}
+
+// ModelStatus is one model's management view: durable version history from
+// the store merged with the live registry state.
+type ModelStatus struct {
+	Name string `json:"name"`
+	// ActiveVersion is the store's committed active version (0 when the
+	// model is staged but never activated).
+	ActiveVersion int `json:"active_version"`
+	// Default flags the deployment's default model.
+	Default bool `json:"default"`
+	// Live reports whether the registry currently serves the model.
+	Live bool `json:"live"`
+	// Served counts queries answered under this name since it went live.
+	Served uint64 `json:"served"`
+	// Dim and Classes are the live model's geometry (0 when not live).
+	Dim     int `json:"dim,omitempty"`
+	Classes int `json:"classes,omitempty"`
+	// Versions is the durable history, oldest first.
+	Versions []VersionInfo `json:"versions"`
+}
+
+// Backend is what the API manages. Implementations must be safe for
+// concurrent use; privehd.Manager is the production one.
+type Backend interface {
+	// Upload stores blob as a new version of name, activating it unless
+	// told to stage, and returns the assigned version number.
+	Upload(name string, blob []byte, activate bool) (int, error)
+	// Activate makes an existing stored version the active one.
+	Activate(name string, version int) error
+	// Rollback activates the version preceding the active one and returns
+	// the version it landed on.
+	Rollback(name string) (int, error)
+	// Deregister removes the model from serving and from the store.
+	Deregister(name string) error
+	// SetDefault makes name the deployment default.
+	SetDefault(name string) error
+	// Status lists every model, sorted by name.
+	Status() []ModelStatus
+}
+
+// Handler is the management API. Create one with NewHandler.
+type Handler struct {
+	backend   Backend
+	token     []byte
+	maxUpload int64
+	mux       *http.ServeMux
+}
+
+// NewHandler builds the management API around a backend. The bearer token
+// is required — an unauthenticated management plane is a model-replacement
+// oracle, so an empty token is a refused configuration, not a default.
+// maxUpload bounds upload bodies in bytes; 0 means DefaultMaxUpload.
+func NewHandler(backend Backend, token string, maxUpload int64) (*Handler, error) {
+	if backend == nil {
+		return nil, errors.New("admin: backend must not be nil")
+	}
+	if token == "" {
+		return nil, errors.New("admin: bearer token must not be empty")
+	}
+	if maxUpload <= 0 {
+		maxUpload = DefaultMaxUpload
+	}
+	h := &Handler{backend: backend, token: []byte(token), maxUpload: maxUpload, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/models", h.list)
+	h.mux.HandleFunc("GET /v1/models/{name}", h.get)
+	h.mux.HandleFunc("POST /v1/models/{name}/versions", h.upload)
+	h.mux.HandleFunc("POST /v1/models/{name}/activate", h.activate)
+	h.mux.HandleFunc("POST /v1/models/{name}/rollback", h.rollback)
+	h.mux.HandleFunc("POST /v1/models/{name}/default", h.setDefault)
+	h.mux.HandleFunc("DELETE /v1/models/{name}", h.remove)
+	return h, nil
+}
+
+// ServeHTTP authenticates, then routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !h.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="privehd-admin"`)
+		writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+		return
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+// authorized checks the Authorization header in constant time.
+func (h *Handler) authorized(r *http.Request) bool {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), h.token) == 1
+}
+
+func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": h.backend.Status()})
+}
+
+func (h *Handler) get(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	for _, m := range h.backend.Status() {
+		if m.Name == name {
+			writeJSON(w, http.StatusOK, m)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+}
+
+func (h *Handler) upload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	activate := true
+	if v := r.URL.Query().Get("activate"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad activate=%q: %v", v, err))
+			return
+		}
+		activate = b
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.maxUpload))
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	version, err := h.backend.Upload(name, blob, activate)
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "version": version, "active": activate})
+}
+
+func (h *Handler) activate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	raw := r.URL.Query().Get("version")
+	version, err := strconv.Atoi(raw)
+	if err != nil || version < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("activate requires ?version=N, got %q", raw))
+		return
+	}
+	if err := h.backend.Activate(name, version); err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "version": version})
+}
+
+func (h *Handler) rollback(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	version, err := h.backend.Rollback(name)
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "version": version})
+}
+
+func (h *Handler) setDefault(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.backend.SetDefault(name); err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"default": name})
+}
+
+func (h *Handler) remove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.backend.Deregister(name); err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+// writeBackendError maps backend failures to HTTP statuses: malformed
+// input (bad names, corrupt blobs) is the client's fault, unknown names
+// and versions are 404, oversized uploads 413, everything else a 500.
+func writeBackendError(w http.ResponseWriter, err error) {
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxBytes):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, store.ErrBadName), errors.Is(err, store.ErrCorrupt), errors.Is(err, hdc.ErrCorrupt):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, store.ErrUnknownModel), errors.Is(err, store.ErrUnknownVersion),
+		errors.Is(err, registry.ErrUnknownModel):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Serve runs the handler on lis until ctx is cancelled or the listener
+// fails, shutting down gracefully (in-flight requests finish) on
+// cancellation. It returns nil after a clean stop.
+func Serve(ctx context.Context, lis net.Listener, h http.Handler) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(shutdownCtx)
+		case <-serveDone:
+		}
+	}()
+	err := srv.Serve(lis)
+	close(serveDone)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,292 @@
+package admin
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privehd/internal/hdc"
+	"privehd/internal/store"
+)
+
+const testToken = "sekrit"
+
+// fakeBackend records calls and serves canned state, so handler tests pin
+// routing, auth, status codes and JSON shapes without a real store.
+type fakeBackend struct {
+	models   []ModelStatus
+	uploaded map[string][]byte
+	lastCall string
+	fail     error
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		uploaded: map[string][]byte{},
+		models: []ModelStatus{
+			{Name: "isolet", ActiveVersion: 2, Default: true, Live: true, Served: 42,
+				Dim: 256, Classes: 26, Versions: []VersionInfo{{Version: 1}, {Version: 2}}},
+			{Name: "mnist", ActiveVersion: 1, Live: true, Versions: []VersionInfo{{Version: 1}}},
+		},
+	}
+}
+
+func (f *fakeBackend) Upload(name string, blob []byte, activate bool) (int, error) {
+	f.lastCall = fmt.Sprintf("upload %s activate=%v", name, activate)
+	if f.fail != nil {
+		return 0, f.fail
+	}
+	f.uploaded[name] = blob
+	return 3, nil
+}
+
+func (f *fakeBackend) Activate(name string, version int) error {
+	f.lastCall = fmt.Sprintf("activate %s %d", name, version)
+	return f.fail
+}
+
+func (f *fakeBackend) Rollback(name string) (int, error) {
+	f.lastCall = "rollback " + name
+	if f.fail != nil {
+		return 0, f.fail
+	}
+	return 1, nil
+}
+
+func (f *fakeBackend) Deregister(name string) error {
+	f.lastCall = "deregister " + name
+	return f.fail
+}
+
+func (f *fakeBackend) SetDefault(name string) error {
+	f.lastCall = "default " + name
+	return f.fail
+}
+
+func (f *fakeBackend) Status() []ModelStatus { return f.models }
+
+func newTestHandler(t *testing.T, b Backend) *Handler {
+	t.Helper()
+	h, err := NewHandler(b, testToken, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// do runs one authenticated request and returns the recorder.
+func do(t *testing.T, h http.Handler, method, path string, body io.Reader) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, body)
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestEmptyTokenRefused(t *testing.T) {
+	if _, err := NewHandler(newFakeBackend(), "", 0); err == nil {
+		t.Fatal("NewHandler with empty token succeeded")
+	}
+	if _, err := NewHandler(nil, testToken, 0); err == nil {
+		t.Fatal("NewHandler with nil backend succeeded")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	h := newTestHandler(t, newFakeBackend())
+	for _, header := range []string{"", "Bearer wrong", "Basic " + testToken, "Bearer"} {
+		req := httptest.NewRequest("GET", "/v1/models", nil)
+		if header != "" {
+			req.Header.Set("Authorization", header)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusUnauthorized {
+			t.Errorf("Authorization %q → %d, want 401", header, w.Code)
+		}
+		if w.Header().Get("WWW-Authenticate") == "" {
+			t.Errorf("Authorization %q: 401 without WWW-Authenticate", header)
+		}
+	}
+}
+
+func TestListAndGet(t *testing.T) {
+	h := newTestHandler(t, newFakeBackend())
+
+	w := do(t, h, "GET", "/v1/models", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("list → %d: %s", w.Code, w.Body)
+	}
+	var listing struct {
+		Models []ModelStatus `json:"models"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Models) != 2 || listing.Models[0].Name != "isolet" || !listing.Models[0].Default {
+		t.Fatalf("listing = %+v", listing.Models)
+	}
+	if listing.Models[0].Served != 42 || len(listing.Models[0].Versions) != 2 {
+		t.Fatalf("isolet status = %+v", listing.Models[0])
+	}
+
+	w = do(t, h, "GET", "/v1/models/mnist", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("get → %d", w.Code)
+	}
+	var one ModelStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Name != "mnist" || one.ActiveVersion != 1 {
+		t.Fatalf("get mnist = %+v", one)
+	}
+
+	if w := do(t, h, "GET", "/v1/models/nope", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("get unknown → %d, want 404", w.Code)
+	}
+}
+
+func TestUpload(t *testing.T) {
+	b := newFakeBackend()
+	h := newTestHandler(t, b)
+
+	w := do(t, h, "POST", "/v1/models/isolet/versions", bytes.NewReader([]byte("blob")))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("upload → %d: %s", w.Code, w.Body)
+	}
+	if b.lastCall != "upload isolet activate=true" || string(b.uploaded["isolet"]) != "blob" {
+		t.Fatalf("backend saw %q, blob %q", b.lastCall, b.uploaded["isolet"])
+	}
+	var resp struct {
+		Version int  `json:"version"`
+		Active  bool `json:"active"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 3 || !resp.Active {
+		t.Fatalf("upload response = %+v", resp)
+	}
+
+	// Staged upload: ?activate=false reaches the backend.
+	do(t, h, "POST", "/v1/models/isolet/versions?activate=false", bytes.NewReader([]byte("b2")))
+	if b.lastCall != "upload isolet activate=false" {
+		t.Fatalf("staged upload saw %q", b.lastCall)
+	}
+
+	if w := do(t, h, "POST", "/v1/models/isolet/versions?activate=maybe", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad activate flag → %d, want 400", w.Code)
+	}
+}
+
+func TestUploadTooLarge(t *testing.T) {
+	h, err := NewHandler(newFakeBackend(), testToken, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, h, "POST", "/v1/models/m/versions", bytes.NewReader(make([]byte, 64)))
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload → %d, want 413", w.Code)
+	}
+}
+
+func TestActivateValidation(t *testing.T) {
+	b := newFakeBackend()
+	h := newTestHandler(t, b)
+	for _, q := range []string{"", "?version=0", "?version=-1", "?version=abc"} {
+		if w := do(t, h, "POST", "/v1/models/m/activate"+q, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("activate%s → %d, want 400", q, w.Code)
+		}
+	}
+	w := do(t, h, "POST", "/v1/models/m/activate?version=2", nil)
+	if w.Code != http.StatusOK || b.lastCall != "activate m 2" {
+		t.Fatalf("activate → %d, backend saw %q", w.Code, b.lastCall)
+	}
+}
+
+func TestRollbackDefaultDelete(t *testing.T) {
+	b := newFakeBackend()
+	h := newTestHandler(t, b)
+
+	w := do(t, h, "POST", "/v1/models/m/rollback", nil)
+	if w.Code != http.StatusOK || b.lastCall != "rollback m" {
+		t.Fatalf("rollback → %d, backend saw %q", w.Code, b.lastCall)
+	}
+	if !strings.Contains(w.Body.String(), `"version": 1`) {
+		t.Fatalf("rollback body %s", w.Body)
+	}
+
+	if w := do(t, h, "POST", "/v1/models/m/default", nil); w.Code != http.StatusOK || b.lastCall != "default m" {
+		t.Fatalf("default → %d, backend saw %q", w.Code, b.lastCall)
+	}
+	if w := do(t, h, "DELETE", "/v1/models/m", nil); w.Code != http.StatusOK || b.lastCall != "deregister m" {
+		t.Fatalf("delete → %d, backend saw %q", w.Code, b.lastCall)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{store.ErrUnknownModel, http.StatusNotFound},
+		{store.ErrUnknownVersion, http.StatusNotFound},
+		{fmt.Errorf("wrapped: %w", store.ErrBadName), http.StatusBadRequest},
+		{fmt.Errorf("load: %w", hdc.ErrCorrupt), http.StatusBadRequest},
+		{store.ErrCorrupt, http.StatusBadRequest},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		b := newFakeBackend()
+		b.fail = tc.err
+		h := newTestHandler(t, b)
+		w := do(t, h, "POST", "/v1/models/m/rollback", nil)
+		if w.Code != tc.want {
+			t.Errorf("backend error %v → %d, want %d", tc.err, w.Code, tc.want)
+		}
+	}
+}
+
+func TestServeGracefulStop(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newTestHandler(t, newFakeBackend())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, lis, h) }()
+
+	// The server answers over a real socket.
+	req, _ := http.NewRequest("GET", "http://"+lis.Addr().String()+"/v1/models", nil)
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live request → %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after cancel = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not stop after cancel")
+	}
+}

@@ -2,8 +2,31 @@ package hdc
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+)
+
+// ErrCorrupt reports a model blob that failed to decode or validate —
+// truncated, bit-flipped, or hostile bytes. Loaders wrap every decode and
+// bounds failure in it so callers (the on-disk store, the admin upload
+// path) can map "bad blob" to one typed condition with errors.Is.
+var ErrCorrupt = errors.New("hdc: corrupt model data")
+
+// Hard ceilings on decoded geometry. Gob length fields are
+// attacker-controlled, so every allocation a loader performs must be
+// bounded before it happens; these caps sit far above any real Prive-HD
+// deployment (the paper's largest geometry is D=10,000) while keeping the
+// worst-case decode allocation in the hundreds of megabytes rather than
+// unbounded.
+const (
+	// MaxDim bounds hypervector dimensionality.
+	MaxDim = 1 << 22
+	// MaxClasses bounds the label-space size.
+	MaxClasses = 1 << 16
+	// maxModelCells bounds classes×dim, the dominant allocation.
+	maxModelCells = 1 << 28
 )
 
 // modelWire is the gob wire format for Model. Keeping it separate from the
@@ -24,23 +47,39 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadModel reads a model previously written with Save.
+// LoadModel reads a model previously written with Save. Any decode or
+// validation failure wraps ErrCorrupt; garbage input never panics and
+// never allocates beyond the MaxDim/MaxClasses ceilings.
 func LoadModel(r io.Reader) (*Model, error) {
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("hdc: loading model: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", ErrCorrupt, err)
 	}
-	if wire.Dim <= 0 || len(wire.Classes) == 0 {
-		return nil, fmt.Errorf("hdc: loaded model is malformed (dim=%d, classes=%d)",
-			wire.Dim, len(wire.Classes))
+	switch {
+	case wire.Dim <= 0 || wire.Dim > MaxDim:
+		return nil, fmt.Errorf("%w: dim %d out of range (0, %d]", ErrCorrupt, wire.Dim, MaxDim)
+	case len(wire.Classes) == 0 || len(wire.Classes) > MaxClasses:
+		return nil, fmt.Errorf("%w: class count %d out of range (0, %d]", ErrCorrupt, len(wire.Classes), MaxClasses)
+	case len(wire.Classes)*wire.Dim > maxModelCells:
+		return nil, fmt.Errorf("%w: model size %d×%d exceeds %d cells", ErrCorrupt, len(wire.Classes), wire.Dim, maxModelCells)
+	case len(wire.Counts) > len(wire.Classes):
+		return nil, fmt.Errorf("%w: %d counts for %d classes", ErrCorrupt, len(wire.Counts), len(wire.Classes))
 	}
 	m := NewModel(len(wire.Classes), wire.Dim)
 	for l, c := range wire.Classes {
 		if len(c) != wire.Dim {
-			return nil, fmt.Errorf("hdc: loaded class %d has dim %d, want %d", l, len(c), wire.Dim)
+			return nil, fmt.Errorf("%w: class %d has dim %d, want %d", ErrCorrupt, l, len(c), wire.Dim)
+		}
+		for _, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: class %d carries a non-finite value", ErrCorrupt, l)
+			}
 		}
 		copy(m.classes[l], c)
 		if l < len(wire.Counts) {
+			if wire.Counts[l] < 0 {
+				return nil, fmt.Errorf("%w: class %d has negative count %d", ErrCorrupt, l, wire.Counts[l])
+			}
 			m.counts[l] = wire.Counts[l]
 		}
 	}

@@ -955,6 +955,7 @@ func (s *Server) answerClassify(modelName string, req Request) Reply {
 	s.mu.Lock()
 	s.served += len(req.Queries)
 	s.mu.Unlock()
+	entry.AddServed(len(req.Queries))
 	return Reply{Results: results}
 }
 

@@ -81,7 +81,23 @@ type Entry struct {
 	// Encoder is the model's public encoder setup (may be zero for
 	// bare-model entries).
 	Encoder EncoderInfo
+
+	// served counts queries answered under this name across publications:
+	// Register creates the counter, Swap carries it into the new entry, so
+	// it measures the name's lifetime traffic rather than one version's.
+	served *atomic.Uint64
 }
+
+// AddServed records n more queries answered against this entry's model.
+func (e *Entry) AddServed(n int) {
+	if n > 0 {
+		e.served.Add(uint64(n))
+	}
+}
+
+// Served returns how many queries have been answered under this entry's
+// name since it was first registered (hot swaps do not reset it).
+func (e *Entry) Served() uint64 { return e.served.Load() }
 
 // snapshot is one immutable RCU view of the registry.
 type snapshot struct {
@@ -126,11 +142,21 @@ func (r *Registry) publish(next *snapshot) { r.snap.Store(next) }
 // SetDefault chose another. Registering an existing name is an error — use
 // Swap to update a live model.
 func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*Entry, error) {
+	return r.RegisterVersion(name, model, info, 1)
+}
+
+// RegisterVersion is Register with an explicit starting version — the hook
+// a durable store uses to replay its persisted version numbers after a
+// restart, so handshakes advertise the same version before and after.
+func (r *Registry) RegisterVersion(name string, model *hdc.Model, info EncoderInfo, version int) (*Entry, error) {
 	if name == "" {
 		return nil, errors.New("registry: model name must not be empty")
 	}
 	if model == nil {
 		return nil, errors.New("registry: model must not be nil")
+	}
+	if version < 1 {
+		return nil, fmt.Errorf("registry: version must be at least 1, got %d", version)
 	}
 	// Freeze the norm caches and derive the packed-query integer planes so
 	// serving goroutines only ever read.
@@ -141,7 +167,7 @@ func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*E
 	if _, exists := next.entries[name]; exists {
 		return nil, fmt.Errorf("registry: model %q already registered (use Swap to update it)", name)
 	}
-	e := &Entry{Name: name, Version: 1, Model: model, Scorer: model.PackedScorer(), Encoder: info}
+	e := &Entry{Name: name, Version: version, Model: model, Scorer: model.PackedScorer(), Encoder: info, served: new(atomic.Uint64)}
 	next.entries[name] = e
 	if next.defaultName == "" {
 		next.defaultName = name
@@ -156,8 +182,19 @@ func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*E
 // are never dropped. It returns ErrUnknownModel if name was never
 // registered.
 func (r *Registry) Swap(name string, model *hdc.Model, info EncoderInfo) (*Entry, error) {
+	return r.SwapVersion(name, model, info, 0)
+}
+
+// SwapVersion is Swap with an explicit published version (0 means bump the
+// old version by one, as Swap does). A durable store uses it so the live
+// version always equals the persisted one — including rollbacks, where the
+// published version moves backwards.
+func (r *Registry) SwapVersion(name string, model *hdc.Model, info EncoderInfo, version int) (*Entry, error) {
 	if model == nil {
 		return nil, errors.New("registry: model must not be nil")
+	}
+	if version < 0 {
+		return nil, fmt.Errorf("registry: version must be non-negative, got %d", version)
 	}
 	model.Precompute()
 	r.mu.Lock()
@@ -167,7 +204,10 @@ func (r *Registry) Swap(name string, model *hdc.Model, info EncoderInfo) (*Entry
 	if !exists {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
-	e := &Entry{Name: name, Version: old.Version + 1, Model: model, Scorer: model.PackedScorer(), Encoder: info}
+	if version == 0 {
+		version = old.Version + 1
+	}
+	e := &Entry{Name: name, Version: version, Model: model, Scorer: model.PackedScorer(), Encoder: info, served: old.served}
 	next.entries[name] = e
 	r.publish(next)
 	return e, nil
@@ -203,6 +243,18 @@ func (r *Registry) SetDefault(name string) error {
 	next.defaultName = name
 	r.publish(next)
 	return nil
+}
+
+// ClearDefault leaves the registry with no default model, so clients that
+// name none are rejected until SetDefault (or the next Register) chooses
+// one. A store replaying persisted state uses it to restore an explicit
+// "no default" exactly, overriding Register's first-model auto-default.
+func (r *Registry) ClearDefault() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.clone()
+	next.defaultName = ""
+	r.publish(next)
 }
 
 // DefaultName returns the current default model name ("" when unset).

@@ -1,0 +1,107 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterVersionSeedsExplicitVersion(t *testing.T) {
+	r := New()
+	e, err := r.RegisterVersion("m", labelModel(0), EncoderInfo{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 7 {
+		t.Fatalf("RegisterVersion(7) published version %d", e.Version)
+	}
+	// Plain Swap keeps counting from the seeded version.
+	e, err = r.Swap("m", labelModel(1), EncoderInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 8 {
+		t.Fatalf("Swap after seed = version %d, want 8", e.Version)
+	}
+	if _, err := r.RegisterVersion("bad", labelModel(0), EncoderInfo{}, 0); err == nil {
+		t.Fatal("RegisterVersion(0) should fail")
+	}
+}
+
+func TestSwapVersionCanMoveBackwards(t *testing.T) {
+	r := New()
+	if _, err := r.RegisterVersion("m", labelModel(0), EncoderInfo{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Rollback: the published version follows the store, even downwards.
+	e, err := r.SwapVersion("m", labelModel(1), EncoderInfo{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 2 {
+		t.Fatalf("SwapVersion(2) published version %d", e.Version)
+	}
+	// Version 0 means "bump", matching plain Swap.
+	e, err = r.SwapVersion("m", labelModel(0), EncoderInfo{}, 0)
+	if err != nil || e.Version != 3 {
+		t.Fatalf("SwapVersion(0) = version %d, %v; want 3", e.Version, err)
+	}
+	if _, err := r.SwapVersion("nope", labelModel(0), EncoderInfo{}, 1); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("SwapVersion unknown = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestClearDefault(t *testing.T) {
+	r := New()
+	if _, err := r.Register("m", labelModel(0), EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.DefaultName() != "m" {
+		t.Fatalf("auto-default = %q, want m", r.DefaultName())
+	}
+	r.ClearDefault()
+	if r.DefaultName() != "" {
+		t.Fatalf("ClearDefault left default %q", r.DefaultName())
+	}
+	if _, err := r.Lookup(""); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Lookup(\"\") after ClearDefault = %v, want ErrUnknownModel", err)
+	}
+	// A later Register does not resurrect the auto-default... actually it
+	// does, by design: the first Register into a default-less registry
+	// claims the default. Verify that documented behavior.
+	if _, err := r.Register("n", labelModel(1), EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.DefaultName() != "n" {
+		t.Fatalf("Register into default-less registry set default %q, want n", r.DefaultName())
+	}
+}
+
+func TestServedCounterSurvivesSwap(t *testing.T) {
+	r := New()
+	e, err := r.Register("m", labelModel(0), EncoderInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddServed(5)
+	if e.Served() != 5 {
+		t.Fatalf("Served = %d, want 5", e.Served())
+	}
+	// Swap carries the counter: it tracks the name, not the publication.
+	e2, err := r.Swap("m", labelModel(1), EncoderInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Served() != 5 {
+		t.Fatalf("Served after Swap = %d, want 5", e2.Served())
+	}
+	e2.AddServed(3)
+	if e.Served() != 8 || e2.Served() != 8 {
+		t.Fatalf("old/new entries disagree on Served: %d vs %d", e.Served(), e2.Served())
+	}
+	// A negative or zero add is a no-op, not a wraparound.
+	e2.AddServed(0)
+	e2.AddServed(-1)
+	if e2.Served() != 8 {
+		t.Fatalf("Served after no-op adds = %d, want 8", e2.Served())
+	}
+}

@@ -1,0 +1,709 @@
+// Package store is the durable half of the serving management plane: a
+// versioned, crash-safe, on-disk model store. The registry
+// (internal/registry) is deliberately in-memory — publication is an RCU
+// pointer swap — so by itself a restart forgets every Swap. The store gives
+// each registry mutation a durable shadow: model blobs (whatever bytes
+// Pipeline.Save produced) live as immutable numbered versions under a
+// per-model directory, and a single JSON manifest records, atomically,
+// which version of each model is active plus which model is the registry
+// default.
+//
+// # Directory layout
+//
+//	<dir>/manifest.json            one atomically-rewritten manifest
+//	<dir>/models/<name>/v000001.phd  immutable version blobs
+//	<dir>/models/<name>/v000002.phd
+//
+// # Crash safety
+//
+// Every write follows the classic temp-file + fsync + rename + fsync(dir)
+// discipline, blobs first, manifest last:
+//
+//   - A version blob is written to a temp file in its final directory,
+//     fsync'd, renamed into place, and the directory fsync'd. Blob files
+//     are immutable from then on.
+//   - The manifest is then rewritten the same way. The rename is the
+//     commit point: a crash before it leaves the previous manifest intact
+//     (the new blob is an unreferenced orphan, garbage-collected by the
+//     next Open); a crash after it leaves the new state. There is no
+//     window in which the manifest references bytes that are not fully on
+//     disk, and no window in which it is half-written.
+//
+// Every blob's SHA-256 and size are recorded in the manifest and verified
+// on Open and on every read, so silent corruption is detected instead of
+// served: a corrupt *active* version fails Open loudly (the operator must
+// intervene — serving a silently different model would be worse), while a
+// corrupt or missing *inactive* version is dropped from the manifest and
+// reported via Dropped.
+//
+// Open also garbage-collects: orphaned blobs and temp files from
+// interrupted commits are removed, and WithRetain bounds how many
+// superseded versions each model keeps.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Typed failures; test with errors.Is.
+var (
+	// ErrUnknownModel reports an operation naming a model the store does
+	// not hold.
+	ErrUnknownModel = errors.New("store: unknown model")
+	// ErrUnknownVersion reports an operation naming a version a model does
+	// not have (or a model with no active version).
+	ErrUnknownVersion = errors.New("store: unknown model version")
+	// ErrCorrupt reports on-disk state that fails validation: a manifest
+	// that does not parse, or a blob whose bytes no longer match the
+	// checksum recorded at commit time.
+	ErrCorrupt = errors.New("store: corrupt on-disk state")
+	// ErrBadName reports a model name that cannot be used as a directory
+	// name. Valid names start with an alphanumeric and continue with
+	// alphanumerics, '.', '_' or '-', at most 128 bytes.
+	ErrBadName = errors.New("store: invalid model name")
+)
+
+// renameFile is os.Rename, indirected so crash tests can fail the commit
+// point of a manifest or blob publication and assert the store is left in
+// either the old or the new state, never a corrupt one.
+var renameFile = os.Rename
+
+// manifestFormat versions the manifest schema.
+const manifestFormat = 1
+
+const (
+	manifestName = "manifest.json"
+	modelsDir    = "models"
+	blobSuffix   = ".phd"
+	tmpPrefix    = ".tmp-"
+)
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,127}$`)
+
+// ValidName reports whether name is usable as a store model name.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Version describes one immutable stored version of a model.
+type Version struct {
+	// Version is the 1-based, strictly increasing version number.
+	Version int
+	// SHA256 is the hex SHA-256 of the blob, recorded at commit time.
+	SHA256 string
+	// Size is the blob size in bytes.
+	Size int64
+	// Created is the commit time (UTC).
+	Created time.Time
+}
+
+// Model describes one stored model: its version history and which version
+// is active (0 = none, e.g. uploaded but never activated).
+type Model struct {
+	Name     string
+	Active   int
+	Versions []Version
+}
+
+// versionRecord and friends are the manifest JSON schema.
+type versionRecord struct {
+	Version int       `json:"version"`
+	File    string    `json:"file"`
+	SHA256  string    `json:"sha256"`
+	Size    int64     `json:"size"`
+	Created time.Time `json:"created"`
+}
+
+type modelRecord struct {
+	Active   int             `json:"active"`
+	Versions []versionRecord `json:"versions"`
+}
+
+type manifest struct {
+	Format  int                     `json:"format"`
+	Default string                  `json:"default,omitempty"`
+	Models  map[string]*modelRecord `json:"models"`
+}
+
+// clone deep-copies the manifest for copy-on-write mutation: a failed
+// commit must leave the in-memory view exactly as durable state says.
+func (m *manifest) clone() *manifest {
+	next := &manifest{Format: m.Format, Default: m.Default, Models: make(map[string]*modelRecord, len(m.Models))}
+	for name, rec := range m.Models {
+		next.Models[name] = &modelRecord{Active: rec.Active, Versions: append([]versionRecord(nil), rec.Versions...)}
+	}
+	return next
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithRetain bounds how many versions each model keeps: the active version
+// plus the n−1 highest-numbered others; older superseded versions are
+// garbage-collected at Open and after each Put. 0 (the default) keeps
+// every version.
+func WithRetain(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.retain = n
+		}
+	}
+}
+
+// Store is a versioned on-disk model store. All methods are safe for
+// concurrent use; mutations serialize on one mutex (this is a management
+// plane, not a hot path).
+type Store struct {
+	dir    string
+	retain int
+
+	mu      sync.Mutex
+	man     *manifest
+	dropped []string
+}
+
+// Open opens (creating if needed) the store rooted at dir: it replays the
+// manifest, verifies every referenced blob's checksum, drops corrupt or
+// missing inactive versions (see Dropped), fails on a corrupt active one,
+// removes orphaned blobs and temp files left by interrupted commits, and
+// applies the retention policy.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, modelsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	man, err := s.loadManifest()
+	if err != nil {
+		return nil, err
+	}
+	s.man = man
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Dropped returns the blob paths Open dropped or deleted while recovering:
+// corrupt or missing inactive versions, orphans from interrupted commits,
+// and leftover temp files. Useful for one startup log line.
+func (s *Store) Dropped() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.dropped...)
+}
+
+// loadManifest reads manifest.json, tolerating a missing file (empty
+// store) and ignoring any leftover temp manifest from an interrupted
+// rewrite.
+func (s *Store) loadManifest() (*manifest, error) {
+	path := filepath.Join(s.dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &manifest{Format: manifestFormat, Models: map[string]*modelRecord{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("%w: manifest does not parse: %v", ErrCorrupt, err)
+	}
+	if man.Format != manifestFormat {
+		return nil, fmt.Errorf("store: manifest format %d (this build reads %d)", man.Format, manifestFormat)
+	}
+	if man.Models == nil {
+		man.Models = map[string]*modelRecord{}
+	}
+	return &man, nil
+}
+
+// recover validates blobs against the manifest, drops what cannot be
+// served, garbage-collects orphans and applies retention. Called from Open
+// with the store otherwise unshared.
+func (s *Store) recover() error {
+	changed := false
+	for name, rec := range s.man.Models {
+		if !ValidName(name) {
+			return fmt.Errorf("%w: manifest holds invalid model name %q", ErrCorrupt, name)
+		}
+		kept := rec.Versions[:0]
+		for _, v := range rec.Versions {
+			err := s.verifyBlob(name, v)
+			if err == nil {
+				kept = append(kept, v)
+				continue
+			}
+			if v.Version == rec.Active {
+				return fmt.Errorf("model %q active version %d: %w", name, v.Version, err)
+			}
+			// A superseded version that rotted is dropped, not fatal: the
+			// active model is intact and serving beats bricking.
+			s.dropped = append(s.dropped, s.blobPath(name, v.File))
+			changed = true
+		}
+		rec.Versions = kept
+		if rec.Active != 0 && !hasVersion(rec, rec.Active) {
+			return fmt.Errorf("%w: model %q active version %d has no blob record", ErrCorrupt, name, rec.Active)
+		}
+	}
+	if s.man.Default != "" {
+		if _, ok := s.man.Models[s.man.Default]; !ok {
+			return fmt.Errorf("%w: manifest default %q is not a stored model", ErrCorrupt, s.man.Default)
+		}
+	}
+	victims := s.retentionVictims()
+	if len(victims) > 0 {
+		changed = true
+	}
+	if changed {
+		if err := s.writeManifest(s.man); err != nil {
+			return err
+		}
+	}
+	for _, path := range victims {
+		s.dropped = append(s.dropped, path)
+	}
+	s.removeFiles(victims)
+	s.sweepOrphans()
+	return nil
+}
+
+// retentionVictims drops versions beyond the retention bound from the
+// manifest (in place) and returns the blob paths to delete. Callers write
+// the manifest before deleting files: a crash in between leaves orphans,
+// which the next Open sweeps.
+func (s *Store) retentionVictims() []string {
+	if s.retain <= 0 {
+		return nil
+	}
+	var victims []string
+	for name, rec := range s.man.Models {
+		if len(rec.Versions) <= s.retain {
+			continue
+		}
+		// Keep the active version plus the retain−1 newest others; walk
+		// newest-first (versions are kept sorted ascending).
+		budget := s.retain
+		if rec.Active != 0 {
+			budget--
+		}
+		kept := make([]versionRecord, 0, s.retain)
+		for i := len(rec.Versions) - 1; i >= 0; i-- {
+			v := rec.Versions[i]
+			switch {
+			case v.Version == rec.Active:
+				kept = append(kept, v)
+			case budget > 0:
+				kept = append(kept, v)
+				budget--
+			default:
+				victims = append(victims, s.blobPath(name, v.File))
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i].Version < kept[j].Version })
+		rec.Versions = kept
+	}
+	return victims
+}
+
+// sweepOrphans removes blobs and temp files not referenced by the
+// manifest — the droppings of commits that crashed between blob rename and
+// manifest rename. Best-effort: sweep failures are not fatal.
+func (s *Store) sweepOrphans() {
+	root := filepath.Join(s.dir, modelsDir)
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	os.Remove(filepath.Join(s.dir, manifestName+".tmp"))
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		name := d.Name()
+		rec, live := s.man.Models[name]
+		files, err := os.ReadDir(filepath.Join(root, name))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			path := filepath.Join(root, name, f.Name())
+			if live && referenced(rec, f.Name()) {
+				continue
+			}
+			s.dropped = append(s.dropped, path)
+			os.Remove(path)
+		}
+		if !live {
+			os.Remove(filepath.Join(root, name))
+		}
+	}
+}
+
+func referenced(rec *modelRecord, file string) bool {
+	for _, v := range rec.Versions {
+		if v.File == file {
+			return true
+		}
+	}
+	return false
+}
+
+func hasVersion(rec *modelRecord, version int) bool {
+	for _, v := range rec.Versions {
+		if v.Version == version {
+			return true
+		}
+	}
+	return false
+}
+
+func findVersion(rec *modelRecord, version int) (versionRecord, bool) {
+	for _, v := range rec.Versions {
+		if v.Version == version {
+			return v, true
+		}
+	}
+	return versionRecord{}, false
+}
+
+func (s *Store) modelDir(name string) string {
+	return filepath.Join(s.dir, modelsDir, name)
+}
+
+func (s *Store) blobPath(name, file string) string {
+	return filepath.Join(s.modelDir(name), file)
+}
+
+// verifyBlob checks a recorded version's blob exists with the committed
+// size and checksum.
+func (s *Store) verifyBlob(name string, v versionRecord) error {
+	raw, err := os.ReadFile(s.blobPath(name, v.File))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if int64(len(raw)) != v.Size {
+		return fmt.Errorf("%w: blob %s is %d bytes, manifest says %d", ErrCorrupt, v.File, len(raw), v.Size)
+	}
+	if sum := sha256.Sum256(raw); hex.EncodeToString(sum[:]) != v.SHA256 {
+		return fmt.Errorf("%w: blob %s fails its checksum", ErrCorrupt, v.File)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort on filesystems that refuse directory fsync.
+func syncDir(path string) {
+	d, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// writeAtomic writes data to path via temp file + fsync + rename +
+// fsync(dir). The rename is the commit point.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := renameFile(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// writeManifest atomically rewrites manifest.json to reflect man.
+func (s *Store) writeManifest(man *manifest) error {
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := writeAtomic(filepath.Join(s.dir, manifestName), raw); err != nil {
+		return fmt.Errorf("store: committing manifest: %w", err)
+	}
+	return nil
+}
+
+// Put writes blob as the next version of name and commits it to the
+// manifest — active when activate is true, as a staged inactive version
+// otherwise. The blob file lands (fsync'd) before the manifest references
+// it, so a crash at any point leaves either the previous state or the new
+// one, never a manifest pointing at missing bytes. It returns the new
+// version number.
+func (s *Store) Put(name string, blob []byte, activate bool) (int, error) {
+	if !ValidName(name) {
+		return 0, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if len(blob) == 0 {
+		return 0, errors.New("store: refusing to store an empty model blob")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	next := s.man.clone()
+	rec := next.Models[name]
+	if rec == nil {
+		rec = &modelRecord{}
+		next.Models[name] = rec
+	}
+	version := 1
+	if n := len(rec.Versions); n > 0 {
+		version = rec.Versions[n-1].Version + 1
+	}
+	file := versionFile(version)
+	if err := os.MkdirAll(s.modelDir(name), 0o755); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if err := writeAtomic(s.blobPath(name, file), blob); err != nil {
+		return 0, fmt.Errorf("store: writing model blob: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	rec.Versions = append(rec.Versions, versionRecord{
+		Version: version,
+		File:    file,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Size:    int64(len(blob)),
+		Created: time.Now().UTC(),
+	})
+	if activate {
+		rec.Active = version
+	}
+	// Apply retention to the candidate manifest so one commit both
+	// publishes the new version and forgets the expired ones.
+	save := s.man
+	s.man = next
+	victims := s.retentionVictims()
+	if err := s.writeManifest(next); err != nil {
+		// The manifest on disk still names the old state; the new blob is
+		// an orphan. Restore the in-memory view and clean up best-effort.
+		s.man = save
+		os.Remove(s.blobPath(name, file))
+		return 0, err
+	}
+	s.removeFiles(victims)
+	return version, nil
+}
+
+func versionFile(version int) string { return fmt.Sprintf("v%06d%s", version, blobSuffix) }
+
+func (s *Store) removeFiles(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// Activate marks an existing version of name active — the durable half of
+// an activation or rollback. The manifest rewrite is the commit point.
+func (s *Store) Activate(name string, version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.man.clone()
+	rec := next.Models[name]
+	if rec == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if !hasVersion(rec, version) {
+		return fmt.Errorf("%w: model %q has no version %d", ErrUnknownVersion, name, version)
+	}
+	rec.Active = version
+	if err := s.writeManifest(next); err != nil {
+		return err
+	}
+	s.man = next
+	return nil
+}
+
+// SetDefault records name as the registry default ("" clears it). The
+// model must exist in the store.
+func (s *Store) SetDefault(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.man.clone()
+	if name != "" {
+		if _, ok := next.Models[name]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		}
+	}
+	next.Default = name
+	if err := s.writeManifest(next); err != nil {
+		return err
+	}
+	s.man = next
+	return nil
+}
+
+// Default returns the recorded registry default ("" when unset).
+func (s *Store) Default() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Default
+}
+
+// Remove forgets a model: its manifest entry (and the default, if it was
+// the default) goes in one atomic commit, then its blob directory is
+// deleted best-effort (a crash in between leaves orphans for the next
+// Open's sweep).
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.man.clone()
+	if _, ok := next.Models[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	delete(next.Models, name)
+	if next.Default == name {
+		next.Default = ""
+	}
+	if err := s.writeManifest(next); err != nil {
+		return err
+	}
+	s.man = next
+	os.RemoveAll(s.modelDir(name))
+	return nil
+}
+
+// Get returns the active version's blob (checksum-verified) and its
+// version number.
+func (s *Store) Get(name string) ([]byte, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.man.Models[name]
+	if rec == nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if rec.Active == 0 {
+		return nil, 0, fmt.Errorf("%w: model %q has no active version", ErrUnknownVersion, name)
+	}
+	blob, err := s.readVersion(name, rec, rec.Active)
+	return blob, rec.Active, err
+}
+
+// GetVersion returns one specific version's blob, checksum-verified.
+func (s *Store) GetVersion(name string, version int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.man.Models[name]
+	if rec == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return s.readVersion(name, rec, version)
+}
+
+func (s *Store) readVersion(name string, rec *modelRecord, version int) ([]byte, error) {
+	v, ok := findVersion(rec, version)
+	if !ok {
+		return nil, fmt.Errorf("%w: model %q has no version %d", ErrUnknownVersion, name, version)
+	}
+	raw, err := os.ReadFile(s.blobPath(name, v.File))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if int64(len(raw)) != v.Size {
+		return nil, fmt.Errorf("%w: model %q version %d is %d bytes, manifest says %d",
+			ErrCorrupt, name, version, len(raw), v.Size)
+	}
+	if sum := sha256.Sum256(raw); hex.EncodeToString(sum[:]) != v.SHA256 {
+		return nil, fmt.Errorf("%w: model %q version %d fails its checksum", ErrCorrupt, name, version)
+	}
+	return raw, nil
+}
+
+// List returns every stored model with its full version history, sorted by
+// name. The result is a deep copy.
+func (s *Store) List() []Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Model, 0, len(s.man.Models))
+	for name, rec := range s.man.Models {
+		m := Model{Name: name, Active: rec.Active, Versions: make([]Version, len(rec.Versions))}
+		for i, v := range rec.Versions {
+			m.Versions[i] = Version{Version: v.Version, SHA256: v.SHA256, Size: v.Size, Created: v.Created}
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of stored models.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.man.Models)
+}
+
+// Lookup returns one stored model's state.
+func (s *Store) Lookup(name string) (Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.man.Models[name]
+	if rec == nil {
+		return Model{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	m := Model{Name: name, Active: rec.Active, Versions: make([]Version, len(rec.Versions))}
+	for i, v := range rec.Versions {
+		m.Versions[i] = Version{Version: v.Version, SHA256: v.SHA256, Size: v.Size, Created: v.Created}
+	}
+	return m, nil
+}
+
+// PreviousVersion returns the version to roll back to: the highest stored
+// version strictly below the active one.
+func (s *Store) PreviousVersion(name string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.man.Models[name]
+	if rec == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if rec.Active == 0 {
+		return 0, fmt.Errorf("%w: model %q has no active version", ErrUnknownVersion, name)
+	}
+	prev := 0
+	for _, v := range rec.Versions {
+		if v.Version < rec.Active && v.Version > prev {
+			prev = v.Version
+		}
+	}
+	if prev == 0 {
+		return 0, fmt.Errorf("%w: model %q has no version before %d to roll back to",
+			ErrUnknownVersion, name, rec.Active)
+	}
+	return prev, nil
+}

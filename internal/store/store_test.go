@@ -1,0 +1,428 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func put(t *testing.T, s *Store, name string, blob []byte, activate bool) int {
+	t.Helper()
+	v, err := s.Put(name, blob, activate)
+	if err != nil {
+		t.Fatalf("Put(%s): %v", name, err)
+	}
+	return v
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	blob1 := []byte("model-bytes-v1")
+	blob2 := []byte("model-bytes-v2-longer")
+
+	if v := put(t, s, "isolet", blob1, true); v != 1 {
+		t.Fatalf("first Put returned version %d, want 1", v)
+	}
+	if v := put(t, s, "isolet", blob2, true); v != 2 {
+		t.Fatalf("second Put returned version %d, want 2", v)
+	}
+
+	got, active, err := s.Get("isolet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active != 2 || !bytes.Equal(got, blob2) {
+		t.Fatalf("Get = version %d, %q; want 2, %q", active, got, blob2)
+	}
+	old, err := s.GetVersion("isolet", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old, blob1) {
+		t.Fatalf("GetVersion(1) = %q, want %q", old, blob1)
+	}
+
+	list := s.List()
+	if len(list) != 1 || list[0].Name != "isolet" || list[0].Active != 2 || len(list[0].Versions) != 2 {
+		t.Fatalf("List = %+v", list)
+	}
+	for i, v := range list[0].Versions {
+		if v.Version != i+1 || v.SHA256 == "" || v.Size == 0 || v.Created.IsZero() {
+			t.Fatalf("version record %d incomplete: %+v", i, v)
+		}
+	}
+}
+
+func TestUnknownModelAndVersion(t *testing.T) {
+	s := open(t, t.TempDir())
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Get unknown = %v, want ErrUnknownModel", err)
+	}
+	put(t, s, "m", []byte("x"), true)
+	if _, err := s.GetVersion("m", 7); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("GetVersion(7) = %v, want ErrUnknownVersion", err)
+	}
+	if err := s.Activate("m", 7); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Activate(7) = %v, want ErrUnknownVersion", err)
+	}
+	if err := s.Activate("nope", 1); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Activate unknown = %v, want ErrUnknownModel", err)
+	}
+	if err := s.SetDefault("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("SetDefault unknown = %v, want ErrUnknownModel", err)
+	}
+	if err := s.Remove("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Remove unknown = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestBadNamesRejected(t *testing.T) {
+	s := open(t, t.TempDir())
+	for _, name := range []string{"", ".", "..", "../evil", "a/b", ".hidden", "-dash", "x y"} {
+		if _, err := s.Put(name, []byte("b"), true); !errors.Is(err, ErrBadName) {
+			t.Errorf("Put(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+	for _, name := range []string{"default", "mnist-large", "a.b_c-d", "X9"} {
+		if !ValidName(name) {
+			t.Errorf("ValidName(%q) = false, want true", name)
+		}
+	}
+}
+
+func TestStagedPutThenActivate(t *testing.T) {
+	s := open(t, t.TempDir())
+	put(t, s, "m", []byte("v1"), true)
+	v2 := put(t, s, "m", []byte("v2"), false) // staged, not active
+	if _, active, _ := s.Get("m"); active != 1 {
+		t.Fatalf("staged Put changed active to %d", active)
+	}
+	if err := s.Activate("m", v2); err != nil {
+		t.Fatal(err)
+	}
+	got, active, err := s.Get("m")
+	if err != nil || active != 2 || string(got) != "v2" {
+		t.Fatalf("after Activate: %q v%d err=%v", got, active, err)
+	}
+}
+
+func TestNeverActivatedModel(t *testing.T) {
+	s := open(t, t.TempDir())
+	put(t, s, "staged", []byte("v1"), false)
+	if _, _, err := s.Get("staged"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Get on never-activated model = %v, want ErrUnknownVersion", err)
+	}
+	// Survives a reopen with Active == 0.
+	s2 := open(t, s.Dir())
+	m, err := s2.Lookup("staged")
+	if err != nil || m.Active != 0 || len(m.Versions) != 1 {
+		t.Fatalf("reopened staged model = %+v, err=%v", m, err)
+	}
+}
+
+// TestReopenRestoresExactState is the restart-semantics contract: every
+// Put/Activate/SetDefault is durable, and Open replays exactly the last
+// committed state.
+func TestReopenRestoresExactState(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	put(t, s, "a", []byte("a1"), true)
+	put(t, s, "a", []byte("a2"), true)
+	put(t, s, "b", []byte("b1"), true)
+	if err := s.Activate("a", 1); err != nil { // roll a back to v1
+		t.Fatal(err)
+	}
+	if err := s.SetDefault("b"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.List()
+
+	s2 := open(t, dir)
+	after := s2.List()
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Fatalf("reopen changed state:\nbefore %v\nafter  %v", before, after)
+	}
+	if s2.Default() != "b" {
+		t.Fatalf("reopen default = %q, want b", s2.Default())
+	}
+	if _, active, _ := s2.Get("a"); active != 1 {
+		t.Fatalf("reopen active(a) = %d, want 1 (the rollback)", active)
+	}
+	blob, _, err := s2.Get("a")
+	if err != nil || string(blob) != "a1" {
+		t.Fatalf("reopen Get(a) = %q, %v", blob, err)
+	}
+}
+
+func TestRemoveModel(t *testing.T) {
+	s := open(t, t.TempDir())
+	put(t, s, "m", []byte("v1"), true)
+	if err := s.SetDefault("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("m"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Default() != "" {
+		t.Fatalf("Remove left default %q", s.Default())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Remove left %d models", s.Len())
+	}
+	if _, err := os.Stat(s.modelDir("m")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("model dir survived Remove: %v", err)
+	}
+	// Durable across reopen.
+	if s2 := open(t, s.Dir()); s2.Len() != 0 || s2.Default() != "" {
+		t.Fatal("Remove did not survive reopen")
+	}
+}
+
+// TestInjectedManifestRenameFailure is the kill-style mid-commit crash
+// test: the manifest rename (the commit point) fails after the new blob
+// landed. The Put must report the error, the in-memory view must still
+// match disk, and a reopen must see the old state with the orphan blob
+// swept.
+func TestInjectedManifestRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	put(t, s, "m", []byte("v1"), true)
+
+	boom := errors.New("injected rename failure")
+	renameFile = func(oldpath, newpath string) error {
+		if filepath.Base(newpath) == manifestName {
+			os.Remove(oldpath) // the temp file is "lost with the crash"
+			return boom
+		}
+		return os.Rename(oldpath, newpath)
+	}
+	defer func() { renameFile = os.Rename }()
+
+	if _, err := s.Put("m", []byte("v2"), true); !errors.Is(err, boom) {
+		t.Fatalf("Put under injected crash = %v, want injected failure", err)
+	}
+	renameFile = os.Rename
+
+	// In-memory state rolled back: v2 never happened.
+	blob, active, err := s.Get("m")
+	if err != nil || active != 1 || string(blob) != "v1" {
+		t.Fatalf("after failed commit: %q v%d err=%v, want v1", blob, active, err)
+	}
+	// And the next Put gets version 2 again, cleanly.
+	if v := put(t, s, "m", []byte("v2b"), true); v != 2 {
+		t.Fatalf("Put after failed commit returned version %d, want 2", v)
+	}
+
+	// Reopen from disk: consistent, never corrupt.
+	s2 := open(t, dir)
+	blob, active, err = s2.Get("m")
+	if err != nil || active != 2 || string(blob) != "v2b" {
+		t.Fatalf("reopen after crash: %q v%d err=%v", blob, active, err)
+	}
+}
+
+// TestCrashBetweenBlobAndManifest simulates dying after the blob rename
+// but before the manifest commit: the blob must be swept as an orphan on
+// the next Open and the old state served.
+func TestCrashBetweenBlobAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	put(t, s, "m", []byte("v1"), true)
+
+	// Hand-plant the orphan exactly where a crashed Put would leave it.
+	orphan := s.blobPath("m", versionFile(2))
+	if err := os.WriteFile(orphan, []byte("half-committed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plus a leftover temp file from an interrupted writeAtomic.
+	tmp := filepath.Join(s.modelDir("m"), tmpPrefix+"junk")
+	if err := os.WriteFile(tmp, []byte("tmp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan blob survived reopen")
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file survived reopen")
+	}
+	if len(s2.Dropped()) == 0 {
+		t.Fatal("Dropped() reported nothing for the swept orphan")
+	}
+	blob, active, err := s2.Get("m")
+	if err != nil || active != 1 || string(blob) != "v1" {
+		t.Fatalf("after orphan sweep: %q v%d err=%v", blob, active, err)
+	}
+	// The swept version number is reused cleanly.
+	if v := put(t, s2, "m", []byte("v2"), true); v != 2 {
+		t.Fatalf("Put after sweep returned version %d, want 2", v)
+	}
+}
+
+func TestCorruptActiveBlobFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	put(t, s, "m", []byte("model-bytes"), true)
+	flipByte(t, s.blobPath("m", versionFile(1)))
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt active blob = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptInactiveBlobDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	put(t, s, "m", []byte("v1"), true)
+	put(t, s, "m", []byte("v2"), true)
+	flipByte(t, s.blobPath("m", versionFile(1)))
+
+	s2 := open(t, dir)
+	if len(s2.Dropped()) == 0 {
+		t.Fatal("corrupt inactive version not reported via Dropped")
+	}
+	m, err := s2.Lookup("m")
+	if err != nil || len(m.Versions) != 1 || m.Versions[0].Version != 2 {
+		t.Fatalf("corrupt inactive version not dropped: %+v err=%v", m, err)
+	}
+	if blob, active, err := s2.Get("m"); err != nil || active != 2 || string(blob) != "v2" {
+		t.Fatalf("active version damaged by drop: %q v%d err=%v", blob, active, err)
+	}
+}
+
+func TestCorruptionDetectedOnRead(t *testing.T) {
+	s := open(t, t.TempDir())
+	put(t, s, "m", []byte("model-bytes"), true)
+	flipByte(t, s.blobPath("m", versionFile(1)))
+	if _, _, err := s.Get("m"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over flipped blob = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGarbageManifestFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over garbage manifest = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, WithRetain(2))
+	for i := 1; i <= 5; i++ {
+		put(t, s, "m", []byte(fmt.Sprintf("v%d", i)), true)
+	}
+	m, _ := s.Lookup("m")
+	if len(m.Versions) != 2 || m.Versions[0].Version != 4 || m.Versions[1].Version != 5 {
+		t.Fatalf("retain 2 kept %+v, want versions 4 and 5", m.Versions)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := os.Stat(s.blobPath("m", versionFile(i))); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("expired version %d blob still on disk", i)
+		}
+	}
+
+	// The active version is never collected, however old.
+	if err := s.Activate("m", 4); err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "m", []byte("v6"), false) // staged: active stays 4
+	put(t, s, "m", []byte("v7"), false)
+	m, _ = s.Lookup("m")
+	if m.Active != 4 || !hasVersionNum(m, 4) {
+		t.Fatalf("retention collected the active version: %+v", m)
+	}
+	if len(m.Versions) != 2 {
+		t.Fatalf("retain 2 kept %d versions: %+v", len(m.Versions), m.Versions)
+	}
+
+	// Retention also applies when an over-long store is reopened.
+	s2 := open(t, dir, WithRetain(1))
+	m, _ = s2.Lookup("m")
+	if len(m.Versions) != 1 || m.Versions[0].Version != 4 {
+		t.Fatalf("reopen with retain 1 kept %+v, want just active v4", m.Versions)
+	}
+}
+
+func TestDefaultLifecycle(t *testing.T) {
+	s := open(t, t.TempDir())
+	put(t, s, "a", []byte("a"), true)
+	put(t, s, "b", []byte("b"), true)
+	if s.Default() != "" {
+		t.Fatalf("fresh store has default %q", s.Default())
+	}
+	if err := s.SetDefault("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDefault(""); err != nil {
+		t.Fatal(err)
+	}
+	if s.Default() != "" {
+		t.Fatalf("clearing default left %q", s.Default())
+	}
+}
+
+func TestPreviousVersion(t *testing.T) {
+	s := open(t, t.TempDir())
+	put(t, s, "m", []byte("v1"), true)
+	if _, err := s.PreviousVersion("m"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("PreviousVersion with one version = %v, want ErrUnknownVersion", err)
+	}
+	put(t, s, "m", []byte("v2"), true)
+	put(t, s, "m", []byte("v3"), true)
+	prev, err := s.PreviousVersion("m")
+	if err != nil || prev != 2 {
+		t.Fatalf("PreviousVersion = %d, %v; want 2", prev, err)
+	}
+	if err := s.Activate("m", prev); err != nil {
+		t.Fatal(err)
+	}
+	prev, err = s.PreviousVersion("m")
+	if err != nil || prev != 1 {
+		t.Fatalf("PreviousVersion after rollback = %d, %v; want 1", prev, err)
+	}
+}
+
+func TestEmptyBlobRejected(t *testing.T) {
+	s := open(t, t.TempDir())
+	if _, err := s.Put("m", nil, true); err == nil {
+		t.Fatal("Put(nil blob) succeeded")
+	}
+}
+
+func hasVersionNum(m Model, version int) bool {
+	for _, v := range m.Versions {
+		if v.Version == version {
+			return true
+		}
+	}
+	return false
+}
+
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

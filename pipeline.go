@@ -419,6 +419,47 @@ func (p *Pipeline) Calibration() (Calibration, error) {
 // protocol.
 const saveVersion = 1
 
+// ErrCorruptModel reports a saved-pipeline blob that failed to decode or
+// validate — truncated, bit-flipped, or hostile bytes. The durable store
+// replays blobs from disk at boot and the admin API accepts uploads from
+// the network, so Load treats every malformed input as this one typed
+// condition (test with errors.Is) and never panics on garbage. A
+// version-mismatch from a different build is reported separately: the blob
+// is well-formed, just not readable here.
+var ErrCorruptModel = hdc.ErrCorrupt
+
+// Ceilings on decoded pipeline geometry, enforced before any
+// geometry-sized allocation: gob length fields are attacker-controlled,
+// and rebuilding the encoder allocates levels×dim and features×dim float64
+// cells. The caps sit far above the paper's largest deployment (D=10,000,
+// 100 levels) while bounding hostile blobs to hundreds of megabytes.
+const (
+	maxLoadLevels = 1 << 16
+	maxLoadCells  = 1 << 28
+)
+
+// validateWire bounds a decoded pipelineWire's geometry before anything is
+// allocated from it.
+func (w *pipelineWire) validate() error {
+	switch {
+	case w.Dim <= 0 || w.Dim > hdc.MaxDim:
+		return fmt.Errorf("dim %d out of range (0, %d]", w.Dim, hdc.MaxDim)
+	case w.Levels < 2 || w.Levels > maxLoadLevels:
+		return fmt.Errorf("levels %d out of range [2, %d]", w.Levels, maxLoadLevels)
+	case w.Features < 0 || w.Features > maxLoadCells/w.Dim:
+		return fmt.Errorf("features %d out of range for dim %d", w.Features, w.Dim)
+	case w.Classes < 0 || w.Classes > hdc.MaxClasses:
+		return fmt.Errorf("classes %d out of range [0, %d]", w.Classes, hdc.MaxClasses)
+	case w.Levels > maxLoadCells/w.Dim:
+		return fmt.Errorf("level memory %d×%d exceeds %d cells", w.Levels, w.Dim, maxLoadCells)
+	case w.KeepDims < 0 || w.KeepDims > w.Dim:
+		return fmt.Errorf("pruning keep %d out of range [0, %d]", w.KeepDims, w.Dim)
+	case w.RetrainEpochs < 0:
+		return fmt.Errorf("negative retrain epochs %d", w.RetrainEpochs)
+	}
+	return nil
+}
+
 // pipelineWire is the gob serialization of a trained pipeline: the
 // configuration needed to rebuild the deterministic encoder, plus the
 // released model, pruning mask and privacy report.
@@ -481,19 +522,26 @@ func (p *Pipeline) Save(w io.Writer) error {
 
 // Load restores a pipeline previously written with Save. The encoder is
 // rebuilt deterministically from the saved seed, so a loaded pipeline
-// predicts identically to the one that was saved.
+// predicts identically to the one that was saved. Malformed input —
+// truncated, bit-flipped, hostile — fails with an error wrapping
+// ErrCorruptModel, with every allocation bounded before it happens; only a
+// well-formed blob from an incompatible save-format version fails without
+// it.
 func Load(r io.Reader) (*Pipeline, error) {
 	var wire pipelineWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("privehd: loading pipeline: %w", err)
+		return nil, fmt.Errorf("privehd: loading pipeline: %w: %v", ErrCorruptModel, err)
 	}
 	if wire.SaveVersion != saveVersion {
 		return nil, fmt.Errorf("privehd: unsupported save format version %d (this build reads %d)",
 			wire.SaveVersion, saveVersion)
 	}
+	if err := wire.validate(); err != nil {
+		return nil, fmt.Errorf("privehd: loading pipeline: %w: %v", ErrCorruptModel, err)
+	}
 	q, err := quant.Parse(wire.Quantizer)
 	if err != nil {
-		return nil, fmt.Errorf("privehd: loading pipeline: %w", err)
+		return nil, fmt.Errorf("privehd: loading pipeline: %w: %v", ErrCorruptModel, err)
 	}
 	cfg := defaultConfig()
 	cfg.dim = wire.Dim
@@ -508,7 +556,7 @@ func Load(r io.Reader) (*Pipeline, error) {
 	cfg.delta = wire.Delta
 	cfg.seed = wire.Seed
 	if err := cfg.validate("Load", nil); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorruptModel, err)
 	}
 	model, err := hdc.LoadModel(bytes.NewReader(wire.Model))
 	if err != nil {
@@ -517,7 +565,7 @@ func Load(r io.Reader) (*Pipeline, error) {
 	var mask *prune.Mask
 	if wire.Keep != nil {
 		if len(wire.Keep) != wire.Dim {
-			return nil, fmt.Errorf("privehd: loading pipeline: mask has %d dims, model %d", len(wire.Keep), wire.Dim)
+			return nil, fmt.Errorf("privehd: loading pipeline: %w: mask has %d dims, model %d", ErrCorruptModel, len(wire.Keep), wire.Dim)
 		}
 		mask = prune.NewMask(wire.Dim)
 		for j, keep := range wire.Keep {
@@ -528,7 +576,7 @@ func Load(r io.Reader) (*Pipeline, error) {
 	}
 	cp, err := core.Restore(cfg.coreConfig(), model, mask, wire.Report)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorruptModel, err)
 	}
 	cp.Model().Precompute()
 	return &Pipeline{cfg: cfg, classes: wire.Classes, core: cp}, nil
