@@ -3,6 +3,7 @@ package privehd
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"privehd/internal/cluster"
@@ -58,6 +59,7 @@ type clusterConfig struct {
 	pool          poolConfig
 	policy        BalancePolicy
 	probeInterval time.Duration
+	logger        *slog.Logger
 }
 
 // WithClusterModel selects which served model the cluster binds to
@@ -95,6 +97,13 @@ func WithClusterPool(opts ...PoolOption) ClusterOption {
 	}
 }
 
+// WithClusterLogger routes the cluster's structured health-transition
+// events (replica ejected / re-admitted, with address and reason) to the
+// given logger. By default they are discarded.
+func WithClusterLogger(log *slog.Logger) ClusterOption {
+	return func(c *clusterConfig) { c.logger = log }
+}
+
 // DialCluster connects to a replicated serving fleet — one model behind
 // many addresses — and validates the first reachable replica's handshake
 // eagerly (the context bounds it). Pass the Edge whose obfuscated queries
@@ -117,6 +126,7 @@ func DialCluster(ctx context.Context, network string, addrs []string, edge *Edge
 		Pool:          cfg.pool.toInternal(),
 		Policy:        cfg.policy,
 		ProbeInterval: cfg.probeInterval,
+		Logger:        cfg.logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("privehd: %w", err)

@@ -1,0 +1,427 @@
+// Command privehd-bench is a closed/open-loop load generator for a
+// Prive-HD serving fleet — the serving-side counterpart of the repo's
+// microbenchmark gate. It drives real cluster traffic through the same
+// client path production edges use (DialCluster + PredictPrepared) and
+// reports sustained queries/s with p50/p95/p99 latency.
+//
+// Two ways to point it at a fleet:
+//
+//   - -addrs host:port,host:port — load an already-running deployment.
+//   - -selfserve N — train a small synthetic model, serve it from N
+//     in-process replicas plus a /metrics listener, and benchmark that.
+//     This is the CI smoke mode: no external processes, fully hermetic.
+//
+// Two load modes:
+//
+//   - closed (default): -concurrency workers each issue the next query as
+//     soon as the previous answer lands. Measures peak sustainable
+//     throughput under a fixed multiprogramming level.
+//   - open: queries are dispatched on a fixed schedule of -rate arrivals
+//     per second regardless of how fast answers come back, and latency is
+//     measured from the *scheduled* send time — so queueing delay caused
+//     by a slow server is charged to the server, not silently absorbed by
+//     the client (no coordinated omission).
+//
+// With -check the tool scrapes /metrics immediately before and after the
+// measured window and asserts the server-side
+// privehd_server_queries_total counter moved by exactly the number of
+// queries the client tallied — closing the loop between the observability
+// surface and ground truth. -check needs a scrape endpoint that covers
+// every replica (selfserve mode wires one up automatically; for remote
+// fleets pass -scrape and make sure all replicas share the process behind
+// it).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"privehd"
+)
+
+type config struct {
+	addrs       []string // remote fleet; empty means selfserve
+	selfserve   int      // number of in-process replicas
+	dataset     string   // selfserve training workload
+	dim         int      // selfserve hypervector dimensionality
+	model       string   // model name to bind to
+	mode        string   // "closed" or "open"
+	concurrency int      // closed: workers; open: max outstanding
+	rate        float64  // open mode arrivals per second
+	duration    time.Duration
+	warmup      time.Duration
+	queries     int    // size of the prepared-query pool
+	scrape      string // metrics URL for -check ("" = none/auto)
+	check       bool
+	jsonOut     bool
+}
+
+// summary is the benchmark report. QPS counts successful queries over the
+// measured window; percentiles are over per-query latency (closed mode:
+// call time; open mode: time since scheduled arrival).
+type summary struct {
+	Mode        string  `json:"mode"`
+	Replicas    int     `json:"replicas"`
+	Concurrency int     `json:"concurrency"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50ms       float64 `json:"p50_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+
+	// MetricsChecked / ServerQueriesDelta report the -check cross-audit:
+	// the server-side counter movement over the measured window, which
+	// must equal Requests.
+	MetricsChecked     bool   `json:"metrics_checked"`
+	ServerQueriesDelta uint64 `json:"server_queries_delta,omitempty"`
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privehd-bench:", err)
+		os.Exit(2)
+	}
+	sum, err := run(context.Background(), cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privehd-bench:", err)
+		os.Exit(1)
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	} else {
+		printSummary(os.Stdout, sum)
+	}
+}
+
+func parseFlags(argv []string) (config, error) {
+	var (
+		fs   = flag.NewFlagSet("privehd-bench", flag.ContinueOnError)
+		cfg  config
+		list string
+	)
+	fs.StringVar(&list, "addrs", "", "comma-separated replica addresses of a running fleet")
+	fs.IntVar(&cfg.selfserve, "selfserve", 0, "serve N in-process replicas of a synthetic model instead of dialing -addrs")
+	fs.StringVar(&cfg.dataset, "dataset", "isolet-s", "selfserve training workload (isolet-s, face-s, mnist-s)")
+	fs.IntVar(&cfg.dim, "dim", 2048, "selfserve hypervector dimensionality")
+	fs.StringVar(&cfg.model, "model", "", "model name to bind to (selfserve default: bench)")
+	fs.StringVar(&cfg.mode, "mode", "closed", "load mode: closed (fixed workers) or open (fixed arrival rate)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed: worker count; open: max outstanding queries")
+	fs.Float64Var(&cfg.rate, "rate", 2000, "open mode target arrivals per second")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "measured window")
+	fs.DurationVar(&cfg.warmup, "warmup", time.Second, "warmup (closed-loop, excluded from the report)")
+	fs.IntVar(&cfg.queries, "queries", 64, "prepared-query pool size")
+	fs.StringVar(&cfg.scrape, "scrape", "", "metrics URL for -check (selfserve sets this automatically)")
+	fs.BoolVar(&cfg.check, "check", false, "scrape /metrics around the run and assert server counters match the client tally")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON on stdout")
+	if err := fs.Parse(argv); err != nil {
+		return cfg, err
+	}
+	if list != "" {
+		cfg.addrs = strings.Split(list, ",")
+	}
+	if len(cfg.addrs) == 0 && cfg.selfserve <= 0 {
+		return cfg, errors.New("need -addrs or -selfserve N")
+	}
+	if len(cfg.addrs) > 0 && cfg.selfserve > 0 {
+		return cfg, errors.New("-addrs and -selfserve are mutually exclusive")
+	}
+	if cfg.mode != "closed" && cfg.mode != "open" {
+		return cfg, fmt.Errorf("unknown -mode %q", cfg.mode)
+	}
+	if cfg.concurrency <= 0 || cfg.queries <= 0 || cfg.duration <= 0 {
+		return cfg, errors.New("-concurrency, -queries and -duration must be positive")
+	}
+	if cfg.mode == "open" && cfg.rate <= 0 {
+		return cfg, errors.New("open mode needs -rate > 0")
+	}
+	if cfg.model == "" && cfg.selfserve > 0 {
+		cfg.model = "bench"
+	}
+	return cfg, nil
+}
+
+// run executes one benchmark: stand up the fleet (selfserve) or dial it,
+// warm up, measure, and optionally cross-audit against /metrics. Progress
+// notes go to errw; the returned summary is the result.
+func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	addrs := cfg.addrs
+	scrape := cfg.scrape
+	var inputs [][]float64
+	if cfg.selfserve > 0 {
+		fleet, err := startSelfServe(ctx, cfg, errw)
+		if err != nil {
+			return nil, err
+		}
+		defer fleet.shutdown()
+		addrs, inputs = fleet.addrs, fleet.inputs
+		if scrape == "" {
+			scrape = fleet.metricsURL
+		}
+	}
+	if cfg.check && scrape == "" {
+		return nil, errors.New("-check needs a metrics endpoint: pass -scrape (or use -selfserve)")
+	}
+
+	dialCtx, dialCancel := context.WithTimeout(ctx, 10*time.Second)
+	cl, err := privehd.DialCluster(dialCtx, "tcp", addrs, nil,
+		privehd.WithClusterModel(cfg.model))
+	dialCancel()
+	if err != nil {
+		return nil, fmt.Errorf("dial fleet: %w", err)
+	}
+	defer cl.Close()
+
+	pool, err := queryPool(cl, cfg.queries, inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.warmup > 0 {
+		fmt.Fprintf(errw, "warming up %v (%d workers)\n", cfg.warmup, cfg.concurrency)
+		closedLoop(ctx, cl, pool, cfg.concurrency, cfg.warmup)
+	}
+
+	var before uint64
+	if cfg.check {
+		if before, err = scrapeQueries(scrape, cfg.model); err != nil {
+			return nil, fmt.Errorf("pre-run scrape: %w", err)
+		}
+	}
+
+	fmt.Fprintf(errw, "measuring %v in %s mode\n", cfg.duration, cfg.mode)
+	var res runResult
+	start := time.Now()
+	if cfg.mode == "open" {
+		res = openLoop(ctx, cl, pool, cfg.rate, cfg.concurrency, cfg.duration)
+	} else {
+		res = closedLoop(ctx, cl, pool, cfg.concurrency, cfg.duration)
+	}
+	elapsed := time.Since(start)
+
+	sum := &summary{
+		Mode:        cfg.mode,
+		Replicas:    len(addrs),
+		Concurrency: cfg.concurrency,
+		Seconds:     elapsed.Seconds(),
+		Requests:    res.ok,
+		Errors:      res.errs,
+		QPS:         float64(res.ok) / elapsed.Seconds(),
+	}
+	if cfg.mode == "open" {
+		sum.RateTarget = cfg.rate
+	}
+	sum.P50ms, sum.P95ms, sum.P99ms, sum.MaxMs = percentiles(res.lats)
+
+	if cfg.check {
+		after, err := scrapeQueries(scrape, cfg.model)
+		if err != nil {
+			return nil, fmt.Errorf("post-run scrape: %w", err)
+		}
+		sum.MetricsChecked = true
+		sum.ServerQueriesDelta = after - before
+		if sum.ServerQueriesDelta != uint64(res.ok) {
+			return nil, fmt.Errorf("metrics check failed: server counted %d queries, client tallied %d",
+				sum.ServerQueriesDelta, res.ok)
+		}
+		fmt.Fprintf(errw, "metrics check ok: server and client both counted %d queries\n", res.ok)
+	}
+	if res.ok == 0 {
+		return nil, fmt.Errorf("no query succeeded (%d errors); fleet unhealthy?", res.errs)
+	}
+	return sum, nil
+}
+
+// queryPool prepares a fixed pool of obfuscated query hypervectors the
+// load loops cycle through, so the measured window exercises the serving
+// path (wire + scoring) rather than client-side encoding. inputs supplies
+// raw feature vectors; when nil (remote fleets), deterministic synthetic
+// inputs matching the edge's advertised feature count are used.
+func queryPool(cl *privehd.Cluster, n int, inputs [][]float64) ([][]float64, error) {
+	edge := cl.Edge()
+	if len(inputs) == 0 {
+		rng := rand.New(rand.NewSource(1))
+		inputs = make([][]float64, n)
+		for i := range inputs {
+			x := make([]float64, edge.Features())
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			inputs[i] = x
+		}
+	}
+	pool := make([][]float64, 0, n)
+	for i := 0; len(pool) < n; i++ {
+		q, err := edge.Prepare(inputs[i%len(inputs)])
+		if err != nil {
+			return nil, fmt.Errorf("prepare query: %w", err)
+		}
+		pool = append(pool, q)
+	}
+	return pool, nil
+}
+
+type runResult struct {
+	ok   int
+	errs int
+	lats []time.Duration
+}
+
+// closedLoop runs workers synchronous loops for d: each worker fires its
+// next query the moment the previous answer returns.
+func closedLoop(ctx context.Context, cl *privehd.Cluster, pool [][]float64, workers int, d time.Duration) runResult {
+	deadline := time.Now().Add(d)
+	var (
+		mu  sync.Mutex
+		res runResult
+		wg  sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var (
+				ok, errs int
+				lats     []time.Duration
+			)
+			for i := w; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
+				t0 := time.Now()
+				_, _, err := cl.PredictPrepared(pool[i%len(pool)])
+				if err != nil {
+					errs++
+					continue
+				}
+				ok++
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Lock()
+			res.ok += ok
+			res.errs += errs
+			res.lats = append(res.lats, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return res
+}
+
+// openLoop dispatches queries on a fixed schedule of rate arrivals/s for
+// d, with at most outstanding queries in flight. Latency is measured from
+// each query's scheduled arrival time, so server-induced queueing counts
+// against the server instead of being hidden by client backpressure.
+func openLoop(ctx context.Context, cl *privehd.Cluster, pool [][]float64, rate float64, outstanding int, d time.Duration) runResult {
+	var (
+		interval = time.Duration(float64(time.Second) / rate)
+		start    = time.Now()
+		deadline = start.Add(d)
+		sem      = make(chan struct{}, outstanding)
+		mu       sync.Mutex
+		res      runResult
+		wg       sync.WaitGroup
+	)
+	for i := 0; ctx.Err() == nil; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if scheduled.After(deadline) {
+			break
+		}
+		if wait := time.Until(scheduled); wait > 0 {
+			time.Sleep(wait)
+		}
+		sem <- struct{}{} // blocks when the fleet falls behind; the wait is charged below
+		wg.Add(1)
+		go func(i int, scheduled time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _, err := cl.PredictPrepared(pool[i%len(pool)])
+			lat := time.Since(scheduled)
+			mu.Lock()
+			if err != nil {
+				res.errs++
+			} else {
+				res.ok++
+				res.lats = append(res.lats, lat)
+			}
+			mu.Unlock()
+		}(i, scheduled)
+	}
+	wg.Wait()
+	return res
+}
+
+func percentiles(lats []time.Duration) (p50, p95, p99, max float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.95), at(0.99), at(1)
+}
+
+// scrapeQueries fetches url and sums every privehd_server_queries_total
+// sample for model — the server-side ground truth the -check audit
+// compares the client tally against.
+func scrapeQueries(url, model string) (uint64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	var total uint64
+	want := fmt.Sprintf(`model=%q`, model)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "privehd_server_queries_total{") || !strings.Contains(line, want) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("parse sample %q: %w", line, err)
+		}
+		total += uint64(v)
+	}
+	return total, sc.Err()
+}
+
+func printSummary(w io.Writer, s *summary) {
+	fmt.Fprintf(w, "mode        %s (%d replicas, concurrency %d)\n", s.Mode, s.Replicas, s.Concurrency)
+	if s.Mode == "open" {
+		fmt.Fprintf(w, "target rate %.0f /s\n", s.RateTarget)
+	}
+	fmt.Fprintf(w, "requests    %d ok, %d errors in %.2fs\n", s.Requests, s.Errors, s.Seconds)
+	fmt.Fprintf(w, "throughput  %.0f queries/s\n", s.QPS)
+	fmt.Fprintf(w, "latency     p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
+		s.P50ms, s.P95ms, s.P99ms, s.MaxMs)
+	if s.MetricsChecked {
+		fmt.Fprintf(w, "audit       /metrics agrees: server counted %d queries\n", s.ServerQueriesDelta)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// smokeConfig is a fast hermetic run: tiny model, short window, metrics
+// audit on — the same shape the CI smoke step uses at larger duration.
+func smokeConfig(mode string) config {
+	return config{
+		selfserve:   2,
+		dataset:     "isolet-s",
+		dim:         512,
+		model:       "bench",
+		mode:        mode,
+		concurrency: 4,
+		rate:        400,
+		duration:    300 * time.Millisecond,
+		warmup:      100 * time.Millisecond,
+		queries:     16,
+		check:       true,
+	}
+}
+
+func TestSelfServeClosedLoop(t *testing.T) {
+	sum, err := run(context.Background(), smokeConfig("closed"), discard{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("%d errors against a healthy selfserve fleet", sum.Errors)
+	}
+	if !sum.MetricsChecked || sum.ServerQueriesDelta != uint64(sum.Requests) {
+		t.Fatalf("metrics audit: checked=%v server=%d client=%d",
+			sum.MetricsChecked, sum.ServerQueriesDelta, sum.Requests)
+	}
+	if sum.P50ms <= 0 || sum.P99ms < sum.P50ms || sum.MaxMs < sum.P99ms {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v max=%v", sum.P50ms, sum.P99ms, sum.MaxMs)
+	}
+}
+
+func TestSelfServeOpenLoop(t *testing.T) {
+	sum, err := run(context.Background(), smokeConfig("open"), discard{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if sum.RateTarget != 400 {
+		t.Fatalf("rate target not reported: %v", sum.RateTarget)
+	}
+	if sum.ServerQueriesDelta != uint64(sum.Requests) {
+		t.Fatalf("metrics audit: server=%d client=%d", sum.ServerQueriesDelta, sum.Requests)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil {
+		t.Error("no target accepted")
+	}
+	if _, err := parseFlags([]string{"-addrs", "a:1", "-selfserve", "2"}); err == nil {
+		t.Error("-addrs with -selfserve accepted")
+	}
+	if _, err := parseFlags([]string{"-selfserve", "1", "-mode", "sideways"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	cfg, err := parseFlags([]string{"-addrs", "a:1,b:2", "-model", "m"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(cfg.addrs) != 2 || cfg.model != "m" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-selfserve", "3"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.model != "bench" {
+		t.Fatalf("selfserve default model = %q", cfg.model)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	p50, p95, p99, max := percentiles(lats)
+	if p50 < 49 || p50 > 51 || p95 < 94 || p95 > 96 || p99 < 98 || p99 > 100 || max != 100 {
+		t.Fatalf("p50=%v p95=%v p99=%v max=%v", p50, p95, p99, max)
+	}
+	if a, b, c, d := percentiles(nil); a+b+c+d != 0 {
+		t.Fatal("empty input must yield zeros")
+	}
+}
+
+// discard drops progress output but satisfies io.Writer; strings.Builder
+// would race between the fleet goroutines and the test otherwise.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

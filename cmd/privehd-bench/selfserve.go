@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"privehd"
+)
+
+// fleet is an in-process serving fleet for -selfserve: N TCP replicas of
+// one registry plus a /metrics exposition listener, all torn down by
+// shutdown.
+type fleet struct {
+	addrs      []string
+	metricsURL string
+	inputs     [][]float64 // test-split feature vectors for the query pool
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func (f *fleet) shutdown() {
+	f.cancel()
+	f.wg.Wait()
+}
+
+// startSelfServe trains a small model on the named synthetic workload and
+// serves it from cfg.selfserve in-process replicas. Every replica shares
+// the process-wide metrics registry, so the auto-wired metrics listener
+// covers the whole fleet — exactly what -check needs.
+func startSelfServe(ctx context.Context, cfg config, errw io.Writer) (*fleet, error) {
+	ds, err := privehd.LoadDataset(cfg.dataset, true)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(errw, "training %s (dim %d, %d samples)\n", cfg.dataset, cfg.dim, len(ds.TrainX))
+	p, err := privehd.New(
+		privehd.WithDim(cfg.dim),
+		privehd.WithRetrain(0),
+		privehd.WithSeed(42),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Train(ds.TrainX, ds.TrainY); err != nil {
+		return nil, err
+	}
+	reg := privehd.NewRegistry()
+	if err := reg.Register(cfg.model, p); err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	f := &fleet{inputs: ds.TestX, cancel: cancel}
+	fail := func(err error) (*fleet, error) {
+		f.shutdown()
+		return nil, err
+	}
+	for i := 0; i < cfg.selfserve; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		f.addrs = append(f.addrs, lis.Addr().String())
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			privehd.ServeRegistry(ctx, lis, reg)
+		}()
+	}
+	mlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	f.metricsURL = fmt.Sprintf("http://%s/metrics", mlis.Addr())
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		privehd.ServeMetrics(ctx, mlis)
+	}()
+	// Give the exposition listener a beat to start accepting; the replica
+	// listeners are already bound, so the cluster dial needs no wait.
+	time.Sleep(10 * time.Millisecond)
+	fmt.Fprintf(errw, "selfserve fleet up: %d replicas, metrics at %s\n", len(f.addrs), f.metricsURL)
+	return f, nil
+}

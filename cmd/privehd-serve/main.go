@@ -43,6 +43,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -63,11 +64,44 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
-// fatal prints one error line and exits non-zero — the contract operators
-// and process supervisors rely on for startup failures.
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+// fatal logs one error event and exits non-zero — the contract operators
+// and process supervisors rely on for startup failures. It falls back to
+// plain stderr before the logger exists.
+func fatal(log *slog.Logger, err error) {
+	if log == nil {
+		fmt.Fprintln(os.Stderr, "privehd-serve:", err)
+	} else {
+		log.Error("fatal", "error", err)
+	}
 	os.Exit(1)
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags. Logs go to stderr, keeping stdout clean for data a pipeline might
+// consume.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (valid: debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
+	}
 }
 
 func main() {
@@ -99,36 +133,54 @@ func main() {
 		"HTTP management-plane listen address (requires -store and an admin token)")
 	adminToken := flag.String("admin-token", "",
 		"bearer token for the -admin API (or set PRIVEHD_ADMIN_TOKEN)")
+	metricsAddr := flag.String("metrics", "",
+		"standalone Prometheus /metrics listen address (the -admin API also serves GET /metrics)")
+	maxConns := flag.Int("max-conns", 0,
+		"largest number of open serving connections per listener; extra connections get a typed overload rejection (0 = unlimited)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(nil, err)
+	}
+
 	if *adminAddr != "" && *storeDir == "" {
-		fatal(fmt.Errorf("-admin requires -store: the management plane mutates durable state"))
+		fatal(log, fmt.Errorf("-admin requires -store: the management plane mutates durable state"))
 	}
 	token := *adminToken
 	if token == "" {
 		token = os.Getenv("PRIVEHD_ADMIN_TOKEN")
 	}
 	if *adminAddr != "" && token == "" {
-		fatal(fmt.Errorf("-admin requires -admin-token (or PRIVEHD_ADMIN_TOKEN): refusing an unauthenticated management plane"))
+		fatal(log, fmt.Errorf("-admin requires -admin-token (or PRIVEHD_ADMIN_TOKEN): refusing an unauthenticated management plane"))
 	}
 
-	reg, mgr, sources, err := buildDeployment(models, *storeDir, *defaultName,
+	reg, mgr, sources, err := buildDeployment(log, models, *storeDir, *defaultName,
 		*name, *dim, *levels, *seed, *small, *encName)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	if *replicas < 1 {
 		*replicas = 1
 	}
 	listeners, err := listenReplicas(*addr, *replicas)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	var adminLis net.Listener
 	if *adminAddr != "" {
 		adminLis, err = net.Listen("tcp", *adminAddr)
 		if err != nil {
-			fatal(fmt.Errorf("admin listener: %w", err))
+			fatal(log, fmt.Errorf("admin listener: %w", err))
+		}
+	}
+	var metricsLis net.Listener
+	if *metricsAddr != "" {
+		metricsLis, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(log, fmt.Errorf("metrics listener: %w", err))
 		}
 	}
 
@@ -139,32 +191,39 @@ func main() {
 	for i, lis := range listeners {
 		replicaAddrs[i] = lis.Addr().String()
 	}
-	fmt.Printf("serving %d model(s) on %s (protocol v%d, default %q):\n",
-		reg.Len(), strings.Join(replicaAddrs, ", "), privehd.ProtocolVersion, reg.DefaultName())
-	// One line per model with its provenance, so an operator can check a
-	// recovery at a glance: "store" means it survived a restart.
+	log.Info("serving",
+		"models", reg.Len(),
+		"addrs", strings.Join(replicaAddrs, ","),
+		"protocol", privehd.ProtocolVersion,
+		"default", reg.DefaultName(),
+		"replicas", len(listeners))
+	// One event per model with its provenance, so an operator can check a
+	// recovery at a glance: source=store means it survived a restart.
 	for _, m := range reg.Models() {
-		fmt.Printf("  %-16s v%-3d source=%-7s D=%d  classes=%d  %s encoding, %d levels, seed %d\n",
-			m.Name, m.Version, sources[m.Name], m.Dim, m.Classes, m.Encoding, m.Levels, m.Seed)
-	}
-	fmt.Println("v3+ clients auto-configure from the handshake (privehd.DialModel)")
-	if len(listeners) > 1 {
-		fmt.Printf("cluster clients balance and fail over across all %d replicas (privehd.DialCluster)\n",
-			len(listeners))
+		log.Info("model live",
+			"model", m.Name, "version", m.Version, "source", sources[m.Name],
+			"dim", m.Dim, "classes", m.Classes,
+			"encoding", m.Encoding.String(), "levels", m.Levels, "seed", m.Seed)
 	}
 	if adminLis != nil {
-		fmt.Printf("management plane on http://%s/v1/models (bearer auth)\n", adminLis.Addr())
+		log.Info("management plane up", "addr", adminLis.Addr().String(), "auth", "bearer")
+	}
+	if metricsLis != nil {
+		log.Info("metrics exposition up", "addr", metricsLis.Addr().String())
 	}
 	opts := []privehd.ServerOption{privehd.WithMaxBatch(*maxBatch)}
 	if *workers > 0 {
 		opts = append(opts, privehd.WithServerWorkers(*workers))
 	}
+	if *maxConns > 0 {
+		opts = append(opts, privehd.WithMaxConns(*maxConns))
+	}
 	// One server per listener, all answering from the same live registry:
 	// a Register or Swap takes effect on every replica at once. The admin
-	// plane joins the same error channel, so its failure tears the process
-	// down non-zero like a data-plane failure would.
+	// and metrics planes join the same error channel, so their failure
+	// tears the process down non-zero like a data-plane failure would.
 	serves := len(listeners)
-	errCh := make(chan error, serves+1)
+	errCh := make(chan error, serves+2)
 	for _, lis := range listeners {
 		go func(lis net.Listener) {
 			errCh <- privehd.ServeRegistry(ctx, lis, reg, opts...)
@@ -176,12 +235,18 @@ func main() {
 			errCh <- privehd.ServeAdmin(ctx, adminLis, mgr, token)
 		}()
 	}
+	if metricsLis != nil {
+		serves++
+		go func() {
+			errCh <- privehd.ServeMetrics(ctx, metricsLis)
+		}()
+	}
 	for i := 0; i < serves; i++ {
 		if err := <-errCh; err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 	}
-	fmt.Println("privehd-serve: shut down cleanly")
+	log.Info("shut down cleanly")
 }
 
 // listenReplicas opens n listeners: the first on addr, the rest on the
@@ -227,7 +292,7 @@ func listenReplicas(addr string, n int) ([]net.Listener, error) {
 // an operator flag must not silently shadow a durable publication), and
 // self-train a model only if nothing else produced one. sources records
 // each model's provenance for the startup log. mgr is nil without -store.
-func buildDeployment(models modelFlags, storeDir, defaultName, dataset string,
+func buildDeployment(log *slog.Logger, models modelFlags, storeDir, defaultName, dataset string,
 	dim, levels int, seed uint64, small bool, encName string,
 ) (*privehd.Registry, *privehd.Manager, map[string]string, error) {
 	reg := privehd.NewRegistry()
@@ -235,7 +300,7 @@ func buildDeployment(models modelFlags, storeDir, defaultName, dataset string,
 	var mgr *privehd.Manager
 	if storeDir != "" {
 		var err error
-		mgr, err = privehd.OpenManager(storeDir, reg)
+		mgr, err = privehd.OpenManager(storeDir, reg, privehd.WithManagerLogger(log))
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -262,8 +327,8 @@ func buildDeployment(models modelFlags, storeDir, defaultName, dataset string,
 			return nil, nil, nil, fmt.Errorf("bad -model %q (want name=path or a bare path)", spec)
 		}
 		if sources[name] == "store" {
-			fmt.Printf("model %q already in the store; ignoring -model %s (deregister it over the admin API to replace)\n",
-				name, path)
+			log.Warn("model already in the store; ignoring -model flag (deregister it over the admin API to replace)",
+				"model", name, "path", path)
 			continue
 		}
 		f, err := os.Open(path)
@@ -282,7 +347,7 @@ func buildDeployment(models modelFlags, storeDir, defaultName, dataset string,
 	}
 
 	if reg.Len() == 0 {
-		pipe, err := trainPipeline(dataset, dim, levels, seed, small, encName)
+		pipe, err := trainPipeline(log, dataset, dim, levels, seed, small, encName)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -305,7 +370,7 @@ func buildDeployment(models modelFlags, storeDir, defaultName, dataset string,
 }
 
 // trainPipeline trains the self-served model on a synthetic workload.
-func trainPipeline(name string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Pipeline, error) {
+func trainPipeline(log *slog.Logger, name string, dim, levels int, seed uint64, small bool, encName string) (*privehd.Pipeline, error) {
 	d, err := privehd.LoadDataset(name, small)
 	if err != nil {
 		return nil, err
@@ -332,7 +397,7 @@ func trainPipeline(name string, dim, levels int, seed uint64, small bool, encNam
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("training full-precision model on %s (%d samples)...\n", d.Name, len(d.TrainX))
+	log.Info("training full-precision model", "dataset", d.Name, "samples", len(d.TrainX), "dim", dim)
 	if err := pipe.Train(d.TrainX, d.TrainY); err != nil {
 		return nil, err
 	}

@@ -116,6 +116,28 @@
 // (BENCH_baseline.json, cmd/benchgate): >20% normalized ns/op regression
 // or any allocation on a zero-alloc path fails the build.
 //
+// The serving stack is observable in production without external
+// dependencies. Every component records into one process-wide Prometheus
+// text-format registry — server traffic (privehd_server_requests_total,
+// privehd_server_queries_total, the privehd_server_request_seconds
+// latency histogram, privehd_server_rejections_total by reason, byte and
+// connection counters), per-replica pool and cluster health
+// (privehd_pool_*, privehd_cluster_replica_healthy,
+// privehd_cluster_health_transitions_total, privehd_cluster_failovers_total)
+// and model lifecycle (privehd_model_publications_total,
+// privehd_model_active_version, privehd_model_rollbacks_total).
+// Recording is lock-free and allocation-free, so instrumentation stays on
+// under full load. Scrape via MetricsHandler (mount anywhere), ServeMetrics
+// (a dedicated listener), or GET /metrics on the admin API (served without
+// the bearer token — counters only, never model data). WithMaxConns bounds
+// admitted connections; excess dials receive a typed refusal that clients
+// surface as ErrOverloaded, which wraps ErrTransport so pools retry and
+// clusters fail over on their own. Cluster health transitions and manager
+// model-lifecycle events emit structured log/slog records through
+// WithClusterLogger and WithManagerLogger (silent by default). The
+// cmd/privehd-bench load generator drives a real fleet closed- or
+// open-loop and cross-audits the /metrics counters against its own tally.
+//
 // LoadDataset serves the paper's synthetic stand-in workloads,
 // Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper
 // analysis, Pipeline.Hardware and the netlist builders expose the §III-D

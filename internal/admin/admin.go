@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"privehd/internal/hdc"
+	"privehd/internal/metrics"
 	"privehd/internal/registry"
 	"privehd/internal/store"
 )
@@ -98,6 +99,7 @@ type Handler struct {
 	token     []byte
 	maxUpload int64
 	mux       *http.ServeMux
+	metrics   http.Handler
 }
 
 // NewHandler builds the management API around a backend. The bearer token
@@ -114,7 +116,7 @@ func NewHandler(backend Backend, token string, maxUpload int64) (*Handler, error
 	if maxUpload <= 0 {
 		maxUpload = DefaultMaxUpload
 	}
-	h := &Handler{backend: backend, token: []byte(token), maxUpload: maxUpload, mux: http.NewServeMux()}
+	h := &Handler{backend: backend, token: []byte(token), maxUpload: maxUpload, mux: http.NewServeMux(), metrics: metrics.Default.Handler()}
 	h.mux.HandleFunc("GET /v1/models", h.list)
 	h.mux.HandleFunc("GET /v1/models/{name}", h.get)
 	h.mux.HandleFunc("POST /v1/models/{name}/versions", h.upload)
@@ -125,8 +127,17 @@ func NewHandler(backend Backend, token string, maxUpload int64) (*Handler, error
 	return h, nil
 }
 
-// ServeHTTP authenticates, then routes.
+// ServeHTTP authenticates, then routes. GET /metrics is deliberately
+// exempt from the bearer check: the exposition holds operational counters,
+// not model bytes or mutation routes, and Prometheus scrapers don't carry
+// per-target credentials by default. Deployments that need the scrape
+// private should firewall the admin listener (or run ServeMetrics on a
+// separate internal listener).
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Path == "/metrics" {
+		h.metrics.ServeHTTP(w, r)
+		return
+	}
 	if !h.authorized(r) {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="privehd-admin"`)
 		writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))

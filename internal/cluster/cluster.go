@@ -33,6 +33,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -212,6 +214,7 @@ func (p *Pool) acquire(ctx context.Context) (*poolConn, error) {
 		if best != nil && (best.inflight < p.cfg.MaxInFlightPerConn || !room) {
 			best.inflight++
 			best.lastUse = time.Now()
+			p.syncGauges()
 			p.mu.Unlock()
 			closeAll(dead)
 			return best, nil
@@ -224,6 +227,7 @@ func (p *Pool) acquire(ctx context.Context) (*poolConn, error) {
 				if best != nil {
 					best.inflight++
 					best.lastUse = time.Now()
+					p.syncGauges()
 					p.mu.Unlock()
 					closeAll(dead)
 					return best, nil
@@ -313,6 +317,8 @@ func (p *Pool) dial(ctx context.Context) (*poolConn, error) {
 	}
 	pc := &poolConn{c: c, inflight: 1, lastUse: time.Now()}
 	p.conns = append(p.conns, pc)
+	cmPoolDials.With(p.cfg.Addr).Inc()
+	p.syncGauges()
 	p.mu.Unlock()
 	return pc, nil
 }
@@ -332,6 +338,7 @@ func (p *Pool) release(pc *poolConn, opErr error) {
 			}
 		}
 	}
+	p.syncGauges()
 	p.mu.Unlock()
 	if broken {
 		pc.c.Close()
@@ -358,6 +365,9 @@ func (p *Pool) do(ctx context.Context, op func(*offload.Client) error) error {
 			return err
 		}
 		lastErr = err
+		if attempt == 0 {
+			cmPoolRetries.With(p.cfg.Addr).Inc()
+		}
 	}
 	return lastErr
 }
@@ -509,6 +519,7 @@ func (p *Pool) reap(now time.Time) {
 		live = append(live, pc)
 	}
 	p.conns = live
+	p.syncGauges()
 	p.mu.Unlock()
 	closeAll(idle)
 }
@@ -524,6 +535,7 @@ func (p *Pool) Close() error {
 	p.closed = true
 	conns := p.conns
 	p.conns = nil
+	p.syncGauges()
 	p.signalChanged()
 	p.mu.Unlock()
 	if p.stopReaper != nil {
@@ -565,6 +577,9 @@ type ClusterConfig struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe's dial+handshake (default 2s).
 	ProbeTimeout time.Duration
+	// Logger receives structured health-transition events (replica
+	// ejected / re-admitted, with address and reason). Nil discards them.
+	Logger *slog.Logger
 }
 
 // replica is one cluster member: an address, its pool, and its health.
@@ -581,17 +596,12 @@ func (r *replica) isHealthy() bool {
 	return r.healthy
 }
 
-func (r *replica) setHealthy(h bool) {
-	r.mu.Lock()
-	r.healthy = h
-	r.mu.Unlock()
-}
-
 // Cluster load-balances idempotent operations over replica pools with
 // health tracking and transparent failover. All methods are safe for
 // concurrent use.
 type Cluster struct {
 	cfg      ClusterConfig
+	log      *slog.Logger
 	replicas []*replica
 
 	rrMu sync.Mutex
@@ -615,7 +625,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
 	}
-	cl := &Cluster{cfg: cfg}
+	cl := &Cluster{cfg: cfg, log: cfg.Logger}
+	if cl.log == nil {
+		cl.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	for _, addr := range cfg.Addrs {
 		pcfg := cfg.Pool
 		pcfg.Network = cfg.Network
@@ -626,6 +639,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			pool:    NewPool(pcfg),
 			healthy: true,
 		})
+		cmReplicaHealthy.With(addr).Set(1)
 	}
 	if cfg.ProbeInterval > 0 {
 		cl.stopProbe = make(chan struct{})
@@ -689,7 +703,7 @@ func (cl *Cluster) do(ctx context.Context, op func(*Pool) error) error {
 		tried[r] = true
 		err := op(r.pool)
 		if err == nil {
-			r.setHealthy(true)
+			cl.setReplicaHealth(r, true, "operation succeeded", nil)
 			return nil
 		}
 		if !errors.Is(err, offload.ErrTransport) {
@@ -701,7 +715,8 @@ func (cl *Cluster) do(ctx context.Context, op func(*Pool) error) error {
 			// a context that is already dead.
 			return fmt.Errorf("%w: %w", offload.ErrTransport, ctx.Err())
 		}
-		r.setHealthy(false)
+		cl.setReplicaHealth(r, false, "transport failure", err)
+		cmFailovers.Inc()
 		lastErr = err
 	}
 	return fmt.Errorf("%w: all %d replicas failed, last: %v", ErrNoHealthyReplicas, len(cl.replicas), lastErr)
@@ -808,12 +823,35 @@ func (cl *Cluster) probe(r *replica) {
 		c.Close()
 	}
 	if err != nil && errors.Is(err, offload.ErrTransport) {
-		r.setHealthy(false)
+		cl.setReplicaHealth(r, false, "health probe failed", err)
 		return
 	}
 	if !r.isHealthy() {
-		r.setHealthy(true)
+		cl.setReplicaHealth(r, true, "health probe answered", nil)
 		r.pool.resetBackoff()
+	}
+}
+
+// setReplicaHealth applies a health transition, emitting the structured
+// log event and moving the transition metrics only when the state actually
+// changes — steady-state traffic and probes re-confirm health constantly
+// and must stay silent.
+func (cl *Cluster) setReplicaHealth(r *replica, healthy bool, reason string, cause error) {
+	r.mu.Lock()
+	changed := r.healthy != healthy
+	r.healthy = healthy
+	r.mu.Unlock()
+	if !changed {
+		return
+	}
+	if healthy {
+		cmReplicaHealthy.With(r.addr).Set(1)
+		cmTransitions.With(r.addr, "readmitted").Inc()
+		cl.log.Info("replica re-admitted", "replica", r.addr, "reason", reason)
+	} else {
+		cmReplicaHealthy.With(r.addr).Set(0)
+		cmTransitions.With(r.addr, "ejected").Inc()
+		cl.log.Warn("replica ejected", "replica", r.addr, "reason", reason, "error", cause)
 	}
 }
 

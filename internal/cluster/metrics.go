@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"privehd/internal/metrics"
+)
+
+// Client-side fleet instrumentation on the process-global registry: pool
+// connection lifecycle per address, and cluster health transitions per
+// replica. Pool gauges are resynced under the pool mutex after every
+// conns mutation; transition counters only move on actual state changes,
+// so steady-state probing is metric-silent.
+var (
+	cmPoolConns = metrics.Default.NewGaugeVec(
+		"privehd_pool_connections",
+		"Live pooled connections, by server address.",
+		"addr")
+	cmPoolInflight = metrics.Default.NewGaugeVec(
+		"privehd_pool_inflight",
+		"Operations currently using a pooled connection, by server address.",
+		"addr")
+	cmPoolDials = metrics.Default.NewCounterVec(
+		"privehd_pool_dials_total",
+		"Successful connection establishments, by server address. Exceeding privehd_pool_connections means redials replaced broken or reaped connections.",
+		"addr")
+	cmPoolRetries = metrics.Default.NewCounterVec(
+		"privehd_pool_retries_total",
+		"Operations retried on a second connection after a transport failure, by server address.",
+		"addr")
+	cmReplicaHealthy = metrics.Default.NewGaugeVec(
+		"privehd_cluster_replica_healthy",
+		"1 while the replica is admitted for traffic, 0 while ejected.",
+		"replica")
+	cmTransitions = metrics.Default.NewCounterVec(
+		"privehd_cluster_health_transitions_total",
+		"Replica health transitions by replica address and event (ejected | readmitted).",
+		"replica", "event")
+	cmFailovers = metrics.Default.NewCounter(
+		"privehd_cluster_failovers_total",
+		"Operations that moved to another replica after ejecting the one that failed them.")
+)
+
+// syncGauges publishes the pool's connection and in-flight gauges. The
+// caller must hold p.mu.
+func (p *Pool) syncGauges() {
+	inflight := 0
+	for _, pc := range p.conns {
+		inflight += pc.inflight
+	}
+	cmPoolConns.With(p.cfg.Addr).Set(int64(len(p.conns)))
+	cmPoolInflight.With(p.cfg.Addr).Set(int64(inflight))
+}

@@ -147,6 +147,13 @@ var (
 	// saw no reply progress for the full timeout while requests were in
 	// flight. It always also wraps ErrTransport.
 	ErrIOTimeout = errors.New("offload: i/o timeout")
+	// ErrOverloaded reports a server that refused the connection at accept
+	// time because it is at its configured connection limit
+	// (WithMaxConns). It wraps ErrTransport deliberately: the rejection is
+	// a property of this server right now, not of the request, so pools
+	// back off and redial, and clusters fail the query over to another
+	// replica — exactly the treatment a connection failure gets.
+	ErrOverloaded = fmt.Errorf("offload: server overloaded (%w)", ErrTransport)
 )
 
 // Reply/ServerHello failure codes carried on the wire.
@@ -159,6 +166,7 @@ const (
 	codeSymbol       = "symbol-out-of-range"
 	codeUnknownModel = "unknown-model"
 	codeBadOp        = "unsupported-op"
+	codeOverloaded   = "overloaded"
 )
 
 // codeError maps a wire failure code to its sentinel error.
@@ -179,6 +187,8 @@ func codeError(code, detail string) error {
 		base = ErrUnknownModel
 	case codeBadOp:
 		base = ErrUnsupportedOp
+	case codeOverloaded:
+		base = ErrOverloaded
 	default:
 		return fmt.Errorf("offload: server error %s: %s", code, detail)
 	}
@@ -346,6 +356,7 @@ type Server struct {
 	reg      *registry.Registry
 	maxBatch int
 	workers  int
+	maxConns int // 0 = unlimited
 
 	// The worker pool: handlers dispatch one task per query and the pool
 	// computes into the frame's result slots. poolDone is closed only
@@ -385,6 +396,20 @@ func WithWorkers(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.workers = n
+		}
+	}
+}
+
+// WithMaxConns bounds how many connections the server holds open at once
+// (default unlimited). A connection arriving past the limit is not left to
+// hang in the accept backlog: the server answers its handshake with a
+// typed overload rejection (clients see ErrOverloaded, which is retryable
+// — pools back off, clusters fail over) and closes it immediately, so
+// overload surfaces as fast feedback instead of timeouts.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxConns = n
 		}
 	}
 }
@@ -593,7 +618,6 @@ func (c *srvConn) askClose() {
 // at risk and close fully.
 func (c *srvConn) gracefulClose() {
 	if c.version >= ProtocolVersion {
-		type closeWriter interface{ CloseWrite() error }
 		if cw, ok := c.conn.(closeWriter); ok {
 			cw.CloseWrite()
 			// Bound how long the handler's read loop waits for the peer
@@ -668,7 +692,8 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 			s.stopPoolWhenDrained()
 			return fmt.Errorf("offload: accept: %w", err)
 		}
-		sc := &srvConn{conn: conn}
+		mConnsTotal.Inc()
+		sc := &srvConn{conn: countConn(conn)}
 		s.mu.Lock()
 		if s.closing {
 			s.mu.Unlock()
@@ -677,7 +702,17 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 			s.stopPool()
 			return nil
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.rejectOverloaded(sc.conn)
+			}()
+			continue
+		}
 		s.conns[sc] = struct{}{}
+		mConnsActive.Inc()
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
@@ -691,8 +726,35 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 func (s *Server) forget(sc *srvConn) {
 	sc.conn.Close()
 	s.mu.Lock()
-	delete(s.conns, sc)
+	if _, ok := s.conns[sc]; ok {
+		delete(s.conns, sc)
+		mConnsActive.Dec()
+	}
 	s.mu.Unlock()
+}
+
+// rejectOverloaded answers a connection that arrived past the configured
+// connection limit: it completes just enough of the handshake to carry a
+// typed overload code back — reading the 4-byte header, then sending a
+// refusing ServerHello — and closes. The whole exchange is bounded by a
+// short deadline so a slow or silent peer cannot pin resources; that is
+// the point of the limit.
+func (s *Server) rejectOverloaded(conn net.Conn) {
+	defer conn.Close()
+	mRejections.With(codeOverloaded).Inc()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] {
+		return
+	}
+	gob.NewEncoder(conn).Encode(ServerHello{
+		Code:    codeOverloaded,
+		Detail:  fmt.Sprintf("connection limit %d reached, retry later", s.maxConns),
+		Version: ProtocolVersion,
+	})
 }
 
 // Close stops the listener and closes every connection immediately,
@@ -756,10 +818,12 @@ func (s *Server) handle(sc *srvConn) {
 	}
 	enc := gob.NewEncoder(conn)
 	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] {
+		mRejections.With(codeBadMagic).Inc()
 		enc.Encode(ServerHello{Code: codeBadMagic, Version: ProtocolVersion})
 		return
 	}
 	if hdr[3] != ProtocolVersion && hdr[3] != versionV3 && hdr[3] != versionV2 {
+		mRejections.With(codeVersion).Inc()
 		enc.Encode(ServerHello{
 			Code:    codeVersion,
 			Detail:  fmt.Sprintf("server speaks v%d (and accepts v%d/v%d), client sent v%d", ProtocolVersion, versionV3, versionV2, hdr[3]),
@@ -782,6 +846,7 @@ func (s *Server) handle(sc *srvConn) {
 	// without reconnecting.
 	entry, err := s.reg.Lookup(hello.Model)
 	if err != nil {
+		mRejections.With(codeUnknownModel).Inc()
 		enc.Encode(ServerHello{
 			Code:    codeUnknownModel,
 			Detail:  err.Error(),
@@ -796,6 +861,7 @@ func (s *Server) handle(sc *srvConn) {
 	// from them stays a mismatch.
 	dimOK := hello.Dim == model.Dim() || (sc.version >= 3 && hello.Dim == 0)
 	if !dimOK || (hello.Classes != 0 && hello.Classes != model.NumClasses()) {
+		mRejections.With(codeGeometry).Inc()
 		enc.Encode(ServerHello{
 			Code: codeGeometry,
 			Detail: fmt.Sprintf("model %q is %d-dimensional with %d classes, client advertised dim %d classes %d",
@@ -875,16 +941,30 @@ func (s *Server) handle(sc *srvConn) {
 }
 
 // answer handles one request frame: classification against the current
-// publication of the connection's model, or a v4 control op.
+// publication of the connection's model, or a v4 control op. It is the
+// per-frame instrumentation point: in-flight gauge, per-op request counter
+// and latency histogram, and typed-rejection counters for refused frames —
+// every observation on the zero-alloc fast path.
 func (s *Server) answer(modelName string, req Request) Reply {
+	mInflight.Inc()
+	start := time.Now()
+	var reply Reply
 	switch req.Op {
 	case OpClassify:
-		return s.answerClassify(modelName, req)
+		reply = s.answerClassify(modelName, req)
 	case OpListModels:
-		return s.answerListModels()
+		reply = s.answerListModels()
 	default:
-		return Reply{Code: codeBadOp, Detail: fmt.Sprintf("op %q (this server speaks v%d)", req.Op, ProtocolVersion)}
+		reply = Reply{Code: codeBadOp, Detail: fmt.Sprintf("op %q (this server speaks v%d)", req.Op, ProtocolVersion)}
 	}
+	op := opLabel(req.Op)
+	mRequestSeconds.With(op).ObserveSince(start)
+	mRequests.With(op).Inc()
+	if reply.Code != "" {
+		mRejections.With(reply.Code).Inc()
+	}
+	mInflight.Dec()
+	return reply
 }
 
 // answerListModels snapshots the registry for client-side model discovery.
@@ -956,6 +1036,7 @@ func (s *Server) answerClassify(modelName string, req Request) Reply {
 	s.served += len(req.Queries)
 	s.mu.Unlock()
 	entry.AddServed(len(req.Queries))
+	mQueries.With(entry.Name).Add(uint64(len(req.Queries)))
 	return Reply{Results: results}
 }
 

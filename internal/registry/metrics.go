@@ -1,0 +1,20 @@
+package registry
+
+import (
+	"privehd/internal/metrics"
+)
+
+// Publication instrumentation on the process-global registry: every
+// Register/Swap/Deregister is a control-plane event worth graphing next
+// to the per-model traffic counters (privehd_server_queries_total tracks
+// what each model actually serves).
+var (
+	rmPublications = metrics.Default.NewCounterVec(
+		"privehd_model_publications_total",
+		"Model publications (registrations and swaps), by model name.",
+		"model")
+	rmActiveVersion = metrics.Default.NewGaugeVec(
+		"privehd_model_active_version",
+		"Version currently published under each model name. Moving backwards is a rollback.",
+		"model")
+)

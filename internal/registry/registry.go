@@ -173,6 +173,8 @@ func (r *Registry) RegisterVersion(name string, model *hdc.Model, info EncoderIn
 		next.defaultName = name
 	}
 	r.publish(next)
+	rmPublications.With(name).Inc()
+	rmActiveVersion.With(name).Set(int64(version))
 	return e, nil
 }
 
@@ -210,6 +212,8 @@ func (r *Registry) SwapVersion(name string, model *hdc.Model, info EncoderInfo, 
 	e := &Entry{Name: name, Version: version, Model: model, Scorer: model.PackedScorer(), Encoder: info, served: old.served}
 	next.entries[name] = e
 	r.publish(next)
+	rmPublications.With(name).Inc()
+	rmActiveVersion.With(name).Set(int64(version))
 	return e, nil
 }
 
@@ -229,6 +233,9 @@ func (r *Registry) Deregister(name string) error {
 		next.defaultName = ""
 	}
 	r.publish(next)
+	// Retire the gauge series with the model: a scrape must not keep
+	// reporting an active version for a model no client can reach.
+	rmActiveVersion.Delete(name)
 	return nil
 }
 

@@ -4,13 +4,24 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 
 	"privehd/internal/admin"
 	"privehd/internal/hdc"
+	"privehd/internal/metrics"
 	"privehd/internal/registry"
 	"privehd/internal/store"
 )
+
+// mRollbacks counts explicit rollbacks through the manager, per model —
+// the "how often did we have to back out a deploy" alarm signal, distinct
+// from privehd_model_active_version simply moving backwards.
+var mRollbacks = metrics.Default.NewCounterVec(
+	"privehd_model_rollbacks_total",
+	"Explicit model rollbacks through the manager, by model name.",
+	"model")
 
 // Store-related sentinel errors, surfaced by Manager methods; test with
 // errors.Is. ErrCorruptModel (pipeline.go) covers corrupt blobs from both
@@ -39,6 +50,7 @@ type ManagerOption func(*managerConfig)
 
 type managerConfig struct {
 	storeOpts []store.Option
+	logger    *slog.Logger
 }
 
 // WithStoreRetain bounds how many versions the store keeps per model
@@ -47,6 +59,13 @@ type managerConfig struct {
 // never collected.
 func WithStoreRetain(n int) ManagerOption {
 	return func(c *managerConfig) { c.storeOpts = append(c.storeOpts, store.WithRetain(n)) }
+}
+
+// WithManagerLogger routes the manager's structured control-plane events
+// (publish, upload, activate, rollback, deregister, default changes,
+// restart replay) to the given logger. By default they are discarded.
+func WithManagerLogger(log *slog.Logger) ManagerOption {
+	return func(c *managerConfig) { c.logger = log }
 }
 
 // Manager binds one durable on-disk model store to one serving registry so
@@ -62,6 +81,7 @@ func WithStoreRetain(n int) ManagerOption {
 type Manager struct {
 	st  *store.Store
 	reg *Registry
+	log *slog.Logger
 }
 
 // OpenManager opens (creating if needed) the model store in dir and
@@ -84,7 +104,11 @@ func OpenManager(dir string, reg *Registry, opts ...ManagerOption) (*Manager, er
 	if err != nil {
 		return nil, fmt.Errorf("privehd: opening model store: %w", err)
 	}
-	m := &Manager{st: st, reg: reg}
+	log := cfg.logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	m := &Manager{st: st, reg: reg, log: log}
 	for _, mod := range st.List() {
 		if mod.Active == 0 {
 			continue // staged only, never published
@@ -104,6 +128,7 @@ func OpenManager(dir string, reg *Registry, opts ...ManagerOption) (*Manager, er
 		if _, err := reg.inner.RegisterVersion(mod.Name, model, info, version); err != nil {
 			return nil, fmt.Errorf("privehd: replaying model %q v%d: %w", mod.Name, version, err)
 		}
+		m.log.Info("model replayed from store", "model", mod.Name, "version", version)
 	}
 	// The stored default is the durable truth — including "none", which
 	// must override the replay's first-Register auto-default.
@@ -134,7 +159,11 @@ func (m *Manager) Publish(name string, p *Pipeline) (int, error) {
 	if err := p.Save(&buf); err != nil {
 		return 0, err
 	}
-	return m.commit(name, buf.Bytes(), p, true)
+	v, err := m.commit(name, buf.Bytes(), p, true)
+	if err == nil {
+		m.log.Info("model published", "model", name, "version", v, "bytes", buf.Len())
+	}
+	return v, err
 }
 
 // Upload stores blob — bytes previously produced by Pipeline.Save — as a
@@ -148,9 +177,16 @@ func (m *Manager) Upload(name string, blob []byte, activate bool) (int, error) {
 	}
 	if !activate {
 		v, err := m.st.Put(name, blob, false)
+		if err == nil {
+			m.log.Info("model staged", "model", name, "version", v, "bytes", len(blob))
+		}
 		return v, mapStoreErr(err)
 	}
-	return m.commit(name, blob, p, true)
+	v, err := m.commit(name, blob, p, true)
+	if err == nil {
+		m.log.Info("model uploaded and activated", "model", name, "version", v, "bytes", len(blob))
+	}
+	return v, err
 }
 
 // commit is the publish-after-persist write path: store the blob, mirror
@@ -214,7 +250,11 @@ func (m *Manager) Activate(name string, version int) error {
 	if err := m.st.Activate(name, version); err != nil {
 		return mapStoreErr(err)
 	}
-	return m.publish(name, model, info, version)
+	if err := m.publish(name, model, info, version); err != nil {
+		return err
+	}
+	m.log.Info("model version activated", "model", name, "version", version)
+	return nil
 }
 
 // Rollback activates the version preceding the currently active one,
@@ -229,6 +269,8 @@ func (m *Manager) Rollback(name string) (int, error) {
 	if err := m.Activate(name, prev); err != nil {
 		return 0, err
 	}
+	mRollbacks.With(name).Inc()
+	m.log.Warn("model rolled back", "model", name, "version", prev)
 	return prev, nil
 }
 
@@ -242,6 +284,7 @@ func (m *Manager) Deregister(name string) error {
 	if err := m.reg.Deregister(name); err != nil && !errors.Is(err, ErrUnknownModel) {
 		return err // staged-only models were never live; that's fine
 	}
+	m.log.Info("model deregistered", "model", name)
 	return nil
 }
 
@@ -254,7 +297,11 @@ func (m *Manager) SetDefault(name string) error {
 	if err := m.st.SetDefault(name); err != nil {
 		return mapStoreErr(err)
 	}
-	return m.reg.SetDefault(name)
+	if err := m.reg.SetDefault(name); err != nil {
+		return err
+	}
+	m.log.Info("default model changed", "model", name)
+	return nil
 }
 
 // Status lists every model the deployment knows — durable version history

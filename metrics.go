@@ -1,0 +1,33 @@
+package privehd
+
+import (
+	"context"
+	"net"
+	"net/http"
+
+	"privehd/internal/admin"
+	"privehd/internal/metrics"
+)
+
+// MetricsHandler returns an http.Handler exposing every metric the process
+// records — server traffic, pool/cluster health, registry publications —
+// in the Prometheus text format. Mount it wherever the deployment already
+// has an HTTP surface; the admin API (ServeAdmin) serves it at
+// GET /metrics automatically, without requiring the bearer token.
+//
+// The exposition is dependency-free and safe to scrape at any rate: reads
+// never block the serving hot paths, which record through lock-free
+// atomics.
+func MetricsHandler() http.Handler {
+	return metrics.Default.Handler()
+}
+
+// ServeMetrics serves GET /metrics (and nothing else) on lis until the
+// context is cancelled — the standalone exposition listener for
+// deployments that keep the admin API private but let a Prometheus scraper
+// reach a separate internal port.
+func ServeMetrics(ctx context.Context, lis net.Listener) error {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler())
+	return admin.Serve(ctx, lis, mux)
+}

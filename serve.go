@@ -41,6 +41,12 @@ var (
 	// saw no reply progress for the full timeout while requests were in
 	// flight. It always also wraps ErrTransport.
 	ErrIOTimeout = offload.ErrIOTimeout
+	// ErrOverloaded reports a server that refused the connection because it
+	// is at its configured connection limit (WithMaxConns). It wraps
+	// ErrTransport: the rejection is a property of that server right now,
+	// so pools back off and clusters fail the operation over to another
+	// replica.
+	ErrOverloaded = offload.ErrOverloaded
 )
 
 // ServerOption configures a Server.
@@ -56,6 +62,13 @@ func WithMaxBatch(n int) ServerOption { return offload.WithMaxBatch(n) }
 // one connection's large batch cannot monopolize the server. (The pipeline
 // option WithWorkers is the client/training-side counterpart.)
 func WithServerWorkers(n int) ServerOption { return offload.WithWorkers(n) }
+
+// WithMaxConns bounds how many connections the server holds open at once
+// (default unlimited). Connections arriving past the limit are answered
+// with a typed overload rejection (ErrOverloaded — retryable, so pools
+// back off and clusters fail over) and closed, instead of hanging until a
+// timeout.
+func WithMaxConns(n int) ServerOption { return offload.WithMaxConns(n) }
 
 // Server hosts model serving for offloaded inference (§III-C): versioned
 // handshake, batched queries, a reader goroutine per connection and a
