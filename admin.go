@@ -13,12 +13,23 @@ type AdminOption func(*adminConfig)
 
 type adminConfig struct {
 	maxUpload int64
+	pprof     bool
 }
 
 // WithAdminUploadLimit bounds admin upload bodies in bytes (default 256
 // MiB). Oversized uploads are rejected with 413 before the blob is read.
 func WithAdminUploadLimit(bytes int64) AdminOption {
 	return func(c *adminConfig) { c.maxUpload = bytes }
+}
+
+// WithAdminPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof on the admin API, behind the same bearer token as every
+// other admin endpoint. Profiles leak internals — heap contents, model
+// names, goroutine stacks — so they are never mounted on the public serve
+// listener or the unauthenticated metrics listener; the admin plane is the
+// only place they exist.
+func WithAdminPprof() AdminOption {
+	return func(c *adminConfig) { c.pprof = true }
 }
 
 // NewAdminHandler builds the HTTP management plane around a manager: a
@@ -38,12 +49,19 @@ func WithAdminUploadLimit(bytes int64) AdminOption {
 //	POST   /v1/models/{name}/rollback  back to the previous version
 //	POST   /v1/models/{name}/default   make {name} the default
 //	DELETE /v1/models/{name}           deregister and delete
+//	GET    /v1/debug/requests          flight recorder: slowest + errored requests
+//	GET    /metrics                    Prometheus/OpenMetrics exposition (no token)
+//	GET    /debug/pprof/...            profiling, only with WithAdminPprof
 func NewAdminHandler(m *Manager, token string, opts ...AdminOption) (http.Handler, error) {
 	var cfg adminConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return admin.NewHandler(m, token, cfg.maxUpload)
+	var hopts []admin.HandlerOption
+	if cfg.pprof {
+		hopts = append(hopts, admin.WithPprof())
+	}
+	return admin.NewHandler(m, token, cfg.maxUpload, hopts...)
 }
 
 // ServeAdmin hosts the management plane on lis until ctx is cancelled,

@@ -63,8 +63,9 @@ type config struct {
 	rate        float64  // open mode arrivals per second
 	duration    time.Duration
 	warmup      time.Duration
-	queries     int    // size of the prepared-query pool
-	scrape      string // metrics URL for -check ("" = none/auto)
+	queries     int     // size of the prepared-query pool
+	scrape      string  // metrics URL for -check ("" = none/auto)
+	traceSample float64 // end-to-end trace sampling rate
 	check       bool
 	jsonOut     bool
 }
@@ -91,6 +92,33 @@ type summary struct {
 	// must equal Requests.
 	MetricsChecked     bool   `json:"metrics_checked"`
 	ServerQueriesDelta uint64 `json:"server_queries_delta,omitempty"`
+
+	// Trace reports where traced requests spent their latency; present
+	// only with -trace-sample > 0.
+	Trace *traceReport `json:"trace,omitempty"`
+}
+
+// stageStats are latency percentiles for one stage, in milliseconds.
+type stageStats struct {
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+}
+
+// traceReport summarizes the traced requests collected during the
+// measured window: per-stage percentiles from the server's wire-reported
+// stage timing plus the client's own measurements, and the trace IDs of
+// the slowest requests for chasing through the server's flight recorder
+// (GET /v1/debug/requests) and metrics exemplars.
+type traceReport struct {
+	// Sampled is how many traced requests completed inside the window.
+	Sampled int `json:"sampled"`
+	// Stages maps stage name to latency percentiles: total (client round
+	// trip), client_queue, network, server_queue, server_score,
+	// server_total.
+	Stages map[string]stageStats `json:"stages"`
+	// SlowestTraces lists the trace IDs of the slowest requests (up to 5),
+	// slowest first.
+	SlowestTraces []string `json:"slowest_traces"`
 }
 
 func main() {
@@ -131,6 +159,7 @@ func parseFlags(argv []string) (config, error) {
 	fs.DurationVar(&cfg.warmup, "warmup", time.Second, "warmup (closed-loop, excluded from the report)")
 	fs.IntVar(&cfg.queries, "queries", 64, "prepared-query pool size")
 	fs.StringVar(&cfg.scrape, "scrape", "", "metrics URL for -check (selfserve sets this automatically)")
+	fs.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of requests to trace end to end, 0..1; adds a per-stage latency breakdown and the slowest trace IDs to the report")
 	fs.BoolVar(&cfg.check, "check", false, "scrape /metrics around the run and assert server counters match the client tally")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON on stdout")
 	if err := fs.Parse(argv); err != nil {
@@ -153,6 +182,9 @@ func parseFlags(argv []string) (config, error) {
 	}
 	if cfg.mode == "open" && cfg.rate <= 0 {
 		return cfg, errors.New("open mode needs -rate > 0")
+	}
+	if cfg.traceSample < 0 || cfg.traceSample > 1 {
+		return cfg, errors.New("-trace-sample must be in 0..1")
 	}
 	if cfg.model == "" && cfg.selfserve > 0 {
 		cfg.model = "bench"
@@ -199,6 +231,17 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		return nil, err
 	}
 
+	var collector *traceCollector
+	if cfg.traceSample > 0 {
+		collector = &traceCollector{}
+		privehd.SetTraceSampling(cfg.traceSample)
+		privehd.OnTrace(collector.observe)
+		defer func() {
+			privehd.OnTrace(nil)
+			privehd.SetTraceSampling(0)
+		}()
+	}
+
 	if cfg.warmup > 0 {
 		fmt.Fprintf(errw, "warming up %v (%d workers)\n", cfg.warmup, cfg.concurrency)
 		closedLoop(ctx, cl, pool, cfg.concurrency, cfg.warmup)
@@ -212,6 +255,9 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 	}
 
 	fmt.Fprintf(errw, "measuring %v in %s mode\n", cfg.duration, cfg.mode)
+	if collector != nil {
+		collector.arm()
+	}
 	var res runResult
 	start := time.Now()
 	if cfg.mode == "open" {
@@ -220,6 +266,10 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		res = closedLoop(ctx, cl, pool, cfg.concurrency, cfg.duration)
 	}
 	elapsed := time.Since(start)
+	var traced []privehd.TraceEntry
+	if collector != nil {
+		traced = collector.disarm()
+	}
 
 	sum := &summary{
 		Mode:        cfg.mode,
@@ -251,7 +301,95 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 	if res.ok == 0 {
 		return nil, fmt.Errorf("no query succeeded (%d errors); fleet unhealthy?", res.errs)
 	}
+	if collector != nil {
+		report, err := buildTraceReport(traced)
+		if err != nil {
+			return nil, err
+		}
+		sum.Trace = report
+	}
 	return sum, nil
+}
+
+// traceCollector gathers completed client-side trace entries while armed,
+// so warmup traffic never pollutes the measured window's report.
+type traceCollector struct {
+	mu      sync.Mutex
+	armed   bool
+	entries []privehd.TraceEntry
+}
+
+func (tc *traceCollector) observe(e privehd.TraceEntry) {
+	tc.mu.Lock()
+	if tc.armed {
+		tc.entries = append(tc.entries, e)
+	}
+	tc.mu.Unlock()
+}
+
+func (tc *traceCollector) arm() {
+	tc.mu.Lock()
+	tc.armed = true
+	tc.entries = tc.entries[:0]
+	tc.mu.Unlock()
+}
+
+func (tc *traceCollector) disarm() []privehd.TraceEntry {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.armed = false
+	return tc.entries
+}
+
+// buildTraceReport turns the collected trace entries into per-stage
+// percentiles and the slowest trace IDs, validating the invariants the
+// wire timing promises: every successful traced reply carries a server
+// stage breakdown, disjoint server stages sum to at most the server's
+// total residency (single-query frames), and the server's residency fits
+// inside the client's round trip.
+func buildTraceReport(entries []privehd.TraceEntry) (*traceReport, error) {
+	var ok []privehd.TraceEntry
+	for _, e := range entries {
+		if e.Outcome == "ok" || e.Outcome == "" {
+			ok = append(ok, e)
+		}
+	}
+	if len(ok) == 0 {
+		return nil, errors.New("tracing enabled but no traced request completed in the measured window")
+	}
+	stages := map[string][]int64{}
+	for _, e := range ok {
+		if e.ServerTotalNs <= 0 {
+			return nil, fmt.Errorf("traced reply %016x carries no server stage breakdown (old server?)", e.TraceID)
+		}
+		if e.Queries <= 1 && e.Server.QueueNs+e.Server.ScoreNs > e.ServerTotalNs {
+			return nil, fmt.Errorf("trace %016x: server stages sum to %dns, above the server total %dns",
+				e.TraceID, e.Server.QueueNs+e.Server.ScoreNs, e.ServerTotalNs)
+		}
+		if e.ServerTotalNs > e.TotalNs {
+			return nil, fmt.Errorf("trace %016x: server residency %dns exceeds client round trip %dns",
+				e.TraceID, e.ServerTotalNs, e.TotalNs)
+		}
+		stages["total"] = append(stages["total"], e.TotalNs)
+		stages["client_queue"] = append(stages["client_queue"], e.Local.QueueNs)
+		stages["network"] = append(stages["network"], e.Local.NetworkNs)
+		stages["server_queue"] = append(stages["server_queue"], e.Server.QueueNs)
+		stages["server_score"] = append(stages["server_score"], e.Server.ScoreNs)
+		stages["server_total"] = append(stages["server_total"], e.ServerTotalNs)
+	}
+	rep := &traceReport{Sampled: len(ok), Stages: make(map[string]stageStats, len(stages))}
+	for name, ns := range stages {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		at := func(q float64) float64 {
+			return float64(ns[int(q*float64(len(ns)-1))]) / float64(time.Millisecond)
+		}
+		rep.Stages[name] = stageStats{P50ms: at(0.50), P95ms: at(0.95)}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].TotalNs > ok[j].TotalNs })
+	for i := 0; i < len(ok) && i < 5; i++ {
+		rep.SlowestTraces = append(rep.SlowestTraces, fmt.Sprintf("%016x", ok[i].TraceID))
+	}
+	return rep, nil
 }
 
 // queryPool prepares a fixed pool of obfuscated query hypervectors the
@@ -423,5 +561,14 @@ func printSummary(w io.Writer, s *summary) {
 		s.P50ms, s.P95ms, s.P99ms, s.MaxMs)
 	if s.MetricsChecked {
 		fmt.Fprintf(w, "audit       /metrics agrees: server counted %d queries\n", s.ServerQueriesDelta)
+	}
+	if s.Trace != nil {
+		fmt.Fprintf(w, "traced      %d requests\n", s.Trace.Sampled)
+		for _, name := range []string{"total", "client_queue", "network", "server_queue", "server_score", "server_total"} {
+			if st, okStage := s.Trace.Stages[name]; okStage {
+				fmt.Fprintf(w, "  %-13s p50 %.3fms  p95 %.3fms\n", name, st.P50ms, st.P95ms)
+			}
+		}
+		fmt.Fprintf(w, "slowest     %s\n", strings.Join(s.Trace.SlowestTraces, " "))
 	}
 }

@@ -37,6 +37,17 @@
 // rollback, set-default, deregister and list — see privehd.ServeAdmin.
 //
 //	privehd-serve -store /var/lib/privehd -admin 127.0.0.1:7312 -admin-token t
+//
+// Observability: -trace-sample R traces a fraction of requests end to end
+// (stage-timing replies, the GET /v1/debug/requests flight recorder, and
+// trace-ID exemplars on /metrics histograms), -slow-request D logs a
+// structured warning with a stage breakdown for any request slower than D,
+// and -pprof mounts net/http/pprof on the -admin API — behind its bearer
+// token, never on the public serve listener. PRIVEHD_TRACE_SAMPLE and
+// PRIVEHD_PPROF are the environment equivalents.
+//
+//	privehd-serve -admin 127.0.0.1:7312 -admin-token t -store /var/lib/privehd \
+//	              -trace-sample 0.01 -slow-request 50ms -pprof
 package main
 
 import (
@@ -137,6 +148,12 @@ func main() {
 		"standalone Prometheus /metrics listen address (the -admin API also serves GET /metrics)")
 	maxConns := flag.Int("max-conns", 0,
 		"largest number of open serving connections per listener; extra connections get a typed overload rejection (0 = unlimited)")
+	pprofFlag := flag.Bool("pprof", false,
+		"mount /debug/pprof on the -admin API, behind its bearer token (or set PRIVEHD_PPROF=1); requires -admin — profiles never bind the public serve listener")
+	traceSample := flag.Float64("trace-sample", -1,
+		"fraction of requests to trace end to end, 0..1 (or set PRIVEHD_TRACE_SAMPLE); traced requests feed GET /v1/debug/requests and metrics exemplars (default 0: disabled)")
+	slowReq := flag.Duration("slow-request", 0,
+		"log a structured warning with a stage breakdown for requests this slow server-side, traced or not (0 = disabled)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
@@ -156,6 +173,32 @@ func main() {
 	if *adminAddr != "" && token == "" {
 		fatal(log, fmt.Errorf("-admin requires -admin-token (or PRIVEHD_ADMIN_TOKEN): refusing an unauthenticated management plane"))
 	}
+	enablePprof := *pprofFlag
+	if !enablePprof {
+		switch strings.ToLower(os.Getenv("PRIVEHD_PPROF")) {
+		case "", "0", "false", "no":
+		default:
+			enablePprof = true
+		}
+	}
+	if enablePprof && *adminAddr == "" {
+		fatal(log, fmt.Errorf("-pprof requires -admin: profiling handlers only bind the authenticated admin listener, never the public serve listener"))
+	}
+	sample := *traceSample
+	if sample < 0 {
+		sample = 0
+		if v := os.Getenv("PRIVEHD_TRACE_SAMPLE"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fatal(log, fmt.Errorf("bad PRIVEHD_TRACE_SAMPLE %q: %w", v, err))
+			}
+			sample = f
+		}
+	}
+	if sample < 0 || sample > 1 {
+		fatal(log, fmt.Errorf("-trace-sample must be in 0..1, got %v", sample))
+	}
+	privehd.SetTraceSampling(sample)
 
 	reg, mgr, sources, err := buildDeployment(log, models, *storeDir, *defaultName,
 		*name, *dim, *levels, *seed, *small, *encName)
@@ -206,10 +249,13 @@ func main() {
 			"encoding", m.Encoding.String(), "levels", m.Levels, "seed", m.Seed)
 	}
 	if adminLis != nil {
-		log.Info("management plane up", "addr", adminLis.Addr().String(), "auth", "bearer")
+		log.Info("management plane up", "addr", adminLis.Addr().String(), "auth", "bearer", "pprof", enablePprof)
 	}
 	if metricsLis != nil {
 		log.Info("metrics exposition up", "addr", metricsLis.Addr().String())
+	}
+	if sample > 0 {
+		log.Info("request tracing enabled", "sample", sample)
 	}
 	opts := []privehd.ServerOption{privehd.WithMaxBatch(*maxBatch)}
 	if *workers > 0 {
@@ -217,6 +263,9 @@ func main() {
 	}
 	if *maxConns > 0 {
 		opts = append(opts, privehd.WithMaxConns(*maxConns))
+	}
+	if *slowReq > 0 {
+		opts = append(opts, privehd.WithSlowRequestLog(log, *slowReq))
 	}
 	// One server per listener, all answering from the same live registry:
 	// a Register or Swap takes effect on every replica at once. The admin
@@ -231,8 +280,12 @@ func main() {
 	}
 	if adminLis != nil {
 		serves++
+		var aopts []privehd.AdminOption
+		if enablePprof {
+			aopts = append(aopts, privehd.WithAdminPprof())
+		}
 		go func() {
-			errCh <- privehd.ServeAdmin(ctx, adminLis, mgr, token)
+			errCh <- privehd.ServeAdmin(ctx, adminLis, mgr, token, aopts...)
 		}()
 	}
 	if metricsLis != nil {

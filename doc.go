@@ -30,9 +30,17 @@
 // messages after a "PHD"+version handshake, each version a strict field
 // superset of the last:
 //
-//	v2: Hello{Dim,Classes}         Request{Queries}       Reply{Code,Detail,Results}
-//	v3: Hello{…,Model}             Request{Queries}       Reply{…}               (+ encoder setup in ServerHello)
-//	v4: Hello{…,Model}             Request{ID,Op,Queries} Reply{ID,…,Models}
+//	v2: Hello{Dim,Classes}         Request{Queries}             Reply{Code,Detail,Results}
+//	v3: Hello{…,Model}             Request{Queries}             Reply{…}               (+ encoder setup in ServerHello)
+//	v4: Hello{…,Model}             Request{ID,Op,Queries,Trace} Reply{ID,…,Models,Timing}
+//
+// Trace and Timing are the optional end-to-end tracing fields: a sampled
+// request carries a 64-bit trace ID to the server and gets its
+// server-side stage timing (queue, scoring, total residency) back on the
+// reply. Both are gob-omitted when zero, so untraced frames stay
+// byte-identical to pre-trace v4 frames, and peers that predate the
+// fields drop them silently (gob's field-superset rule) — no version
+// bump was needed.
 //
 // v4's per-request IDs make connections pipelined: requests from any
 // number of goroutines interleave over one connection through dedicated
@@ -137,6 +145,24 @@
 // WithClusterLogger and WithManagerLogger (silent by default). The
 // cmd/privehd-bench load generator drives a real fleet closed- or
 // open-loop and cross-audits the /metrics counters against its own tally.
+//
+// Request tracing closes the loop from a latency number to its cause.
+// SetTraceSampling samples requests end to end: the trace ID travels in
+// the wire frame, the server's stage breakdown (queue wait, scoring,
+// total residency) returns on the reply, and the client attributes the
+// rest of the round trip to its own queue and the network. Servers keep
+// a lock-free flight recorder of the slowest and the errored requests —
+// served by the admin API at GET /v1/debug/requests and mirrored by
+// WithSlowRequestLog's structured slow-request events — and OpenMetrics
+// scrapes carry the latest trace ID as an exemplar on the latency
+// histogram. OnTrace, ClientTraces and ServerTraces expose the client
+// and server recorders in-process. The untraced path costs nothing:
+// sampling off is one atomic load and zero allocations per request
+// (enforced by AllocsPerRun tests and the benchmark gate). Go runtime
+// health (goroutines, heap, GC pauses, scheduler latency) is exported
+// beside the serving metrics, and WithAdminPprof mounts net/http/pprof
+// on the admin plane — behind its bearer token, never on a public
+// listener.
 //
 // LoadDataset serves the paper's synthetic stand-in workloads,
 // Edge.Reconstruct and MeasureReconstruction run the Eq. 10 eavesdropper

@@ -10,7 +10,7 @@
 // visible (publish-after-persist), so the API never advertises state a
 // crash would lose.
 //
-// Endpoints (all under bearer auth):
+// Endpoints (all under bearer auth unless listed in authExempt):
 //
 //	GET    /v1/models                        list models, versions, counters
 //	GET    /v1/models/{name}                 one model's status
@@ -20,6 +20,11 @@
 //	POST   /v1/models/{name}/rollback        activate the previous version
 //	POST   /v1/models/{name}/default         make {name} the default model
 //	DELETE /v1/models/{name}                 deregister and delete
+//	GET    /v1/debug/requests                flight recorder: slowest and
+//	                                         errored requests with stage
+//	                                         breakdowns and trace IDs
+//	GET    /metrics                          Prometheus scrape (auth-exempt)
+//	GET    /debug/pprof/...                  profiling, only with WithPprof
 package admin
 
 import (
@@ -31,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -38,6 +44,7 @@ import (
 	"privehd/internal/metrics"
 	"privehd/internal/registry"
 	"privehd/internal/store"
+	"privehd/internal/trace"
 )
 
 // DefaultMaxUpload bounds upload bodies when NewHandler is given no other
@@ -99,14 +106,44 @@ type Handler struct {
 	token     []byte
 	maxUpload int64
 	mux       *http.ServeMux
-	metrics   http.Handler
+	recorder  *trace.Recorder
+}
+
+// HandlerOption configures a Handler beyond the required arguments.
+type HandlerOption func(*Handler)
+
+// WithPprof mounts net/http/pprof's profiling endpoints under
+// /debug/pprof/ on the handler. They stay behind the bearer token — heap
+// and goroutine dumps leak addresses, model names and traffic patterns —
+// and the admin handler is the only place they can be mounted: the public
+// serve listener speaks the offload protocol, not HTTP, and the standalone
+// metrics listener is unauthenticated by design.
+func WithPprof() HandlerOption {
+	return func(h *Handler) {
+		h.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// WithRecorder points GET /v1/debug/requests at r instead of the
+// process-wide server flight recorder (trace.Default) — for tests.
+func WithRecorder(r *trace.Recorder) HandlerOption {
+	return func(h *Handler) {
+		if r != nil {
+			h.recorder = r
+		}
+	}
 }
 
 // NewHandler builds the management API around a backend. The bearer token
 // is required — an unauthenticated management plane is a model-replacement
 // oracle, so an empty token is a refused configuration, not a default.
 // maxUpload bounds upload bodies in bytes; 0 means DefaultMaxUpload.
-func NewHandler(backend Backend, token string, maxUpload int64) (*Handler, error) {
+func NewHandler(backend Backend, token string, maxUpload int64, opts ...HandlerOption) (*Handler, error) {
 	if backend == nil {
 		return nil, errors.New("admin: backend must not be nil")
 	}
@@ -116,7 +153,8 @@ func NewHandler(backend Backend, token string, maxUpload int64) (*Handler, error
 	if maxUpload <= 0 {
 		maxUpload = DefaultMaxUpload
 	}
-	h := &Handler{backend: backend, token: []byte(token), maxUpload: maxUpload, mux: http.NewServeMux(), metrics: metrics.Default.Handler()}
+	metrics.EnsureGoRuntime()
+	h := &Handler{backend: backend, token: []byte(token), maxUpload: maxUpload, mux: http.NewServeMux(), recorder: trace.Default}
 	h.mux.HandleFunc("GET /v1/models", h.list)
 	h.mux.HandleFunc("GET /v1/models/{name}", h.get)
 	h.mux.HandleFunc("POST /v1/models/{name}/versions", h.upload)
@@ -124,21 +162,31 @@ func NewHandler(backend Backend, token string, maxUpload int64) (*Handler, error
 	h.mux.HandleFunc("POST /v1/models/{name}/rollback", h.rollback)
 	h.mux.HandleFunc("POST /v1/models/{name}/default", h.setDefault)
 	h.mux.HandleFunc("DELETE /v1/models/{name}", h.remove)
+	h.mux.HandleFunc("GET /v1/debug/requests", h.debugRequests)
+	h.mux.Handle("GET /metrics", metrics.Default.Handler())
+	for _, o := range opts {
+		o(h)
+	}
 	return h, nil
 }
 
-// ServeHTTP authenticates, then routes. GET /metrics is deliberately
-// exempt from the bearer check: the exposition holds operational counters,
-// not model bytes or mutation routes, and Prometheus scrapers don't carry
-// per-target credentials by default. Deployments that need the scrape
-// private should firewall the admin listener (or run ServeMetrics on a
-// separate internal listener).
+// authExempt is the single list of routes served WITHOUT the bearer token.
+// Everything else on the shared mux — model mutations, the flight
+// recorder, pprof — is authenticated by default, so a future endpoint
+// cannot accidentally ship auth-exempt by omission: it would have to be
+// added here, next to this rationale. GET /metrics is exempt because the
+// exposition holds operational counters, not model bytes or mutation
+// routes, and Prometheus scrapers don't carry per-target credentials by
+// default; deployments that need the scrape private should firewall the
+// admin listener (or run ServeMetrics on a separate internal listener).
+var authExempt = map[string]bool{
+	"GET /metrics": true,
+}
+
+// ServeHTTP authenticates (unless the exact method+path is in the
+// authExempt table), then routes on the shared mux.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodGet && r.URL.Path == "/metrics" {
-		h.metrics.ServeHTTP(w, r)
-		return
-	}
-	if !h.authorized(r) {
+	if !authExempt[r.Method+" "+r.URL.Path] && !h.authorized(r) {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="privehd-admin"`)
 		writeError(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
 		return
@@ -227,6 +275,13 @@ func (h *Handler) setDefault(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"default": name})
+}
+
+// debugRequests serves the flight recorder: the slowest and the errored
+// requests the server has retained, each with its trace ID, stage
+// breakdown, peer and outcome — the "why was THIS query slow" endpoint.
+func (h *Handler) debugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.recorder.Snapshot())
 }
 
 func (h *Handler) remove(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,105 @@
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privehd/internal/trace"
+)
+
+func TestMetricsExemptFromAuth(t *testing.T) {
+	// GET /metrics shares the admin mux but is scrapeable without the
+	// bearer token; everything else on the mux stays gated.
+	h := newTestHandler(t, newFakeBackend())
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("unauthenticated GET /metrics → %d, want 200", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "# TYPE") {
+		t.Errorf("GET /metrics body is not an exposition:\n%.200s", w.Body.String())
+	}
+	// POST is not in the exempt table even for the same path.
+	req = httptest.NewRequest("POST", "/metrics", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated POST /metrics → %d, want 401", w.Code)
+	}
+}
+
+func TestDebugRequestsServesRecorderSnapshot(t *testing.T) {
+	rec := trace.NewRecorder(4, 4)
+	rec.Record(trace.Entry{
+		TraceID: 0xabcdef0123456789, Time: time.Now(), Side: "server",
+		Model: "isolet", Op: "classify", Outcome: "ok", Queries: 1,
+		TotalNs: 5_000_000,
+	})
+	rec.Record(trace.Entry{
+		Time: time.Now(), Side: "server", Op: "classify",
+		Outcome: "bad-batch", TotalNs: 1_000,
+	})
+	h, err := NewHandler(newFakeBackend(), testToken, 0, WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flight recorder exposes request metadata (models, peers); it is
+	// NOT in the auth-exempt table.
+	req := httptest.NewRequest("GET", "/v1/debug/requests", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated GET /v1/debug/requests → %d, want 401", w.Code)
+	}
+
+	w = do(t, h, "GET", "/v1/debug/requests", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/debug/requests → %d: %s", w.Code, w.Body.String())
+	}
+	var snap trace.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("response is not a snapshot: %v\n%s", err, w.Body.String())
+	}
+	if snap.Records != 2 {
+		t.Errorf("Records = %d, want 2", snap.Records)
+	}
+	if len(snap.Slowest) != 1 || snap.Slowest[0].Trace != "abcdef0123456789" {
+		t.Errorf("Slowest = %+v, want the one ok entry with its hex trace id", snap.Slowest)
+	}
+	if len(snap.Errors) != 1 || snap.Errors[0].Outcome != "bad-batch" {
+		t.Errorf("Errors = %+v, want the one errored entry", snap.Errors)
+	}
+}
+
+func TestPprofOnlyWithOptionAndAuth(t *testing.T) {
+	// Without WithPprof the profiling routes do not exist at all.
+	bare := newTestHandler(t, newFakeBackend())
+	if w := do(t, bare, "GET", "/debug/pprof/cmdline", nil); w.Code != http.StatusNotFound {
+		t.Errorf("pprof without WithPprof → %d, want 404", w.Code)
+	}
+
+	h, err := NewHandler(newFakeBackend(), testToken, 0, WithPprof())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mounted, but never without the bearer token: profiles leak heap
+	// contents and goroutine stacks.
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated pprof index → %d, want 401", w.Code)
+	}
+	if w := do(t, h, "GET", "/debug/pprof/", nil); w.Code != http.StatusOK {
+		t.Errorf("authenticated pprof index → %d, want 200", w.Code)
+	}
+	if w := do(t, h, "GET", "/debug/pprof/cmdline", nil); w.Code != http.StatusOK {
+		t.Errorf("authenticated pprof cmdline → %d, want 200", w.Code)
+	}
+}

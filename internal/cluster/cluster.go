@@ -184,8 +184,20 @@ func (p *Pool) Addr() string { return p.cfg.Addr }
 
 // acquire returns a usable connection with its in-flight count already
 // incremented, dialing a new one when every live connection is saturated
-// and the pool has room. The context bounds dialing and waiting.
+// and the pool has room. The context bounds dialing and waiting. The time
+// spent here — dialing, backing off, waiting for a slot — is the pool's
+// contribution to client-queue latency, observed per address.
 func (p *Pool) acquire(ctx context.Context) (*poolConn, error) {
+	start := time.Now()
+	pc, err := p.acquireConn(ctx)
+	if err == nil {
+		cmPoolAcquireWait.With(p.cfg.Addr).Observe(time.Since(start).Seconds())
+	}
+	return pc, err
+}
+
+// acquireConn is the acquisition loop behind acquire.
+func (p *Pool) acquireConn(ctx context.Context) (*poolConn, error) {
 	for {
 		p.mu.Lock()
 		if p.closed {

@@ -26,6 +26,10 @@ var (
 		"privehd_pool_retries_total",
 		"Operations retried on a second connection after a transport failure, by server address.",
 		"addr")
+	cmPoolAcquireWait = metrics.Default.NewHistogramVec(
+		"privehd_pool_acquire_wait_seconds",
+		"Time an operation waited to be handed a pooled connection — dial time, backoff, or waiting for a saturated pool — by server address. The client-queue stage of a request's latency budget.",
+		nil, "addr")
 	cmReplicaHealthy = metrics.Default.NewGaugeVec(
 		"privehd_cluster_replica_healthy",
 		"1 while the replica is admitted for traffic, 0 while ejected.",

@@ -60,10 +60,12 @@ func ExpBuckets(start, factor float64, count int) []float64 {
 }
 
 // family is one registered metric: a name, metadata, and the ability to
-// write its current time series.
+// write its current time series. The om flag selects the OpenMetrics
+// dialect (exemplars on histogram buckets, counter families named without
+// the _total suffix) over classic text format 0.0.4.
 type family interface {
 	name() string
-	write(w io.Writer) error
+	write(w io.Writer, om bool) error
 }
 
 // Registry holds registered metrics and exposes them in the Prometheus
@@ -98,21 +100,47 @@ func (r *Registry) register(f family) {
 // with atomic loads while writers keep running; a scrape is a statistical
 // snapshot, not a transaction.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeAll(w, false)
+}
+
+// WriteOpenMetrics writes the registry in the OpenMetrics text format:
+// same series, plus exemplars on histogram buckets that have them, and the
+// mandatory "# EOF" terminator. Scrapers that want exemplars (Prometheus
+// with exemplar storage enabled) negotiate this via the Accept header.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeAll(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeAll(w io.Writer, om bool) error {
 	r.mu.Lock()
 	fams := append([]family(nil), r.families...)
 	r.mu.Unlock()
 	for _, f := range fams {
-		if err := f.write(w); err != nil {
+		if err := f.write(w, om); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// openMetricsContentType is what an OpenMetrics-negotiated scrape gets.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Handler returns an http.Handler serving the registry as a Prometheus
-// text-format scrape target.
+// scrape target. Clients whose Accept header asks for
+// application/openmetrics-text get the OpenMetrics dialect (with
+// exemplars); everyone else gets classic text format 0.0.4.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
@@ -126,10 +154,17 @@ type desc struct {
 	labels []string
 }
 
-// header writes the # HELP / # TYPE preamble.
-func (d *desc) header(w io.Writer) error {
+// header writes the # HELP / # TYPE preamble. In OpenMetrics, a counter
+// family is declared under its name without the _total suffix while the
+// sample line keeps it — classic format declares and samples the same
+// name.
+func (d *desc) header(w io.Writer, om bool) error {
+	name := d.fqName
+	if om && d.typ == "counter" {
+		name = strings.TrimSuffix(name, "_total")
+	}
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
-		d.fqName, escapeHelp(d.help), d.fqName, d.typ)
+		name, escapeHelp(d.help), name, d.typ)
 	return err
 }
 
@@ -214,8 +249,8 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 type counterFamily struct{ c *Counter }
 
 func (f counterFamily) name() string { return f.c.d.fqName }
-func (f counterFamily) write(w io.Writer) error {
-	if err := f.c.d.header(w); err != nil {
+func (f counterFamily) write(w io.Writer, om bool) error {
+	if err := f.c.d.header(w, om); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s %d\n", f.c.d.fqName, f.c.Value())
@@ -254,8 +289,8 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 type gaugeFamily struct{ g *Gauge }
 
 func (f gaugeFamily) name() string { return f.g.d.fqName }
-func (f gaugeFamily) write(w io.Writer) error {
-	if err := f.g.d.header(w); err != nil {
+func (f gaugeFamily) write(w io.Writer, om bool) error {
+	if err := f.g.d.header(w, om); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s %d\n", f.g.d.fqName, f.g.Value())
@@ -266,11 +301,23 @@ func (f gaugeFamily) write(w io.Writer) error {
 // allocation-free: one atomic add on the matching bucket, one on the
 // count, and a CAS loop folding the value into the float64 sum. Buckets
 // are chosen at construction and never change.
+//
+// Each bucket additionally holds one exemplar slot — the most recent
+// traced observation that landed there — exposed in the OpenMetrics
+// dialect. Plain Observe never touches the slots, so exemplar support
+// costs the untraced hot path nothing.
 type Histogram struct {
-	bounds  []float64 // upper bounds, ascending; +Inf implied at the end
-	counts  []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64 // upper bounds, ascending; +Inf implied at the end
+	counts    []atomic.Uint64
+	exemplars []atomic.Pointer[exemplar]
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
+}
+
+// exemplar is one traced observation pinned to a bucket.
+type exemplar struct {
+	trace string // trace ID in canonical hex form
+	value float64
 }
 
 // newHistogram builds the bucket storage for the given bounds.
@@ -284,7 +331,11 @@ func newHistogram(buckets []float64) *Histogram {
 		}
 	}
 	bounds := append([]float64(nil), buckets...)
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // NewHistogram registers and returns a histogram with the given bucket
@@ -298,14 +349,35 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucket(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// bucket returns the index of the bucket v falls into.
+func (h *Histogram) bucket(v float64) int {
 	// Linear scan: bucket counts are small (≤ ~20) and latencies cluster in
 	// the low buckets, so this beats a branchy binary search in practice.
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// ObserveExemplar records one value and pins it as the bucket's exemplar
+// under the given trace ID (canonical hex form). Unlike Observe it
+// allocates (one exemplar), so callers use it only for sampled requests.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucket(v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	h.exemplars[i].Store(&exemplar{trace: traceID, value: v})
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
@@ -325,20 +397,26 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 // writeSeries writes one histogram's _bucket/_sum/_count series under the
-// given label set.
-func (h *Histogram) writeSeries(w io.Writer, fqName string, names, values []string) error {
+// given label set. In OpenMetrics mode, buckets carry their exemplar
+// (" # {trace_id=\"...\"} value") when one has been recorded.
+func (h *Histogram) writeSeries(w io.Writer, fqName string, names, values []string, om bool) error {
 	cum := uint64(0)
-	for i, bound := range h.bounds {
+	for i := 0; i <= len(h.bounds); i++ {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			fqName, labelString(names, values, "le", formatFloat(bound)), cum); err != nil {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		suffix := ""
+		if om {
+			if ex := h.exemplars[i].Load(); ex != nil {
+				suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(ex.trace), formatFloat(ex.value))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			fqName, labelString(names, values, "le", le), cum, suffix); err != nil {
 			return err
 		}
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-		fqName, labelString(names, values, "le", "+Inf"), cum); err != nil {
-		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
 		fqName, labelString(names, values, "", ""), formatFloat(h.Sum())); err != nil {
@@ -355,11 +433,11 @@ type histogramFamily struct {
 }
 
 func (f *histogramFamily) name() string { return f.d.fqName }
-func (f *histogramFamily) write(w io.Writer) error {
-	if err := f.d.header(w); err != nil {
+func (f *histogramFamily) write(w io.Writer, om bool) error {
+	if err := f.d.header(w, om); err != nil {
 		return err
 	}
-	return f.h.writeSeries(w, f.d.fqName, nil, nil)
+	return f.h.writeSeries(w, f.d.fqName, nil, nil, om)
 }
 
 // vec is the shared child table behind CounterVec/GaugeVec/HistogramVec:
@@ -481,9 +559,9 @@ func (cv *CounterVec) With(lvs ...string) *Counter {
 func (cv *CounterVec) Delete(lvs ...string) { cv.vec.delete(lvs) }
 
 func (cv *CounterVec) name() string { return cv.vec.d.fqName }
-func (cv *CounterVec) write(w io.Writer) error {
+func (cv *CounterVec) write(w io.Writer, om bool) error {
 	d := cv.vec.d
-	if err := d.header(w); err != nil {
+	if err := d.header(w, om); err != nil {
 		return err
 	}
 	for _, ch := range cv.vec.sorted() {
@@ -519,9 +597,9 @@ func (gv *GaugeVec) With(lvs ...string) *Gauge {
 func (gv *GaugeVec) Delete(lvs ...string) { gv.vec.delete(lvs) }
 
 func (gv *GaugeVec) name() string { return gv.vec.d.fqName }
-func (gv *GaugeVec) write(w io.Writer) error {
+func (gv *GaugeVec) write(w io.Writer, om bool) error {
 	d := gv.vec.d
-	if err := d.header(w); err != nil {
+	if err := d.header(w, om); err != nil {
 		return err
 	}
 	for _, ch := range gv.vec.sorted() {
@@ -568,13 +646,13 @@ func (hv *HistogramVec) With(lvs ...string) *Histogram {
 func (hv *HistogramVec) Delete(lvs ...string) { hv.vec.delete(lvs) }
 
 func (hv *HistogramVec) name() string { return hv.vec.d.fqName }
-func (hv *HistogramVec) write(w io.Writer) error {
+func (hv *HistogramVec) write(w io.Writer, om bool) error {
 	d := hv.vec.d
-	if err := d.header(w); err != nil {
+	if err := d.header(w, om); err != nil {
 		return err
 	}
 	for _, ch := range hv.vec.sorted() {
-		if err := ch.v.writeSeries(w, d.fqName, d.labels, ch.values); err != nil {
+		if err := ch.v.writeSeries(w, d.fqName, d.labels, ch.values, om); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestOpenMetricsNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_ops_total", "Ops so far.").Add(42)
+	h := r.Handler()
+
+	// Plain scrape: Prometheus text format, no terminator, full counter
+	// name in the metadata.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("plain scrape Content-Type = %q", ct)
+	}
+	plain := rec.Body.String()
+	if strings.Contains(plain, "# EOF") {
+		t.Errorf("plain exposition carries the OpenMetrics terminator:\n%s", plain)
+	}
+	if !strings.Contains(plain, "# TYPE test_ops_total counter\n") {
+		t.Errorf("plain exposition missing full counter TYPE line:\n%s", plain)
+	}
+
+	// OpenMetrics-negotiated scrape: versioned content type, "# EOF"
+	// terminator, counter metadata without the _total suffix but samples
+	// with it.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != openMetricsContentType {
+		t.Errorf("OpenMetrics scrape Content-Type = %q, want %q", ct, openMetricsContentType)
+	}
+	om := rec.Body.String()
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", om)
+	}
+	for _, want := range []string{
+		"# TYPE test_ops counter\n",
+		"test_ops_total 42\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("OpenMetrics exposition missing %q in:\n%s", want, om)
+		}
+	}
+	if strings.Contains(om, "# TYPE test_ops_total") {
+		t.Errorf("OpenMetrics counter metadata kept the _total suffix:\n%s", om)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, "00f1e2d3c4b5a697")
+	h.ObserveExemplar(5, "1111111111111111")
+
+	// The Prometheus text format has no exemplar syntax; suffixes must
+	// only appear on an OpenMetrics exposition.
+	var plain strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Errorf("plain exposition leaks exemplars:\n%s", plain.String())
+	}
+
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 2 # {trace_id="00f1e2d3c4b5a697"} 0.05`,
+		`test_latency_seconds_bucket{le="+Inf"} 3 # {trace_id="1111111111111111"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The 0.01 bucket saw only a plain Observe: no exemplar on its line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.01"`) && strings.Contains(line, "trace_id") {
+			t.Errorf("bucket without exemplar grew one: %s", line)
+		}
+	}
+
+	// Exemplars count and sum like plain observations.
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got < 5.054 || got > 5.056 {
+		t.Errorf("Sum = %g, want 5.055", got)
+	}
+}
+
+func TestGoRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	r.NewGoRuntime()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE privehd_go_goroutines gauge\n",
+		"privehd_go_goroutines ",
+		"# TYPE privehd_go_gc_cycles_total counter\n",
+		"# TYPE privehd_go_gc_pause_seconds summary\n",
+		`privehd_go_sched_latency_seconds{quantile="0.99"}`,
+		"privehd_go_sched_latency_seconds_count ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnsureGoRuntimeIdempotent(t *testing.T) {
+	// Every metrics-serving entry point calls this; a second call must not
+	// panic with a duplicate registration.
+	EnsureGoRuntime()
+	EnsureGoRuntime()
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// goRuntimeSamples are the runtime/metrics series the collector exposes,
+// chosen for the questions a serving operator actually asks: is the
+// process leaking goroutines or heap, is GC eating the latency budget,
+// and is the scheduler keeping up.
+var goRuntimeSamples = []struct {
+	src  string // runtime/metrics name
+	name string // exported Prometheus name
+	typ  string // counter | gauge | quantiles
+	help string
+}{
+	{"/sched/goroutines:goroutines", "privehd_go_goroutines", "gauge",
+		"Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "privehd_go_heap_objects_bytes", "gauge",
+		"Bytes of heap memory occupied by live and dead objects."},
+	{"/gc/heap/goal:bytes", "privehd_go_gc_heap_goal_bytes", "gauge",
+		"Heap size target of the current GC cycle."},
+	{"/gc/cycles/total:gc-cycles", "privehd_go_gc_cycles_total", "counter",
+		"Completed GC cycles since process start."},
+	{"/gc/pauses:seconds", "privehd_go_gc_pause_seconds", "quantiles",
+		"Distribution of stop-the-world GC pause latencies."},
+	{"/sched/latencies:seconds", "privehd_go_sched_latency_seconds", "quantiles",
+		"Distribution of time goroutines spend runnable before running."},
+}
+
+// quantileLevels are the quantiles exported for distribution-shaped
+// runtime series.
+var quantileLevels = []float64{0.5, 0.9, 0.99}
+
+// goRuntime is a family that samples runtime/metrics at scrape time —
+// nothing runs between scrapes, so the collector costs nothing while
+// nobody is looking.
+type goRuntime struct {
+	samples []metrics.Sample
+}
+
+// NewGoRuntime registers the Go runtime collector on the registry.
+// Registering it twice on one registry panics like any duplicate family;
+// use EnsureGoRuntime for the Default registry.
+func (r *Registry) NewGoRuntime() {
+	g := &goRuntime{samples: make([]metrics.Sample, len(goRuntimeSamples))}
+	for i := range goRuntimeSamples {
+		g.samples[i].Name = goRuntimeSamples[i].src
+	}
+	r.register(g)
+}
+
+var goRuntimeOnce sync.Once
+
+// EnsureGoRuntime registers the Go runtime collector on the Default
+// registry, once per process. Every metrics-serving entry point calls it,
+// so whichever initializes first wins and the rest are no-ops.
+func EnsureGoRuntime() {
+	goRuntimeOnce.Do(func() { Default.NewGoRuntime() })
+}
+
+// name returns a synthetic family key; the real series names are the
+// per-sample exported names.
+func (g *goRuntime) name() string { return "privehd_go_runtime" }
+
+func (g *goRuntime) write(w io.Writer, om bool) error {
+	metrics.Read(g.samples)
+	for i, def := range goRuntimeSamples {
+		s := g.samples[i]
+		if s.Value.Kind() == metrics.KindBad {
+			continue // series not present on this Go version
+		}
+		switch def.typ {
+		case "quantiles":
+			if s.Value.Kind() != metrics.KindFloat64Histogram {
+				continue
+			}
+			if err := writeRuntimeQuantiles(w, def.name, def.help, s.Value.Float64Histogram()); err != nil {
+				return err
+			}
+		default:
+			v, ok := runtimeScalar(s.Value)
+			if !ok {
+				continue
+			}
+			d := desc{fqName: def.name, help: def.help, typ: def.typ}
+			if err := d.header(w, om); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", def.name, formatFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runtimeScalar converts a scalar runtime/metrics value to float64.
+func runtimeScalar(v metrics.Value) (float64, bool) {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64()), true
+	case metrics.KindFloat64:
+		return v.Float64(), true
+	}
+	return 0, false
+}
+
+// writeRuntimeQuantiles renders a runtime Float64Histogram as a summary:
+// quantile series plus a _count. Quantiles are estimated from the
+// histogram's bucket boundaries (upper bound of the bucket the quantile
+// falls in), which is as precise as the runtime's own bucketing.
+func writeRuntimeQuantiles(w io.Writer, name, help string, h *metrics.Float64Histogram) error {
+	d := desc{fqName: name, help: help, typ: "summary"}
+	if err := d.header(w, false); err != nil {
+		return err
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	for _, q := range quantileLevels {
+		if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n",
+			name, formatFloat(q), formatFloat(histQuantile(h, total, q))); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, total)
+	return err
+}
+
+// histQuantile walks the histogram's cumulative counts to the bucket
+// containing quantile q and returns that bucket's upper bound.
+func histQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets[i+1] is the upper bound of Counts[i].
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				return h.Buckets[i] // fall back to the finite lower bound
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

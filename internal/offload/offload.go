@@ -24,8 +24,17 @@
 // layout extends v2/v3 with correlation and control fields, gob-encoded so
 // each version's frames are a strict field superset of the previous one:
 //
-//	v2/v3 Request: {Queries []Query}              → Reply: {Code, Detail, Results}
-//	v4    Request: {ID, Op, Queries []Query}      → Reply: {ID, Code, Detail, Results, Models}
+//	v2/v3 Request: {Queries []Query}                 → Reply: {Code, Detail, Results}
+//	v4    Request: {ID, Op, Queries []Query, Trace}  → Reply: {ID, Code, Detail, Results, Models, Timing}
+//
+// Trace and Timing are the optional tracing fields: a client that sampled
+// the request sends its 64-bit trace ID on the frame, and the server
+// answers a traced request with its per-stage timing breakdown
+// (StageTiming). Both are zero-valued on untraced traffic, which gob omits
+// entirely — so untraced frames are byte-identical to pre-trace v4 frames,
+// and peers on either side that predate the fields silently drop them (the
+// same field-superset rule that keeps v2/v3 peers working). No version
+// bump is needed or taken.
 //
 // ID is a client-chosen correlation number echoed on the Reply; on a v4
 // connection the server handles frames concurrently and MAY answer them
@@ -61,14 +70,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privehd/internal/hdc"
 	"privehd/internal/intscore"
 	"privehd/internal/registry"
+	"privehd/internal/trace"
 	"privehd/internal/vecmath"
 )
 
@@ -307,6 +319,14 @@ type Request struct {
 	// Op is the frame operation: OpClassify (empty) or OpListModels.
 	Op      string
 	Queries []Query
+	// Trace is the request's 64-bit trace ID; 0 means untraced, and gob
+	// omits the zero so untraced frames stay byte-identical to pre-trace
+	// v4 frames. A traced request gets its server-side stage breakdown
+	// back on Reply.Timing, and the server tags its histogram exemplar,
+	// flight-recorder entry and slow-request log line with the same ID.
+	// Servers that predate the field drop it silently (gob field-superset
+	// rule), as do old clients with the Reply fields — no version bump.
+	Trace uint64
 }
 
 // Result is the classification of one query.
@@ -346,6 +366,25 @@ type Reply struct {
 	Results []Result
 	// Models answers an OpListModels request.
 	Models []ModelListing
+	// Timing is the server-side stage breakdown, attached only to traced
+	// requests — nil otherwise, which gob omits, keeping untraced replies
+	// byte-identical to pre-trace v4 replies. Clients use it to attribute
+	// a round trip to server queue/scoring versus the network; peers that
+	// predate the field drop it silently.
+	Timing *StageTiming
+}
+
+// StageTiming is the per-request server-side latency split a traced
+// request's Reply carries, in nanoseconds: time the frame's queries spent
+// waiting for a scoring worker (the longest wait across the batch), time
+// actually scoring (summed across the batch), and the frame's total server
+// residency from decode completion to reply-encode start. Reply-write time
+// cannot ride on the reply it measures; it lands in the server's flight
+// recorder instead.
+type StageTiming struct {
+	QueueNs int64
+	ScoreNs int64
+	TotalNs int64
 }
 
 // Server serves classification over a listener, one reader goroutine per
@@ -357,6 +396,13 @@ type Server struct {
 	maxBatch int
 	workers  int
 	maxConns int // 0 = unlimited
+
+	// Flight-recorder and slow-request plumbing: every answered frame is
+	// timed and offered to the recorder; frames at or over slowThresh
+	// additionally emit a structured slowLog event.
+	recorder   *trace.Recorder
+	slowLog    *slog.Logger
+	slowThresh time.Duration
 
 	// The worker pool: handlers dispatch one task per query and the pool
 	// computes into the frame's result slots. poolDone is closed only
@@ -414,6 +460,31 @@ func WithMaxConns(n int) ServerOption {
 	}
 }
 
+// WithSlowRequestLog emits a structured slow-request event on log for
+// every frame whose server residency reaches threshold: trace ID, model,
+// op, peer, outcome and the full stage breakdown. The threshold-triggered
+// event mirrors what the flight recorder retains, but pushes it into the
+// log stream where it lands next to everything else the operator tails.
+func WithSlowRequestLog(log *slog.Logger, threshold time.Duration) ServerOption {
+	return func(s *Server) {
+		if log != nil && threshold > 0 {
+			s.slowLog = log
+			s.slowThresh = threshold
+		}
+	}
+}
+
+// WithFlightRecorder directs the server's per-frame entries into r instead
+// of the process-wide trace.Default recorder — for tests, or processes
+// running several servers that want separate recorders.
+func WithFlightRecorder(r *trace.Recorder) ServerOption {
+	return func(s *Server) {
+		if r != nil {
+			s.recorder = r
+		}
+	}
+}
+
 // NewServer returns a server for a single (typically full-precision) model,
 // published in a fresh registry under DefaultModelName with no recorded
 // encoder setup. The model's norm caches are precomputed here; it must not
@@ -441,6 +512,7 @@ func NewRegistryServer(reg *registry.Registry, opts ...ServerOption) *Server {
 		workers:  runtime.GOMAXPROCS(0),
 		conns:    make(map[*srvConn]struct{}),
 		poolDone: make(chan struct{}),
+		recorder: trace.Default,
 	}
 	for _, o := range opts {
 		o(s)
@@ -461,6 +533,11 @@ type task struct {
 	query  Query
 	out    *Result
 	wg     *sync.WaitGroup
+	// enq and span feed the frame's stage timers: the pool records how
+	// long the task waited for a worker (queue-wait, max across the batch)
+	// and how long it scored (summed across the batch).
+	enq  time.Time
+	span *trace.Span
 }
 
 // run scores the task's query. Packed queries are scored in the integer
@@ -472,6 +549,8 @@ type task struct {
 // never reach the packed scorer and panic a pool worker. The scores slice
 // is the only per-query allocation: it escapes into the Reply.
 func (t task) run() {
+	start := time.Now()
+	t.span.ObserveMax(trace.StageQueueWait, start.Sub(t.enq))
 	scores := make([]float64, t.model.NumClasses())
 	if t.query.Vector != nil {
 		t.model.ScoresInto(t.query.Vector, scores)
@@ -481,6 +560,7 @@ func (t task) run() {
 		t.model.ScoresPackedInto(t.query.Packed, scores)
 	}
 	*t.out = Result{Label: vecmath.ArgMax(scores), Scores: scores}
+	t.span.ObserveSince(trace.StageScore, start)
 	t.wg.Done()
 }
 
@@ -563,6 +643,7 @@ const maxConnPipeline = 128
 // a counter and replies are serialized by writeMu.
 type srvConn struct {
 	conn    net.Conn
+	peer    string // remote address, cached so per-frame entries don't re-format it
 	model   string // requested model name; "" = registry default
 	version byte   // negotiated protocol version (2, 3 or 4)
 
@@ -694,6 +775,9 @@ func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
 		}
 		mConnsTotal.Inc()
 		sc := &srvConn{conn: countConn(conn)}
+		if ra := conn.RemoteAddr(); ra != nil {
+			sc.peer = ra.String()
+		}
 		s.mu.Lock()
 		if s.closing {
 			s.mu.Unlock()
@@ -901,9 +985,14 @@ func (s *Server) handle(sc *srvConn) {
 	defer sc.frames.Wait()
 	for {
 		var req Request
+		tRead := time.Now()
 		if err := dec.Decode(&req); err != nil {
 			return // EOF, broken peer, or shutdown closed the conn
 		}
+		// Receive+decode time for the frame. On an idle connection this
+		// includes waiting for the client's bytes, so it feeds the flight
+		// recorder's decode stage but never the wire-reported server total.
+		decodeDur := time.Since(tRead)
 		if !sc.enterBusy() {
 			if sc.version >= ProtocolVersion {
 				sc.drainRefused(dec)
@@ -918,11 +1007,7 @@ func (s *Server) handle(sc *srvConn) {
 				defer s.wg.Done()
 				defer sc.frames.Done()
 				defer func() { <-sem }()
-				reply := s.answer(sc.model, req)
-				reply.ID = req.ID
-				sc.writeMu.Lock()
-				err := enc.Encode(reply)
-				sc.writeMu.Unlock()
+				err := s.handleFrame(sc, enc, req, decodeDur)
 				closing := sc.exitBusy()
 				if err != nil {
 					sc.conn.Close()
@@ -932,11 +1017,85 @@ func (s *Server) handle(sc *srvConn) {
 			}(req)
 			continue
 		}
-		reply := s.answer(sc.model, req)
-		err := enc.Encode(reply)
+		err := s.handleFrame(sc, enc, req, decodeDur)
 		if sc.exitBusy() || err != nil {
 			return
 		}
+	}
+}
+
+// handleFrame answers one decoded frame with full stage instrumentation:
+// trace resolution (the client's ID, or a server-side sampling decision
+// for requests arriving untraced), span timing through answer and the
+// reply write, the wire-reported StageTiming for traced requests, and the
+// flight-recorder/slow-log entry every frame produces. It returns the
+// reply-write error, which terminates the connection.
+func (s *Server) handleFrame(sc *srvConn, enc *gob.Encoder, req Request, decodeDur time.Duration) error {
+	start := time.Now()
+	traceID := req.Trace
+	if traceID == 0 {
+		traceID = trace.Sampled()
+	}
+	span := trace.NewSpan(traceID)
+	span.Add(trace.StageDecode, decodeDur)
+	reply := s.answer(sc.model, req, span)
+	reply.ID = req.ID
+	if traceID != 0 {
+		reply.Timing = &StageTiming{
+			QueueNs: int64(span.Stage(trace.StageQueueWait)),
+			ScoreNs: int64(span.Stage(trace.StageScore)),
+			TotalNs: int64(time.Since(start)),
+		}
+	}
+	tWrite := time.Now()
+	sc.writeMu.Lock()
+	err := enc.Encode(reply)
+	sc.writeMu.Unlock()
+	span.ObserveSince(trace.StageReplyWrite, tWrite)
+	s.record(sc, opLabel(req.Op), &reply, span, len(req.Queries), time.Since(start), err)
+	span.Free()
+	return err
+}
+
+// record offers the finished frame to the flight recorder and, past the
+// slow threshold, emits the structured slow-request event. It runs for
+// every frame, traced or not — the recorder must see all requests to
+// retain the slowest ones — and its fast path (frame not retained, not
+// slow) does not allocate.
+func (s *Server) record(sc *srvConn, op string, reply *Reply, span *trace.Span, queries int, total time.Duration, writeErr error) {
+	outcome := "ok"
+	switch {
+	case reply.Code != "":
+		outcome = reply.Code
+	case writeErr != nil:
+		outcome = "write-failed"
+	}
+	s.recorder.Record(trace.Entry{
+		TraceID: span.ID(),
+		Time:    time.Now(),
+		Side:    "server",
+		Model:   sc.model,
+		Op:      op,
+		Peer:    sc.peer,
+		Outcome: outcome,
+		Queries: queries,
+		TotalNs: int64(total),
+		Local:   span.Breakdown(),
+	})
+	if s.slowLog != nil && s.slowThresh > 0 && total >= s.slowThresh {
+		s.slowLog.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+			slog.String("trace", trace.FormatID(span.ID())),
+			slog.String("model", sc.model),
+			slog.String("op", op),
+			slog.String("peer", sc.peer),
+			slog.String("outcome", outcome),
+			slog.Int("queries", queries),
+			slog.Duration("total", total),
+			slog.Duration("queue", span.Stage(trace.StageQueueWait)),
+			slog.Duration("decode", span.Stage(trace.StageDecode)),
+			slog.Duration("score", span.Stage(trace.StageScore)),
+			slog.Duration("reply_write", span.Stage(trace.StageReplyWrite)),
+		)
 	}
 }
 
@@ -944,21 +1103,27 @@ func (s *Server) handle(sc *srvConn) {
 // publication of the connection's model, or a v4 control op. It is the
 // per-frame instrumentation point: in-flight gauge, per-op request counter
 // and latency histogram, and typed-rejection counters for refused frames —
-// every observation on the zero-alloc fast path.
-func (s *Server) answer(modelName string, req Request) Reply {
+// every observation on the zero-alloc fast path. A traced frame (span
+// carrying a nonzero ID) additionally pins its trace ID as the latency
+// histogram's exemplar, so a scrape can name an actual slow request.
+func (s *Server) answer(modelName string, req Request, span *trace.Span) Reply {
 	mInflight.Inc()
 	start := time.Now()
 	var reply Reply
 	switch req.Op {
 	case OpClassify:
-		reply = s.answerClassify(modelName, req)
+		reply = s.answerClassify(modelName, req, span)
 	case OpListModels:
 		reply = s.answerListModels()
 	default:
 		reply = Reply{Code: codeBadOp, Detail: fmt.Sprintf("op %q (this server speaks v%d)", req.Op, ProtocolVersion)}
 	}
 	op := opLabel(req.Op)
-	mRequestSeconds.With(op).ObserveSince(start)
+	if id := span.ID(); id != 0 {
+		mRequestSeconds.With(op).ObserveExemplar(time.Since(start).Seconds(), trace.FormatID(id))
+	} else {
+		mRequestSeconds.With(op).ObserveSince(start)
+	}
 	mRequests.With(op).Inc()
 	if reply.Code != "" {
 		mRejections.With(reply.Code).Inc()
@@ -988,8 +1153,9 @@ func (s *Server) answerListModels() Reply {
 }
 
 // answerClassify classifies one request batch, spreading queries over the
-// shared worker pool.
-func (s *Server) answerClassify(modelName string, req Request) Reply {
+// shared worker pool. The span collects the batch's queue-wait and scoring
+// time from the pool workers.
+func (s *Server) answerClassify(modelName string, req Request, span *trace.Span) Reply {
 	// Resolve the name fresh per frame: a Swap between frames serves the
 	// new model from the next frame on, while this frame keeps the entry
 	// it resolved (the registry never mutates a published entry).
@@ -1028,8 +1194,9 @@ func (s *Server) answerClassify(modelName string, req Request) Reply {
 	results := make([]Result, len(req.Queries))
 	var wg sync.WaitGroup
 	wg.Add(len(req.Queries))
+	enq := time.Now()
 	for i, q := range req.Queries {
-		s.dispatch(task{model: model, scorer: entry.Scorer, query: q, out: &results[i], wg: &wg})
+		s.dispatch(task{model: model, scorer: entry.Scorer, query: q, out: &results[i], wg: &wg, enq: enq, span: span})
 	}
 	wg.Wait()
 	s.mu.Lock()
@@ -1050,6 +1217,7 @@ type Client struct {
 	conn      net.Conn
 	hello     ServerHello
 	ioTimeout time.Duration
+	peer      string // remote address, cached for trace entries
 
 	enc *gob.Encoder // owned by sendLoop after the handshake
 	dec *gob.Decoder // owned by recvLoop after the handshake
@@ -1064,12 +1232,20 @@ type Client struct {
 }
 
 // pending is one in-flight request: the frame to send and the slot its
-// routed reply (or the connection's terminal error) lands in.
+// routed reply (or the connection's terminal error) lands in. Sampled
+// requests additionally carry their client-side trace state: the submit
+// time and the send-queue wait, stamped by the send goroutine (atomically,
+// because the recv goroutine reads it with no other synchronization
+// between the two).
 type pending struct {
 	req   Request
 	reply Reply
 	err   error
 	done  chan struct{}
+
+	traceID uint64
+	submitT time.Time
+	queueNs atomic.Int64
 }
 
 // ClientOption configures a Client.
@@ -1146,6 +1322,9 @@ func Dial(ctx context.Context, network, addr string, hello Hello, opts ...Client
 // ErrBadMagic; handshake i/o failures wrap ErrTransport.
 func NewClient(conn net.Conn, hello Hello, opts ...ClientOption) (*Client, error) {
 	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	if ra := conn.RemoteAddr(); ra != nil {
+		c.peer = ra.String()
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -1178,6 +1357,15 @@ func NewClient(conn net.Conn, hello Hello, opts ...ClientOption) (*Client, error
 // hands it to the send goroutine. The caller waits on the returned pending.
 func (c *Client) submit(req Request) (*pending, error) {
 	p := &pending{req: req, done: make(chan struct{})}
+	// The sampling decision for the whole request path lives here, so
+	// Remote, Pool and Cluster all trace without any API of their own; the
+	// ID crosses the wire on the frame. Unsampled requests pay one atomic
+	// load and zero allocations beyond the pending itself.
+	if id := trace.Sampled(); id != 0 {
+		p.traceID = id
+		p.req.Trace = id
+		p.submitT = time.Now()
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -1223,6 +1411,12 @@ func (c *Client) sendLoop() {
 			if err := c.enc.Encode(p.req); err != nil {
 				c.fail(fmt.Errorf("%w: send: %v", ErrTransport, err))
 				return
+			}
+			if p.traceID != 0 {
+				// Everything up to here — waiting behind other frames on
+				// the send queue plus this frame's own encode — is the
+				// client's queue stage.
+				p.queueNs.Store(int64(time.Since(p.submitT)))
 			}
 		case <-c.broken:
 			return
@@ -1282,8 +1476,53 @@ func (c *Client) recvLoop() {
 			return
 		}
 		p.reply = reply
+		if p.traceID != 0 {
+			c.finishTrace(p, &reply)
+		}
 		close(p.done)
 	}
+}
+
+// finishTrace closes out a sampled request's client-side span: the round
+// trip is split into send-queue wait (stamped by the send goroutine), the
+// server's reported residency, and the remainder attributed to the
+// network. The entry lands in the process-wide client recorder and the
+// observer hook.
+func (c *Client) finishTrace(p *pending, reply *Reply) {
+	total := time.Since(p.submitT)
+	queue := time.Duration(p.queueNs.Load())
+	var server StageTiming
+	if reply.Timing != nil {
+		server = *reply.Timing
+	}
+	network := total - queue - time.Duration(server.TotalNs)
+	if network < 0 {
+		network = 0
+	}
+	outcome := "ok"
+	if reply.Code != "" {
+		outcome = reply.Code
+	}
+	trace.RecordClient(trace.Entry{
+		TraceID: p.traceID,
+		Time:    time.Now(),
+		Side:    "client",
+		Model:   c.hello.Model,
+		Op:      opLabel(p.req.Op),
+		Peer:    c.peer,
+		Outcome: outcome,
+		Queries: len(p.req.Queries),
+		TotalNs: int64(total),
+		Local: trace.Breakdown{
+			QueueNs:   int64(queue),
+			NetworkNs: int64(network),
+		},
+		Server: trace.Breakdown{
+			QueueNs: server.QueueNs,
+			ScoreNs: server.ScoreNs,
+		},
+		ServerTotalNs: server.TotalNs,
+	})
 }
 
 // fail records the connection's terminal error (first caller wins), closes
@@ -1302,6 +1541,20 @@ func (c *Client) fail(err error) {
 	c.conn.Close()
 	for _, p := range pend {
 		p.err = err
+		if p.traceID != 0 {
+			trace.RecordClient(trace.Entry{
+				TraceID: p.traceID,
+				Time:    time.Now(),
+				Side:    "client",
+				Model:   c.hello.Model,
+				Op:      opLabel(p.req.Op),
+				Peer:    c.peer,
+				Outcome: "transport",
+				Queries: len(p.req.Queries),
+				TotalNs: int64(time.Since(p.submitT)),
+				Local:   trace.Breakdown{QueueNs: p.queueNs.Load()},
+			})
+		}
 		close(p.done)
 	}
 	// Drain requests the send goroutine will never pick up. Submitters

@@ -50,8 +50,8 @@ func TestServerScoresPackedOnIntegerEngine(t *testing.T) {
 			packed[i] = int8(rng.Intn(4)) - 2
 			vector[i] = float64(packed[i])
 		}
-		pr := s.answer("", Request{Queries: []Query{{Packed: packed}}})
-		vr := s.answer("", Request{Queries: []Query{{Vector: vector}}})
+		pr := s.answer("", Request{Queries: []Query{{Packed: packed}}}, nil)
+		vr := s.answer("", Request{Queries: []Query{{Vector: vector}}}, nil)
 		if pr.Code != "" || vr.Code != "" {
 			t.Fatalf("unexpected reply codes %q / %q", pr.Code, vr.Code)
 		}
@@ -84,8 +84,8 @@ func TestServerAbusedQueryBothFields(t *testing.T) {
 	// Packed deliberately has the wrong length AND would classify
 	// differently if it were ever consulted.
 	abused := Query{Vector: vector, Packed: []int8{1, -1, 1}}
-	got := s.answer("", Request{Queries: []Query{abused}})
-	want := s.answer("", Request{Queries: []Query{{Vector: vector}}})
+	got := s.answer("", Request{Queries: []Query{abused}}, nil)
+	want := s.answer("", Request{Queries: []Query{{Vector: vector}}}, nil)
 	if got.Code != "" || want.Code != "" {
 		t.Fatalf("unexpected reply codes %q / %q", got.Code, want.Code)
 	}

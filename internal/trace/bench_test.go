@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTraceDisabled is the bench-gate guard for the unsampled span
+// path: the exact sequence the offload client runs per request when
+// tracing is off. Must stay 0 allocs/op and a few nanoseconds.
+func BenchmarkTraceDisabled(b *testing.B) {
+	SetSampling(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if id := Sampled(); id != 0 {
+			b.Fatal("sampled with rate 0")
+		}
+		var sp *Span
+		sp.Add(StageScore, time.Millisecond)
+		sp.Free()
+	}
+}
+
+// BenchmarkTraceSampled prices the fully-traced path: span from pool,
+// stage records, breakdown snapshot, recorder offer (fast-rejected once
+// the floor is warm).
+func BenchmarkTraceSampled(b *testing.B) {
+	SetSampling(1)
+	defer SetSampling(0)
+	r := NewRecorder(8, 8)
+	// Warm the floor so the steady-state path is the fast reject.
+	for i := 0; i < 16; i++ {
+		r.Record(Entry{TraceID: uint64(i + 1), TotalNs: int64(time.Hour), Outcome: "ok"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Start()
+		sp.Add(StageQueueWait, time.Microsecond)
+		sp.Add(StageScore, time.Microsecond)
+		e := Entry{TraceID: sp.ID(), TotalNs: 2000, Outcome: "ok", Local: sp.Breakdown()}
+		r.Record(e)
+		sp.Free()
+	}
+}

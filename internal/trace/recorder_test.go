@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(id uint64, total int64, outcome string) Entry {
+	return Entry{
+		TraceID: id,
+		Time:    time.Now(),
+		Side:    "server",
+		Model:   "m",
+		Op:      "classify",
+		Peer:    "127.0.0.1:1",
+		Outcome: outcome,
+		TotalNs: total,
+	}
+}
+
+func TestRecorderKeepsSlowestN(t *testing.T) {
+	r := NewRecorder(4, 4)
+	for i := int64(1); i <= 100; i++ {
+		r.Record(entry(uint64(i), i*1000, "ok"))
+	}
+	s := r.Snapshot()
+	if s.Records != 100 {
+		t.Fatalf("records = %d", s.Records)
+	}
+	if len(s.Slowest) != 4 {
+		t.Fatalf("retained %d slowest, want 4", len(s.Slowest))
+	}
+	// Sorted slowest-first, and exactly the top 4 totals survive.
+	want := []int64{100000, 99000, 98000, 97000}
+	for i, e := range s.Slowest {
+		if e.TotalNs != want[i] {
+			t.Fatalf("slowest[%d] = %d, want %d", i, e.TotalNs, want[i])
+		}
+	}
+	if s.Slowest[0].Trace != FormatID(100) {
+		t.Fatalf("snapshot trace hex = %q", s.Slowest[0].Trace)
+	}
+}
+
+func TestRecorderFastRejectAllocFree(t *testing.T) {
+	r := NewRecorder(2, 2)
+	r.Record(entry(1, 1000, "ok"))
+	r.Record(entry(2, 2000, "ok"))
+	// Floor is now 1000; anything at or below must take the one-load path.
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Record(entry(3, 500, "ok"))
+	}); n != 0 {
+		t.Fatalf("fast-reject path allocates %v/op", n)
+	}
+}
+
+func TestRecorderErrorRing(t *testing.T) {
+	r := NewRecorder(2, 3)
+	for i := 1; i <= 5; i++ {
+		r.Record(entry(uint64(i), int64(i), fmt.Sprintf("err-%d", i)))
+	}
+	s := r.Snapshot()
+	if len(s.Errors) != 3 {
+		t.Fatalf("retained %d errors, want 3", len(s.Errors))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []string{"err-5", "err-4", "err-3"} {
+		if s.Errors[i].Outcome != want {
+			t.Fatalf("errors[%d] = %q, want %q", i, s.Errors[i].Outcome, want)
+		}
+	}
+	if len(s.Slowest) != 0 {
+		t.Fatal("errored entries leaked into the slowest set")
+	}
+}
+
+func TestRecorderEmptyOutcomeIsOK(t *testing.T) {
+	r := NewRecorder(2, 2)
+	r.Record(entry(1, 1000, ""))
+	s := r.Snapshot()
+	if len(s.Slowest) != 1 || len(s.Errors) != 0 {
+		t.Fatalf("empty outcome misclassified: %d slow, %d err", len(s.Slowest), len(s.Errors))
+	}
+}
+
+// TestRecorderConcurrentWriters is the -race test for the lock-free ring:
+// many writers hammering Record while readers snapshot. Correctness bar:
+// no race, no panic, snapshot invariants hold, and the slowest survivors
+// are drawn from the top of the offered distribution.
+func TestRecorderConcurrentWriters(t *testing.T) {
+	r := NewRecorder(8, 16)
+	const writers = 8
+	const perWriter = 2000
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent snapshot readers.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				for j := 1; j < len(s.Slowest); j++ {
+					if s.Slowest[j].TotalNs > s.Slowest[j-1].TotalNs {
+						panic("snapshot not sorted")
+					}
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				n := int64(w*perWriter + i + 1)
+				if i%100 == 0 {
+					r.Record(entry(uint64(n), n, "transport"))
+				} else {
+					r.Record(entry(uint64(n), n, "ok"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := r.Snapshot()
+	if s.Records != writers*perWriter {
+		t.Fatalf("records = %d, want %d", s.Records, writers*perWriter)
+	}
+	if len(s.Slowest) != 8 || len(s.Errors) != 16 {
+		t.Fatalf("retained %d slowest / %d errors", len(s.Slowest), len(s.Errors))
+	}
+	// CAS races may drop individual admissions, but the retained set must
+	// still come from the slow tail, not the bulk of the distribution.
+	for _, e := range s.Slowest {
+		if e.TotalNs < int64(writers*perWriter)/2 {
+			t.Fatalf("slowest set contains fast entry %d", e.TotalNs)
+		}
+	}
+}
+
+func TestRecorderClampsCapacities(t *testing.T) {
+	r := NewRecorder(0, -5)
+	r.Record(entry(1, 10, "ok"))
+	r.Record(entry(2, 20, "boom"))
+	s := r.Snapshot()
+	if len(s.Slowest) != 1 || len(s.Errors) != 1 {
+		t.Fatalf("clamped recorder retained %d/%d", len(s.Slowest), len(s.Errors))
+	}
+}

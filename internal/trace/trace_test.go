@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplingRateRoundTrip(t *testing.T) {
+	defer SetSampling(0)
+	for _, rate := range []float64{0, 0.25, 0.5, 1} {
+		SetSampling(rate)
+		if got := Sampling(); got < rate-1e-9 || got > rate+1e-9 {
+			t.Fatalf("Sampling() = %v after SetSampling(%v)", got, rate)
+		}
+	}
+	SetSampling(-3)
+	if Sampling() != 0 {
+		t.Fatalf("negative rate should clamp to 0, got %v", Sampling())
+	}
+	SetSampling(7)
+	if Sampling() != 1 {
+		t.Fatalf("rate > 1 should clamp to 1, got %v", Sampling())
+	}
+}
+
+func TestSampledRespectsRate(t *testing.T) {
+	defer SetSampling(0)
+
+	SetSampling(0)
+	for i := 0; i < 1000; i++ {
+		if Sampled() != 0 {
+			t.Fatal("Sampled() fired with sampling off")
+		}
+	}
+
+	SetSampling(1)
+	for i := 0; i < 1000; i++ {
+		if Sampled() == 0 {
+			t.Fatal("Sampled() returned 0 with sampling at 1")
+		}
+	}
+
+	// A mid-range rate should land near its expectation over many draws.
+	SetSampling(0.5)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if Sampled() != 0 {
+			hits++
+		}
+	}
+	if hits < n*4/10 || hits > n*6/10 {
+		t.Fatalf("rate 0.5 sampled %d/%d draws", hits, n)
+	}
+}
+
+func TestNextIDUniqueAndNonzero(t *testing.T) {
+	seen := make(map[uint64]bool, 100000)
+	for i := 0; i < 100000; i++ {
+		id := NextID()
+		if id == 0 {
+			t.Fatal("NextID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFormatID(t *testing.T) {
+	cases := map[uint64]string{
+		0:                  "0000000000000000",
+		1:                  "0000000000000001",
+		0xdeadbeef:         "00000000deadbeef",
+		0xffffffffffffffff: "ffffffffffffffff",
+	}
+	for id, want := range cases {
+		if got := FormatID(id); got != want {
+			t.Fatalf("FormatID(%#x) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestSpanStages(t *testing.T) {
+	s := NewSpan(42)
+	defer s.Free()
+	if s.ID() != 42 {
+		t.Fatalf("ID = %d", s.ID())
+	}
+	s.Add(StageScore, 5*time.Millisecond)
+	s.Add(StageScore, 5*time.Millisecond)
+	if got := s.Stage(StageScore); got != 10*time.Millisecond {
+		t.Fatalf("score stage = %v", got)
+	}
+	s.ObserveMax(StageQueueWait, 3*time.Millisecond)
+	s.ObserveMax(StageQueueWait, time.Millisecond) // smaller: ignored
+	if got := s.Stage(StageQueueWait); got != 3*time.Millisecond {
+		t.Fatalf("queue stage = %v", got)
+	}
+	b := s.Breakdown()
+	if b.ScoreNs != int64(10*time.Millisecond) || b.QueueNs != int64(3*time.Millisecond) {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestSpanReusedFromPoolIsZeroed(t *testing.T) {
+	s := NewSpan(7)
+	s.Add(StageScore, time.Hour)
+	s.Free()
+	s2 := NewSpan(9)
+	defer s2.Free()
+	if s2.Stage(StageScore) != 0 {
+		t.Fatal("pooled span kept stale stage data")
+	}
+	if s2.ID() != 9 {
+		t.Fatalf("pooled span ID = %d", s2.ID())
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.Add(StageScore, time.Second)
+	s.ObserveSince(StageDecode, time.Now())
+	s.ObserveMax(StageQueueWait, time.Second)
+	if s.ID() != 0 || s.Stage(StageScore) != 0 {
+		t.Fatal("nil span not zero")
+	}
+	if (s.Breakdown() != Breakdown{}) {
+		t.Fatal("nil span breakdown not zero")
+	}
+	s.Free()
+}
+
+// TestUnsampledPathZeroAllocs is the contract the bench gate enforces:
+// with sampling off — and even with a rate set but the dice missing — the
+// span path must not allocate.
+func TestUnsampledPathZeroAllocs(t *testing.T) {
+	defer SetSampling(0)
+
+	SetSampling(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if sp := Start(); sp != nil {
+			sp.Free()
+			panic("sampled with rate 0")
+		}
+	}); n != 0 {
+		t.Fatalf("unsampled Start path allocates %v/op", n)
+	}
+
+	if n := testing.AllocsPerRun(1000, func() {
+		var sp *Span
+		sp.Add(StageScore, time.Millisecond)
+		sp.ObserveMax(StageQueueWait, time.Millisecond)
+		_ = sp.ID()
+		sp.Free()
+	}); n != 0 {
+		t.Fatalf("nil-span method path allocates %v/op", n)
+	}
+
+	// Sampled() itself must stay clean with a live (tiny) rate too.
+	SetSampling(1e-9)
+	if n := testing.AllocsPerRun(1000, func() {
+		if Sampled() != 0 {
+			return
+		}
+	}); n != 0 {
+		t.Fatalf("Sampled with live rate allocates %v/op", n)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	defer SetObserver(nil)
+	var got []Entry
+	SetObserver(func(e Entry) { got = append(got, e) })
+	RecordClient(Entry{TraceID: 5, Side: "client", Op: "classify", TotalNs: 100, Outcome: "ok"})
+	if len(got) != 1 || got[0].TraceID != 5 {
+		t.Fatalf("observer saw %+v", got)
+	}
+	SetObserver(nil)
+	RecordClient(Entry{TraceID: 6, Side: "client", Op: "classify", TotalNs: 100, Outcome: "ok"})
+	if len(got) != 1 {
+		t.Fatal("observer fired after uninstall")
+	}
+}

@@ -17,8 +17,12 @@ import (
 //
 // The exposition is dependency-free and safe to scrape at any rate: reads
 // never block the serving hot paths, which record through lock-free
-// atomics.
+// atomics. Scrapers that negotiate the OpenMetrics content type (Accept:
+// application/openmetrics-text) additionally receive trace-ID exemplars on
+// latency histogram buckets. Go runtime health series (goroutines, heap,
+// GC pauses, scheduler latency) are registered on first use.
 func MetricsHandler() http.Handler {
+	metrics.EnsureGoRuntime()
 	return metrics.Default.Handler()
 }
 

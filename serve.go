@@ -3,6 +3,7 @@ package privehd
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"time"
 
@@ -69,6 +70,15 @@ func WithServerWorkers(n int) ServerOption { return offload.WithWorkers(n) }
 // back off and clusters fail over) and closed, instead of hanging until a
 // timeout.
 func WithMaxConns(n int) ServerOption { return offload.WithMaxConns(n) }
+
+// WithSlowRequestLog emits a structured warning for every request whose
+// server-side residency meets threshold: trace ID, model, operation, peer,
+// outcome and the per-stage latency breakdown. It fires for every slow
+// request regardless of the trace sampling rate — the flight recorder and
+// this log are how untraced slow requests still get caught.
+func WithSlowRequestLog(log *slog.Logger, threshold time.Duration) ServerOption {
+	return offload.WithSlowRequestLog(log, threshold)
+}
 
 // Server hosts model serving for offloaded inference (§III-C): versioned
 // handshake, batched queries, a reader goroutine per connection and a
