@@ -5,6 +5,8 @@
 // cmd/privehd-experiments instead.
 package privehd_test
 
+//lint:file-ignore SA1019 the deprecated constructors stay fully supported; these tests pin their behavior
+
 import (
 	"context"
 	"net"
@@ -288,4 +290,74 @@ func BenchmarkServingThroughput(b *testing.B) {
 		})
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	})
+}
+
+// BenchmarkShardedPredict measures the scatter–gather path: one logical
+// model split across two dimension-shard replicas, every prediction fanned
+// to both and reduced from exact integer partials. Comparing queries/s to
+// BenchmarkServingThroughput/pooled shows the per-request cost of the v5
+// partial-score gather.
+func BenchmarkShardedPredict(b *testing.B) {
+	const dim = 2048
+	pipe, err := privehd.New(
+		privehd.WithDim(dim), privehd.WithLevels(8), privehd.WithSeed(7),
+		privehd.WithFeatures(16), privehd.WithRetrain(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := make([][]float64, 64)
+	y := make([]int, 64)
+	for i := range X {
+		x := make([]float64, 16)
+		for k := range x {
+			x[k] = 0.25 + 0.5*float64(i%2) + 0.01*float64(k%3)
+		}
+		X[i], y[i] = x, i%2
+	}
+	if err := pipe.Train(X, y); err != nil {
+		b.Fatal(err)
+	}
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		reg := privehd.NewRegistry()
+		if err := reg.RegisterShard("m", pipe, privehd.ShardSlice{
+			DimOffset: i * dim / 2, DimLen: dim / 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := privehd.NewRegistryServer(reg)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(context.Background(), lis) }()
+		defer func() { srv.Close(); <-done }()
+		addrs = append(addrs, lis.Addr().String())
+	}
+
+	client, err := privehd.Connect(context.Background(), privehd.Target{
+		Addrs: addrs, Model: "m", Topology: privehd.TopologySharded,
+	}, privehd.WithConnectPool(privehd.WithPoolSize(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	sharded := client.(*privehd.Sharded)
+	q, err := sharded.Edge().Prepare(X[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := sharded.PredictPrepared(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }

@@ -1,0 +1,371 @@
+package privehd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"privehd/internal/cluster"
+	"privehd/internal/offload"
+	"privehd/internal/shard"
+)
+
+// Client is the topology-independent inference surface: one interface
+// whether the fleet behind it is a single connection (Remote), a pooled
+// address (Pool), a replicated fleet (Cluster), or a model split across
+// shard replicas (Sharded). Code written against Client chooses its
+// serving topology with a Connect Target — a flag, not a code path.
+//
+// Every implementation pairs the connections with a local Edge, so the
+// §III-C privacy story is identical across topologies: inputs are
+// encoded, quantized and masked on the device, and only obfuscated
+// hypervectors cross the network.
+type Client interface {
+	// Predict obfuscates one input on the edge and classifies it
+	// remotely, returning the predicted label and per-class scores.
+	Predict(x []float64) (int, []float64, error)
+	// PredictBatch obfuscates and classifies a batch of inputs.
+	PredictBatch(X [][]float64) ([]int, error)
+	// ListModels returns the serving registry's current listing.
+	ListModels() ([]ModelInfo, error)
+	// Traces snapshots the process-wide client-side flight recorder —
+	// the slowest and most recent errored traced requests this process
+	// has sent (see SetTraceSampling).
+	Traces() TraceSnapshot
+	// Close releases the client's connections.
+	Close() error
+}
+
+// Compile-time checks: every serving topology implements Client.
+var (
+	_ Client = (*Remote)(nil)
+	_ Client = (*Pool)(nil)
+	_ Client = (*Cluster)(nil)
+	_ Client = (*Sharded)(nil)
+)
+
+// Topology selects how Connect arranges connections over the target
+// addresses.
+type Topology int
+
+const (
+	// TopologyAuto picks for you: one address dials a Pool; several
+	// addresses dial the first reachable one and build a Sharded client
+	// if it advertises a shard descriptor, a Cluster otherwise.
+	TopologyAuto Topology = iota
+	// TopologySingle is one pipelined connection (a Remote) to the first
+	// address.
+	TopologySingle
+	// TopologyPool is a bounded pool of reused connections to the first
+	// address.
+	TopologyPool
+	// TopologyCluster load-balances over the addresses as whole-model
+	// replicas with health-tracked failover.
+	TopologyCluster
+	// TopologySharded treats the addresses as slices of one logical
+	// model (dimension and/or class shards) and scatter–gathers every
+	// prediction across them.
+	TopologySharded
+)
+
+// String returns the topology's flag spelling ("auto", "single", "pool",
+// "cluster", "sharded").
+func (t Topology) String() string {
+	switch t {
+	case TopologyAuto:
+		return "auto"
+	case TopologySingle:
+		return "single"
+	case TopologyPool:
+		return "pool"
+	case TopologyCluster:
+		return "cluster"
+	case TopologySharded:
+		return "sharded"
+	}
+	return "unknown"
+}
+
+// ParseTopology parses a topology flag value as spelled by
+// Topology.String.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "auto", "":
+		return TopologyAuto, nil
+	case "single":
+		return TopologySingle, nil
+	case "pool":
+		return TopologyPool, nil
+	case "cluster":
+		return TopologyCluster, nil
+	case "sharded":
+		return TopologySharded, nil
+	}
+	return 0, fmt.Errorf("privehd: unknown topology %q (want auto|single|pool|cluster|sharded)", s)
+}
+
+// Target names what Connect should reach: where the servers are, which
+// model to bind to, and how to arrange connections over them.
+type Target struct {
+	// Network is the dial network (default "tcp").
+	Network string
+	// Addrs are the server addresses. Single-address topologies use the
+	// first.
+	Addrs []string
+	// Model selects the served model (empty for each server's default).
+	Model string
+	// Topology arranges the connections (default TopologyAuto).
+	Topology Topology
+}
+
+// ConnectOption configures Connect.
+type ConnectOption func(*connectConfig)
+
+type connectConfig struct {
+	edge   *Edge
+	pool   poolConfig
+	policy BalancePolicy
+	probe  time.Duration
+	logger *slog.Logger
+}
+
+// WithEdge supplies the Edge whose obfuscated queries the client should
+// carry. Without it Connect auto-configures one from the server's
+// advertised encoder setup (layer defences on with WithEdgeOptions).
+func WithEdge(e *Edge) ConnectOption {
+	return func(c *connectConfig) { c.edge = e }
+}
+
+// WithEdgeOptions supplies pipeline options — typically the §III-C
+// defences WithQueryMask and WithRawQueries — for the edge Connect
+// auto-configures. Ignored when WithEdge provides one.
+func WithEdgeOptions(opts ...Option) ConnectOption {
+	return func(c *connectConfig) { c.pool.edgeOpts = append(c.pool.edgeOpts, opts...) }
+}
+
+// WithConnectPool applies per-address pool options (WithPoolSize,
+// WithPoolIOTimeout, …) to every connection pool Connect builds. The
+// single-connection topology honours the io-timeout option only.
+func WithConnectPool(opts ...PoolOption) ConnectOption {
+	return func(c *connectConfig) {
+		for _, o := range opts {
+			o(&c.pool)
+		}
+	}
+}
+
+// WithConnectPolicy selects the replica balancing policy for cluster and
+// sharded topologies (default LeastInFlight).
+func WithConnectPolicy(p BalancePolicy) ConnectOption {
+	return func(c *connectConfig) { c.policy = p }
+}
+
+// WithConnectProbeInterval sets replica health-probe cadence for cluster
+// and sharded topologies (default 2s; d ≤ 0 disables probing).
+func WithConnectProbeInterval(d time.Duration) ConnectOption {
+	return func(c *connectConfig) {
+		if d <= 0 {
+			c.probe = -1
+			return
+		}
+		c.probe = d
+	}
+}
+
+// WithConnectLogger routes structured health-transition events of cluster
+// and sharded topologies to log. By default they are discarded.
+func WithConnectLogger(log *slog.Logger) ConnectOption {
+	return func(c *connectConfig) { c.logger = log }
+}
+
+// Connect is the one constructor for every serving topology: it dials the
+// target, performs (and validates) the protocol handshake, auto-configures
+// the obfuscating edge from the server's advertised encoder setup unless
+// WithEdge provides one, and returns the Client matching the target's
+// topology. The context bounds dialing and handshaking.
+//
+// It subsumes the older constructors — Dial, DialModel, NewRemote,
+// NewRemoteModel, DialPool and DialCluster remain as deprecated wrappers
+// around the same machinery.
+func Connect(ctx context.Context, t Target, opts ...ConnectOption) (Client, error) {
+	if len(t.Addrs) == 0 {
+		return nil, errors.New("privehd: Connect: no addresses in target")
+	}
+	if t.Network == "" {
+		t.Network = "tcp"
+	}
+	var cfg connectConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.pool.model = t.Model
+	topo := t.Topology
+	if topo == TopologyAuto {
+		if len(t.Addrs) == 1 {
+			topo = TopologyPool
+		} else {
+			var err error
+			topo, err = sniffTopology(ctx, t)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	switch topo {
+	case TopologySingle:
+		return connectSingle(ctx, t, cfg)
+	case TopologyPool:
+		return connectPool(ctx, t, cfg)
+	case TopologyCluster:
+		return connectCluster(ctx, t, cfg)
+	case TopologySharded:
+		return connectSharded(ctx, t, cfg)
+	}
+	return nil, fmt.Errorf("privehd: Connect: unknown topology %d", int(t.Topology))
+}
+
+// sniffTopology decides between cluster and sharded for a multi-address
+// auto target: the first reachable address's handshake tells whether it
+// serves a slice (shard descriptor in the v5 ServerHello) or the whole
+// model.
+func sniffTopology(ctx context.Context, t Target) (Topology, error) {
+	var lastErr error
+	for _, addr := range t.Addrs {
+		c, err := offload.Dial(ctx, t.Network, addr, offload.Hello{Model: t.Model})
+		if err != nil {
+			if errors.Is(err, ErrTransport) {
+				lastErr = err
+				continue
+			}
+			return 0, err
+		}
+		sharded := c.Shard() != nil && !c.Shard().Whole()
+		c.Close()
+		if sharded {
+			return TopologySharded, nil
+		}
+		return TopologyCluster, nil
+	}
+	return 0, fmt.Errorf("privehd: Connect: no address reachable: %w", lastErr)
+}
+
+// connectSingle is TopologySingle: one pipelined connection plus its edge.
+func connectSingle(ctx context.Context, t Target, cfg connectConfig) (*Remote, error) {
+	var dopts []DialOption
+	if t.Model != "" {
+		dopts = append(dopts, ForModel(t.Model))
+	}
+	if cfg.pool.ioTimeout > 0 {
+		dopts = append(dopts, WithIOTimeout(cfg.pool.ioTimeout))
+	}
+	if cfg.edge != nil {
+		return Dial(ctx, t.Network, t.Addrs[0], cfg.edge, dopts...)
+	}
+	client, err := offload.Dial(ctx, t.Network, t.Addrs[0], offload.Hello{Model: t.Model})
+	if err != nil {
+		return nil, err
+	}
+	edge, err := edgeFromServerHello(client.ServerHello(), cfg.pool.edgeOpts...)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	return &Remote{edge: edge, client: client}, nil
+}
+
+// connectPool is TopologyPool: a bounded connection pool plus its edge.
+func connectPool(ctx context.Context, t Target, cfg connectConfig) (*Pool, error) {
+	pcfg := cfg.pool.toInternal()
+	pcfg.Network = t.Network
+	pcfg.Addr = t.Addrs[0]
+	pcfg.Hello = offload.Hello{Model: t.Model}
+	if cfg.edge != nil {
+		pcfg.Hello.Dim = cfg.edge.Dim()
+	}
+	pool := cluster.NewPool(pcfg)
+	hello, err := pool.Hello(ctx)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	edge := cfg.edge
+	if edge == nil {
+		edge, err = edgeFromServerHello(hello, cfg.pool.edgeOpts...)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+	return &Pool{edge: edge, pool: pool}, nil
+}
+
+// connectCluster is TopologyCluster: whole-model replicas with failover.
+func connectCluster(ctx context.Context, t Target, cfg connectConfig) (*Cluster, error) {
+	hello := offload.Hello{Model: t.Model}
+	if cfg.edge != nil {
+		hello.Dim = cfg.edge.Dim()
+	}
+	cl, err := cluster.NewCluster(cluster.ClusterConfig{
+		Network:       t.Network,
+		Addrs:         t.Addrs,
+		Hello:         hello,
+		Pool:          cfg.pool.toInternal(),
+		Policy:        cfg.policy,
+		ProbeInterval: cfg.probe,
+		Logger:        cfg.logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("privehd: %w", err)
+	}
+	sh, err := cl.Hello(ctx)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	edge := cfg.edge
+	if edge == nil {
+		edge, err = edgeFromServerHello(sh, cfg.pool.edgeOpts...)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return &Cluster{edge: edge, cl: cl}, nil
+}
+
+// connectSharded is TopologySharded: the addresses serve slices of one
+// logical model; predictions scatter–gather across them.
+func connectSharded(ctx context.Context, t Target, cfg connectConfig) (*Sharded, error) {
+	co, err := shard.New(ctx, shard.Config{
+		Network:       t.Network,
+		Addrs:         t.Addrs,
+		Model:         t.Model,
+		Pool:          cfg.pool.toInternal(),
+		Policy:        cfg.policy,
+		ProbeInterval: cfg.probe,
+		Logger:        cfg.logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	edge := cfg.edge
+	if edge == nil {
+		edge, err = edgeFromServerHello(co.Hello(), cfg.pool.edgeOpts...)
+		if err != nil {
+			co.Close()
+			return nil, err
+		}
+	}
+	if edge.Dim() != co.Dim() {
+		co.Close()
+		return nil, fmt.Errorf("%w: edge dim %d, sharded model dim %d", ErrGeometryMismatch, edge.Dim(), co.Dim())
+	}
+	if edge.cfg.rawQueries {
+		co.Close()
+		return nil, fmt.Errorf("%w: WithRawQueries edges send full-precision vectors, which cannot be partial-scored across shards",
+			ErrPartialUnsupported)
+	}
+	return &Sharded{edge: edge, co: co}, nil
+}

@@ -110,6 +110,10 @@ func WithClusterLogger(log *slog.Logger) ClusterOption {
 // the cluster should carry, or nil to auto-configure one from the
 // advertised encoder setup exactly like DialModel (layer defences on with
 // WithClusterPool(WithPoolEdge(...))).
+//
+// Deprecated: use Connect with TopologyCluster — the Target plus
+// WithConnectPool/WithConnectPolicy options cover this constructor
+// exactly.
 func DialCluster(ctx context.Context, network string, addrs []string, edge *Edge, opts ...ClusterOption) (*Cluster, error) {
 	var cfg clusterConfig
 	for _, o := range opts {
@@ -190,6 +194,9 @@ func (c *Cluster) ListModels() ([]ModelInfo, error) {
 
 // Replicas returns a snapshot of every replica's health and load.
 func (c *Cluster) Replicas() []ReplicaStatus { return c.cl.Replicas() }
+
+// Traces snapshots the process-wide client-side flight recorder.
+func (c *Cluster) Traces() TraceSnapshot { return ClientTraces() }
 
 // Close stops the health prober and closes every replica pool.
 func (c *Cluster) Close() error { return c.cl.Close() }

@@ -1,8 +1,10 @@
 // Command privehd-bench is a closed/open-loop load generator for a
 // Prive-HD serving fleet — the serving-side counterpart of the repo's
-// microbenchmark gate. It drives real cluster traffic through the same
-// client path production edges use (DialCluster + PredictPrepared) and
-// reports sustained queries/s with p50/p95/p99 latency.
+// microbenchmark gate. It drives real traffic through the same client
+// path production edges use (privehd.Connect + PredictPrepared) and
+// reports sustained queries/s with p50/p95/p99 latency. The serving
+// topology is a flag, not a code path: -topology auto|single|pool|
+// cluster|sharded picks the Client arrangement over the same addresses.
 //
 // Two ways to point it at a fleet:
 //
@@ -10,6 +12,9 @@
 //   - -selfserve N — train a small synthetic model, serve it from N
 //     in-process replicas plus a /metrics listener, and benchmark that.
 //     This is the CI smoke mode: no external processes, fully hermetic.
+//     -shard-grid DxC splits the selfserve model into D dimension × C
+//     class shards, each on its own listener, exercising the sharded
+//     scatter–gather path end to end in one process.
 //
 // Two load modes:
 //
@@ -52,15 +57,28 @@ import (
 	"privehd"
 )
 
+// benchClient is the client surface the load loops need: the shared
+// privehd.Client interface plus prepared-query prediction and edge
+// access. Every concrete topology (Remote, Pool, Cluster, Sharded)
+// implements it.
+type benchClient interface {
+	privehd.Client
+	PredictPrepared(q []float64) (int, []float64, error)
+	Edge() *privehd.Edge
+}
+
 type config struct {
 	addrs       []string // remote fleet; empty means selfserve
 	selfserve   int      // number of in-process replicas
 	dataset     string   // selfserve training workload
 	dim         int      // selfserve hypervector dimensionality
 	model       string   // model name to bind to
-	mode        string   // "closed" or "open"
-	concurrency int      // closed: workers; open: max outstanding
-	rate        float64  // open mode arrivals per second
+	topology    privehd.Topology
+	dimShards   int     // selfserve shard grid: dimension slices
+	classShards int     // selfserve shard grid: class slices
+	mode        string  // "closed" or "open"
+	concurrency int     // closed: workers; open: max outstanding
+	rate        float64 // open mode arrivals per second
 	duration    time.Duration
 	warmup      time.Duration
 	queries     int     // size of the prepared-query pool
@@ -75,6 +93,7 @@ type config struct {
 // call time; open mode: time since scheduled arrival).
 type summary struct {
 	Mode        string  `json:"mode"`
+	Topology    string  `json:"topology"`
 	Replicas    int     `json:"replicas"`
 	Concurrency int     `json:"concurrency"`
 	RateTarget  float64 `json:"rate_target,omitempty"`
@@ -89,9 +108,17 @@ type summary struct {
 
 	// MetricsChecked / ServerQueriesDelta report the -check cross-audit:
 	// the server-side counter movement over the measured window, which
-	// must equal Requests.
+	// must equal Requests × ShardGroups (each shard group partial-scores
+	// every logical query; 1 group for unsharded topologies).
 	MetricsChecked     bool   `json:"metrics_checked"`
 	ServerQueriesDelta uint64 `json:"server_queries_delta,omitempty"`
+
+	// ShardGroups is how many shard groups the client scatters across
+	// (sharded topology only). ShardGathers is the per-shard movement of
+	// privehd_shard_gathers_total over the measured window, keyed by
+	// shard descriptor — with -check, each must equal Requests.
+	ShardGroups  int               `json:"shard_groups,omitempty"`
+	ShardGathers map[string]uint64 `json:"shard_gathers,omitempty"`
 
 	// Trace reports where traced requests spent their latency; present
 	// only with -trace-sample > 0.
@@ -146,9 +173,13 @@ func parseFlags(argv []string) (config, error) {
 		fs   = flag.NewFlagSet("privehd-bench", flag.ContinueOnError)
 		cfg  config
 		list string
+		topo string
+		grid string
 	)
 	fs.StringVar(&list, "addrs", "", "comma-separated replica addresses of a running fleet")
+	fs.StringVar(&topo, "topology", "auto", "client arrangement over the addresses: auto, single, pool, cluster or sharded")
 	fs.IntVar(&cfg.selfserve, "selfserve", 0, "serve N in-process replicas of a synthetic model instead of dialing -addrs")
+	fs.StringVar(&grid, "shard-grid", "", "selfserve only: split the model into a DxC grid of dimension × class shards (e.g. 2x2), one listener each; implies a sharded client")
 	fs.StringVar(&cfg.dataset, "dataset", "isolet-s", "selfserve training workload (isolet-s, face-s, mnist-s)")
 	fs.IntVar(&cfg.dim, "dim", 2048, "selfserve hypervector dimensionality")
 	fs.StringVar(&cfg.model, "model", "", "model name to bind to (selfserve default: bench)")
@@ -167,6 +198,21 @@ func parseFlags(argv []string) (config, error) {
 	}
 	if list != "" {
 		cfg.addrs = strings.Split(list, ",")
+	}
+	var err error
+	if cfg.topology, err = privehd.ParseTopology(topo); err != nil {
+		return cfg, err
+	}
+	if grid != "" {
+		if cfg.selfserve <= 0 {
+			return cfg, errors.New("-shard-grid needs -selfserve (remote fleets already define their own shards)")
+		}
+		if _, err := fmt.Sscanf(grid, "%dx%d", &cfg.dimShards, &cfg.classShards); err != nil ||
+			cfg.dimShards < 1 || cfg.classShards < 1 {
+			return cfg, fmt.Errorf("bad -shard-grid %q (want DxC, e.g. 2x2)", grid)
+		}
+	} else {
+		cfg.dimShards, cfg.classShards = 1, 1
 	}
 	if len(cfg.addrs) == 0 && cfg.selfserve <= 0 {
 		return cfg, errors.New("need -addrs or -selfserve N")
@@ -218,13 +264,35 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 	}
 
 	dialCtx, dialCancel := context.WithTimeout(ctx, 10*time.Second)
-	cl, err := privehd.DialCluster(dialCtx, "tcp", addrs, nil,
-		privehd.WithClusterModel(cfg.model))
+	client, err := privehd.Connect(dialCtx, privehd.Target{
+		Addrs:    addrs,
+		Model:    cfg.model,
+		Topology: cfg.topology,
+	})
 	dialCancel()
 	if err != nil {
-		return nil, fmt.Errorf("dial fleet: %w", err)
+		return nil, fmt.Errorf("connect fleet: %w", err)
 	}
-	defer cl.Close()
+	defer client.Close()
+	cl, ok := client.(benchClient)
+	if !ok {
+		return nil, fmt.Errorf("client %T lacks PredictPrepared", client)
+	}
+	shardGroups := 1
+	topoName := cfg.topology.String()
+	if sh, isSharded := client.(*privehd.Sharded); isSharded {
+		shardGroups = len(sh.Shards())
+		topoName = privehd.TopologySharded.String()
+	} else if cfg.topology == privehd.TopologyAuto {
+		switch client.(type) {
+		case *privehd.Pool:
+			topoName = privehd.TopologyPool.String()
+		case *privehd.Cluster:
+			topoName = privehd.TopologyCluster.String()
+		case *privehd.Remote:
+			topoName = privehd.TopologySingle.String()
+		}
+	}
 
 	pool, err := queryPool(cl, cfg.queries, inputs)
 	if err != nil {
@@ -248,9 +316,15 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 	}
 
 	var before uint64
+	var gathersBefore map[string]uint64
 	if cfg.check {
 		if before, err = scrapeQueries(scrape, cfg.model); err != nil {
 			return nil, fmt.Errorf("pre-run scrape: %w", err)
+		}
+		if shardGroups > 1 {
+			if gathersBefore, err = scrapeShardGathers(scrape); err != nil {
+				return nil, fmt.Errorf("pre-run shard scrape: %w", err)
+			}
 		}
 	}
 
@@ -273,12 +347,16 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 
 	sum := &summary{
 		Mode:        cfg.mode,
+		Topology:    topoName,
 		Replicas:    len(addrs),
 		Concurrency: cfg.concurrency,
 		Seconds:     elapsed.Seconds(),
 		Requests:    res.ok,
 		Errors:      res.errs,
 		QPS:         float64(res.ok) / elapsed.Seconds(),
+	}
+	if shardGroups > 1 {
+		sum.ShardGroups = shardGroups
 	}
 	if cfg.mode == "open" {
 		sum.RateTarget = cfg.rate
@@ -292,11 +370,37 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		}
 		sum.MetricsChecked = true
 		sum.ServerQueriesDelta = after - before
-		if sum.ServerQueriesDelta != uint64(res.ok) {
-			return nil, fmt.Errorf("metrics check failed: server counted %d queries, client tallied %d",
-				sum.ServerQueriesDelta, res.ok)
+		// A sharded client partial-scores every logical query on every
+		// shard group, so the fleet-wide server counter moves G× the
+		// client tally.
+		want := uint64(res.ok) * uint64(shardGroups)
+		if sum.ServerQueriesDelta != want {
+			return nil, fmt.Errorf("metrics check failed: server counted %d queries, client tallied %d × %d shard groups = %d",
+				sum.ServerQueriesDelta, res.ok, shardGroups, want)
 		}
-		fmt.Fprintf(errw, "metrics check ok: server and client both counted %d queries\n", res.ok)
+		fmt.Fprintf(errw, "metrics check ok: server counted %d queries (= %d requests × %d shard groups)\n",
+			want, res.ok, shardGroups)
+		if shardGroups > 1 {
+			gathersAfter, err := scrapeShardGathers(scrape)
+			if err != nil {
+				return nil, fmt.Errorf("post-run shard scrape: %w", err)
+			}
+			sum.ShardGathers = make(map[string]uint64, len(gathersAfter))
+			for shard, v := range gathersAfter {
+				sum.ShardGathers[shard] = v - gathersBefore[shard]
+			}
+			if len(sum.ShardGathers) != shardGroups {
+				return nil, fmt.Errorf("shard gather check failed: %d shards on /metrics, client scatters across %d",
+					len(sum.ShardGathers), shardGroups)
+			}
+			for shard, delta := range sum.ShardGathers {
+				if res.errs == 0 && delta != uint64(res.ok) {
+					return nil, fmt.Errorf("shard gather check failed: shard %q gathered %d of %d requests",
+						shard, delta, res.ok)
+				}
+			}
+			fmt.Fprintf(errw, "shard gather check ok: %d shards each gathered %d requests\n", shardGroups, res.ok)
+		}
 	}
 	if res.ok == 0 {
 		return nil, fmt.Errorf("no query succeeded (%d errors); fleet unhealthy?", res.errs)
@@ -397,7 +501,7 @@ func buildTraceReport(entries []privehd.TraceEntry) (*traceReport, error) {
 // path (wire + scoring) rather than client-side encoding. inputs supplies
 // raw feature vectors; when nil (remote fleets), deterministic synthetic
 // inputs matching the edge's advertised feature count are used.
-func queryPool(cl *privehd.Cluster, n int, inputs [][]float64) ([][]float64, error) {
+func queryPool(cl benchClient, n int, inputs [][]float64) ([][]float64, error) {
 	edge := cl.Edge()
 	if len(inputs) == 0 {
 		rng := rand.New(rand.NewSource(1))
@@ -429,7 +533,7 @@ type runResult struct {
 
 // closedLoop runs workers synchronous loops for d: each worker fires its
 // next query the moment the previous answer returns.
-func closedLoop(ctx context.Context, cl *privehd.Cluster, pool [][]float64, workers int, d time.Duration) runResult {
+func closedLoop(ctx context.Context, cl benchClient, pool [][]float64, workers int, d time.Duration) runResult {
 	deadline := time.Now().Add(d)
 	var (
 		mu  sync.Mutex
@@ -469,7 +573,7 @@ func closedLoop(ctx context.Context, cl *privehd.Cluster, pool [][]float64, work
 // d, with at most outstanding queries in flight. Latency is measured from
 // each query's scheduled arrival time, so server-induced queueing counts
 // against the server instead of being hidden by client backpressure.
-func openLoop(ctx context.Context, cl *privehd.Cluster, pool [][]float64, rate float64, outstanding int, d time.Duration) runResult {
+func openLoop(ctx context.Context, cl benchClient, pool [][]float64, rate float64, outstanding int, d time.Duration) runResult {
 	var (
 		interval = time.Duration(float64(time.Second) / rate)
 		start    = time.Now()
@@ -550,8 +654,43 @@ func scrapeQueries(url, model string) (uint64, error) {
 	return total, sc.Err()
 }
 
+// scrapeShardGathers fetches url and collects every
+// privehd_shard_gathers_total sample, keyed by its shard label — the
+// per-shard ground truth the sharded -check audit compares against.
+func scrapeShardGathers(url string) (map[string]uint64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `privehd_shard_gathers_total{shard="`) {
+			continue
+		}
+		rest := line[len(`privehd_shard_gathers_total{shard="`):]
+		end := strings.Index(rest, `"}`)
+		if end < 0 {
+			continue
+		}
+		shard := rest[:end]
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse sample %q: %w", line, err)
+		}
+		out[shard] += uint64(v)
+	}
+	return out, sc.Err()
+}
+
 func printSummary(w io.Writer, s *summary) {
-	fmt.Fprintf(w, "mode        %s (%d replicas, concurrency %d)\n", s.Mode, s.Replicas, s.Concurrency)
+	fmt.Fprintf(w, "mode        %s (%s topology, %d replicas, concurrency %d)\n", s.Mode, s.Topology, s.Replicas, s.Concurrency)
 	if s.Mode == "open" {
 		fmt.Fprintf(w, "target rate %.0f /s\n", s.RateTarget)
 	}
@@ -561,6 +700,17 @@ func printSummary(w io.Writer, s *summary) {
 		s.P50ms, s.P95ms, s.P99ms, s.MaxMs)
 	if s.MetricsChecked {
 		fmt.Fprintf(w, "audit       /metrics agrees: server counted %d queries\n", s.ServerQueriesDelta)
+	}
+	if s.ShardGroups > 0 {
+		fmt.Fprintf(w, "shards      scatter across %d shard groups\n", s.ShardGroups)
+		shards := make([]string, 0, len(s.ShardGathers))
+		for shard := range s.ShardGathers {
+			shards = append(shards, shard)
+		}
+		sort.Strings(shards)
+		for _, shard := range shards {
+			fmt.Fprintf(w, "  %-30s %d gathers\n", shard, s.ShardGathers[shard])
+		}
 	}
 	if s.Trace != nil {
 		fmt.Fprintf(w, "traced      %d requests\n", s.Trace.Sampled)

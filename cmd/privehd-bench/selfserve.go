@@ -49,9 +49,39 @@ func startSelfServe(ctx context.Context, cfg config, errw io.Writer) (*fleet, er
 	if err := p.Train(ds.TrainX, ds.TrainY); err != nil {
 		return nil, err
 	}
-	reg := privehd.NewRegistry()
-	if err := reg.Register(cfg.model, p); err != nil {
-		return nil, err
+	// One registry per shard cell: the default 1×1 grid is a single whole
+	// registry; -shard-grid DxC splits the model into D dimension × C
+	// class slices, each published from its own registry so each listener
+	// advertises exactly one slice in its handshake. An unset grid (a
+	// config built without flag parsing) means unsharded.
+	if cfg.dimShards < 1 {
+		cfg.dimShards = 1
+	}
+	if cfg.classShards < 1 {
+		cfg.classShards = 1
+	}
+	var registries []*privehd.Registry
+	dim, classes := p.Dim(), p.Classes()
+	for di := 0; di < cfg.dimShards; di++ {
+		for ci := 0; ci < cfg.classShards; ci++ {
+			reg := privehd.NewRegistry()
+			if cfg.dimShards == 1 && cfg.classShards == 1 {
+				if err := reg.Register(cfg.model, p); err != nil {
+					return nil, err
+				}
+			} else {
+				d0, d1 := di*dim/cfg.dimShards, (di+1)*dim/cfg.dimShards
+				c0, c1 := ci*classes/cfg.classShards, (ci+1)*classes/cfg.classShards
+				err := reg.RegisterShard(cfg.model, p, privehd.ShardSlice{
+					DimOffset: d0, DimLen: d1 - d0,
+					ClassOffset: c0, ClassCount: c1 - c0,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			registries = append(registries, reg)
+		}
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -60,17 +90,23 @@ func startSelfServe(ctx context.Context, cfg config, errw io.Writer) (*fleet, er
 		f.shutdown()
 		return nil, err
 	}
-	for i := 0; i < cfg.selfserve; i++ {
-		lis, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return fail(err)
+	// -selfserve N means N replicas per shard cell, so every slice of a
+	// sharded grid is itself replicated and the coordinator has somewhere
+	// to fail over.
+	for _, reg := range registries {
+		for i := 0; i < cfg.selfserve; i++ {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fail(err)
+			}
+			f.addrs = append(f.addrs, lis.Addr().String())
+			f.wg.Add(1)
+			reg := reg
+			go func() {
+				defer f.wg.Done()
+				privehd.ServeRegistry(ctx, lis, reg)
+			}()
 		}
-		f.addrs = append(f.addrs, lis.Addr().String())
-		f.wg.Add(1)
-		go func() {
-			defer f.wg.Done()
-			privehd.ServeRegistry(ctx, lis, reg)
-		}()
 	}
 	mlis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -85,6 +121,11 @@ func startSelfServe(ctx context.Context, cfg config, errw io.Writer) (*fleet, er
 	// Give the exposition listener a beat to start accepting; the replica
 	// listeners are already bound, so the cluster dial needs no wait.
 	time.Sleep(10 * time.Millisecond)
-	fmt.Fprintf(errw, "selfserve fleet up: %d replicas, metrics at %s\n", len(f.addrs), f.metricsURL)
+	if len(registries) > 1 {
+		fmt.Fprintf(errw, "selfserve fleet up: %dx%d shard grid × %d replicas each, metrics at %s\n",
+			cfg.dimShards, cfg.classShards, cfg.selfserve, f.metricsURL)
+	} else {
+		fmt.Fprintf(errw, "selfserve fleet up: %d replicas, metrics at %s\n", len(f.addrs), f.metricsURL)
+	}
 	return f, nil
 }

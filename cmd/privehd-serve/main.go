@@ -27,6 +27,16 @@
 //
 //	privehd-serve -addr :7311 -replicas 3
 //
+// -shard dim=A:B[,class=C:D] serves only that slice of each model — one
+// replica of a model split across a fleet. Start one process per slice
+// (the descriptors must tile the model exactly) and point a sharded
+// client (privehd.Connect with TopologySharded) at all of them; it
+// scatter–gathers exact partial scores and predicts bit-identically to
+// whole-model serving:
+//
+//	privehd-serve -addr :7311 -shard dim=0:5000
+//	privehd-serve -addr :7312 -shard dim=5000:10000
+//
 // -store DIR makes the deployment durable: every published model lives in
 // a crash-safe versioned store under DIR, and a restart replays the exact
 // active versions and default that were live before. Models already in the
@@ -133,6 +143,8 @@ func main() {
 		"scoring worker pool shared across connections (0 = GOMAXPROCS)")
 	replicas := flag.Int("replicas", 1,
 		"serve the registry from this many listeners on consecutive ports (cluster clients balance across them)")
+	shardSpec := flag.String("shard", "",
+		"serve only a slice of each model, as dim=A:B and/or class=A:B (half-open ranges, e.g. dim=0:2000 or dim=0:2000,class=0:5); sharded clients (privehd.Connect with TopologySharded) scatter-gather across a fleet of such slices")
 	// Scalar default: the self-trained model stays full precision, and
 	// 1-bit edge queries only track a full-precision model under the
 	// Eq. 2a form — matching `privehd infer`'s default.
@@ -163,6 +175,17 @@ func main() {
 		fatal(nil, err)
 	}
 
+	var shardSlice *privehd.ShardSlice
+	if *shardSpec != "" {
+		s, err := parseShardSlice(*shardSpec)
+		if err != nil {
+			fatal(log, err)
+		}
+		if *storeDir != "" {
+			fatal(log, fmt.Errorf("-shard is incompatible with -store: slices are derived at startup, the durable publication stays whole"))
+		}
+		shardSlice = &s
+	}
 	if *adminAddr != "" && *storeDir == "" {
 		fatal(log, fmt.Errorf("-admin requires -store: the management plane mutates durable state"))
 	}
@@ -201,7 +224,7 @@ func main() {
 	privehd.SetTraceSampling(sample)
 
 	reg, mgr, sources, err := buildDeployment(log, models, *storeDir, *defaultName,
-		*name, *dim, *levels, *seed, *small, *encName)
+		*name, *dim, *levels, *seed, *small, *encName, shardSlice)
 	if err != nil {
 		fatal(log, err)
 	}
@@ -302,6 +325,42 @@ func main() {
 	log.Info("shut down cleanly")
 }
 
+// parseShardSlice parses the -shard flag: comma-separated dim=A:B and/or
+// class=A:B half-open ranges.
+func parseShardSlice(spec string) (privehd.ShardSlice, error) {
+	var s privehd.ShardSlice
+	for _, part := range strings.Split(spec, ",") {
+		key, rng, ok := strings.Cut(part, "=")
+		if !ok {
+			return s, fmt.Errorf("bad -shard part %q (want dim=A:B or class=A:B)", part)
+		}
+		loStr, hiStr, ok := strings.Cut(rng, ":")
+		if !ok {
+			return s, fmt.Errorf("bad -shard range %q (want A:B, half-open)", rng)
+		}
+		lo, err := strconv.Atoi(loStr)
+		if err != nil {
+			return s, fmt.Errorf("bad -shard range %q: %w", rng, err)
+		}
+		hi, err := strconv.Atoi(hiStr)
+		if err != nil {
+			return s, fmt.Errorf("bad -shard range %q: %w", rng, err)
+		}
+		if lo < 0 || hi <= lo {
+			return s, fmt.Errorf("bad -shard range %q: want 0 <= A < B", rng)
+		}
+		switch key {
+		case "dim":
+			s.DimOffset, s.DimLen = lo, hi-lo
+		case "class":
+			s.ClassOffset, s.ClassCount = lo, hi-lo
+		default:
+			return s, fmt.Errorf("bad -shard key %q (want dim or class)", key)
+		}
+	}
+	return s, nil
+}
+
 // listenReplicas opens n listeners: the first on addr, the rest on the
 // following ports (port 0 asks the kernel for n free ports instead). A
 // single replica listens on addr as-is, so service-name ports keep
@@ -346,7 +405,7 @@ func listenReplicas(addr string, n int) ([]net.Listener, error) {
 // self-train a model only if nothing else produced one. sources records
 // each model's provenance for the startup log. mgr is nil without -store.
 func buildDeployment(log *slog.Logger, models modelFlags, storeDir, defaultName, dataset string,
-	dim, levels int, seed uint64, small bool, encName string,
+	dim, levels int, seed uint64, small bool, encName string, shard *privehd.ShardSlice,
 ) (*privehd.Registry, *privehd.Manager, map[string]string, error) {
 	reg := privehd.NewRegistry()
 	sources := make(map[string]string)
@@ -362,8 +421,12 @@ func buildDeployment(log *slog.Logger, models modelFlags, storeDir, defaultName,
 		}
 	}
 
-	// publish makes a pipeline live — durably when a store backs us.
+	// publish makes a pipeline live — durably when a store backs us, as a
+	// model slice when -shard narrows this replica's share.
 	publish := func(name string, pipe *privehd.Pipeline) error {
+		if shard != nil {
+			return reg.RegisterShard(name, pipe, *shard)
+		}
 		if mgr != nil {
 			_, err := mgr.Publish(name, pipe)
 			return err

@@ -275,11 +275,15 @@ func runInfer(args []string) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	remote, err := privehd.Dial(ctx, "tcp", *addr, edge)
+	client, err := privehd.Connect(ctx, privehd.Target{
+		Addrs:    []string{*addr},
+		Topology: privehd.TopologySingle,
+	}, privehd.WithEdge(edge))
 	if err != nil {
 		return err
 	}
-	defer remote.Close()
+	defer client.Close()
+	remote := client.(*privehd.Remote)
 
 	n := *samples
 	if n > len(d.TestX) {

@@ -22,17 +22,18 @@
 // worst-case per-sample ℓ2 contribution so a DP release can be calibrated
 // honestly (weighted bundling voids the fixed Eq. 12/14 bound).
 //
-// The §III-C offloaded-inference split is privehd.Serve and privehd.Dial: a
-// versioned wire protocol with goroutine-per-connection reads, a bounded
-// scoring worker pool shared across connections (WithServerWorkers),
-// context cancellation, graceful shutdown and batched queries on a packed
-// one-byte-per-dimension form. The protocol is at v4; frames are gob
-// messages after a "PHD"+version handshake, each version a strict field
-// superset of the last:
+// The §III-C offloaded-inference split is privehd.Serve and
+// privehd.Connect: a versioned wire protocol with
+// goroutine-per-connection reads, a bounded scoring worker pool shared
+// across connections (WithServerWorkers), context cancellation, graceful
+// shutdown and batched queries on a packed one-byte-per-dimension form.
+// The protocol is at v5; frames are gob messages after a "PHD"+version
+// handshake, each version a strict field superset of the last:
 //
 //	v2: Hello{Dim,Classes}         Request{Queries}             Reply{Code,Detail,Results}
 //	v3: Hello{…,Model}             Request{Queries}             Reply{…}               (+ encoder setup in ServerHello)
 //	v4: Hello{…,Model}             Request{ID,Op,Queries,Trace} Reply{ID,…,Models,Timing}
+//	v5: Hello{…,Model}             Request{…}                   Reply{…,Partials,NormSq,GoAway} (+ Shard in ServerHello)
 //
 // Trace and Timing are the optional end-to-end tracing fields: a sampled
 // request carries a 64-bit trace ID to the server and gets its
@@ -40,7 +41,16 @@
 // reply. Both are gob-omitted when zero, so untraced frames stay
 // byte-identical to pre-trace v4 frames, and peers that predate the
 // fields drop them silently (gob's field-superset rule) — no version
-// bump was needed.
+// bump was needed. v5 adds the sharded-serving surface on the same
+// superset rule: the ServerHello carries the replica's shard descriptor
+// when it serves a slice of a larger model, Op("partial-scores") returns
+// exact integer partial dot products plus class norm squares for packed
+// queries, and a draining v5 server pushes one Reply{ID:0, GoAway:true}
+// frame before half-closing, so clients stop submitting to it before the
+// FIN arrives. A v5 server still serves v2–v4 clients byte-for-byte
+// identically — the new fields are gob-omitted when unused — and a v5
+// client meeting an older server surfaces the typed ErrVersionMismatch
+// refusal rather than retrying.
 //
 // v4's per-request IDs make connections pipelined: requests from any
 // number of goroutines interleave over one connection through dedicated
@@ -49,15 +59,41 @@
 // trip, and Op("list-models") discovers the served registry over the wire
 // (Remote.ListModels). v2/v3 clients are still served strictly in order.
 // WithIOTimeout bounds reply progress so a hung server cannot block a
-// Predict forever. The client side pairs a connection with a
+// Predict forever. The client side pairs connections with a
 // Pipeline.Edge — the on-device obfuscator (1-bit quantization plus
 // WithQueryMask dimension masking) whose output is all that ever crosses
 // the wire:
 //
 //	go privehd.Serve(ctx, lis, pipe)
 //	edge, err := pipe.Edge(privehd.WithQueryMask(1000))
-//	remote, err := privehd.Dial(ctx, "tcp", addr, edge)
-//	labels, err := remote.PredictBatch(X)
+//	c, err := privehd.Connect(ctx, privehd.Target{Addrs: []string{addr}}, privehd.WithEdge(edge))
+//	labels, err := c.PredictBatch(X)
+//
+// Connect is the one constructor for every serving topology, and Client
+// is the topology-independent interface it returns: the Target's
+// Topology field — not the calling code — chooses between a single
+// pipelined connection (TopologySingle → Remote), a bounded connection
+// pool (TopologyPool → Pool), a replicated fleet with health-tracked
+// failover (TopologyCluster → Cluster) and a model split across shard
+// replicas (TopologySharded → Sharded). TopologyAuto (the zero value)
+// sniffs: one address pools it, several addresses build a Sharded client
+// when the handshake advertises a shard descriptor and a Cluster
+// otherwise. The older constructors — Dial, DialModel, NewRemote,
+// NewRemoteModel, DialPool, DialCluster — remain as deprecated wrappers
+// around the same machinery.
+//
+// Sharded serving splits one logical model across replicas by dimension
+// slice and/or class range: Registry.RegisterShard publishes a slice
+// (privehd-serve -shard dim=0:5000 from the command line), the v5
+// handshake advertises it, and the Sharded client scatters each packed
+// query to every shard group, gathers their exact integer partial
+// scores, and reduces — bit-identical to serving the unsplit model,
+// because integer dot products compose exactly across a dimension
+// partition. Replicas serving the same slice form a failover group, so a
+// replica dying mid-gather retries only its own shard. Connect validates
+// that the fleet's descriptors tile the full model exactly
+// (ErrShardTiling) and that the model can be partial-scored at all
+// (ErrPartialUnsupported — DP-noised float models cannot).
 //
 // Production deployments serve many models behind one listener through a
 // Registry of named, versioned pipelines: clients select one in the

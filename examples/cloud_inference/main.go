@@ -9,7 +9,11 @@
 // registry is scaled out to a 3-replica fleet that a pooled, pipelined
 // Cluster client balances over — discovering the models over the wire,
 // surviving a replica kill mid-traffic, and watching the prober eject the
-// corpse. The finale is the management plane: every publication went
+// corpse. Every client is built by privehd.Connect, so the topology —
+// single connection, replica cluster, or the protocol-v5 sharded fleet
+// that splits one model across dimension slices and scatter–gathers
+// bit-identical predictions — is a Target field, not a code path. The
+// finale is the management plane: every publication went
 // through a durable on-disk store, so the whole deployment is killed and
 // restarted into exactly the state it had — then an authenticated HTTP
 // rollback takes the served model back a version under live traffic
@@ -55,8 +59,8 @@ func main() {
 	// listener; "mnist" (the first published) is the default. Publications
 	// go through a Manager bound to an on-disk store, so each one is
 	// durable — the restart act at the end replays this exact state.
-	pipeline := train(data.TrainX, data.TrainY, dim, levels, seed)
-	better := train(more.TrainX, more.TrainY, dim, levels, seed)
+	pipeline := train(data.TrainX, data.TrainY, dim, levels, seed, "full")
+	better := train(more.TrainX, more.TrainY, dim, levels, seed, "full")
 
 	storeDir, err := os.MkdirTemp("", "privehd-store-")
 	if err != nil {
@@ -105,6 +109,7 @@ func main() {
 		log.Fatal(err)
 	}
 	tapped, tap := privehd.Tap(raw)
+	//lint:ignore SA1019 the tap wraps a pre-established conn, which Connect (a dialer) cannot; NewRemoteModel stays the escape hatch for exactly this
 	remote, err := privehd.NewRemoteModel(tapped, "mnist", privehd.WithQueryMask(dim/6))
 	if err != nil {
 		log.Fatal(err)
@@ -198,14 +203,18 @@ func main() {
 		}()
 		addrs = append(addrs, l.Addr().String())
 	}
-	clusterClient, err := privehd.DialCluster(ctx, "tcp", addrs, nil,
-		privehd.WithClusterModel("mnist"),
-		privehd.WithClusterProbeInterval(200*time.Millisecond),
-		privehd.WithClusterPool(privehd.WithPoolEdge(privehd.WithQueryMask(dim/6))))
+	cc, err := privehd.Connect(ctx, privehd.Target{
+		Addrs:    addrs,
+		Model:    "mnist",
+		Topology: privehd.TopologyCluster,
+	},
+		privehd.WithConnectProbeInterval(200*time.Millisecond),
+		privehd.WithEdgeOptions(privehd.WithQueryMask(dim/6)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer clusterClient.Close()
+	defer cc.Close()
+	clusterClient := cc.(*privehd.Cluster)
 	fmt.Printf("\ncloud: scaled out to %d replicas; cluster client auto-configured its edge\n", len(addrs))
 
 	// Model discovery over the wire (protocol v4): no out-of-band config.
@@ -262,6 +271,83 @@ func main() {
 		fmt.Printf("  replica %-22s %-8s %d conns\n", st.Addr, state, st.Conns)
 	}
 
+	// --- Shard: protocol v5 splits one logical model across slice
+	// replicas. A quantized publication is what makes this exact — integer
+	// class vectors give integer partial dot products, and integers sum
+	// associatively — so the dimension halves below, each served from its
+	// own listener whose handshake advertises its slice, answer
+	// bit-identically to a whole-model server. Connect with the default
+	// auto topology sniffs the shard descriptors and builds the
+	// scatter–gather client; nothing but the Target changes.
+	quantized := train(data.TrainX, data.TrainY, dim, levels, seed, "2bit")
+	wholeReg := privehd.NewRegistry()
+	if err := wholeReg.Register("mnist-q", quantized); err != nil {
+		log.Fatal(err)
+	}
+	wholeLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go privehd.ServeRegistry(ctx, wholeLis, wholeReg)
+
+	var shardAddrs []string
+	for i := 0; i < 2; i++ {
+		shardReg := privehd.NewRegistry()
+		err := shardReg.RegisterShard("mnist-q", quantized, privehd.ShardSlice{
+			DimOffset: i * dim / 2, DimLen: dim / 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go privehd.ServeRegistry(ctx, sl, shardReg)
+		shardAddrs = append(shardAddrs, sl.Addr().String())
+	}
+
+	wholeClient, err := privehd.Connect(ctx, privehd.Target{
+		Addrs: []string{wholeLis.Addr().String()}, Model: "mnist-q",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wholeClient.Close()
+	shardClient, err := privehd.Connect(ctx, privehd.Target{
+		Addrs: shardAddrs, Model: "mnist-q",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shardClient.Close()
+	sharded := shardClient.(*privehd.Sharded)
+	fmt.Printf("\ncloud: \"mnist-q\" split across %d shard replicas:\n", len(shardAddrs))
+	for _, s := range sharded.Shards() {
+		fmt.Printf("  %s\n", s.String())
+	}
+
+	identical := 0
+	for i := 0; i < n; i++ {
+		wLabel, wScores, err := wholeClient.Predict(data.TestX[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		sLabel, sScores, err := sharded.Predict(data.TestX[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		same := wLabel == sLabel
+		for c := range wScores {
+			same = same && wScores[c] == sScores[c]
+		}
+		if same {
+			identical++
+		}
+	}
+	fmt.Printf("edge: %d/%d sharded predictions bit-identical to whole-model serving (labels and every score)\n",
+		identical, n)
+
 	// --- Restart recovery: kill the whole deployment and boot a fresh one
 	// from the store. Every publication above was durable, so the new
 	// registry comes back with the same models, active versions ("mnist"
@@ -312,12 +398,16 @@ func main() {
 	// "mnist" back over the authenticated HTTP management plane while an
 	// edge client keeps querying. The RCU swap means no request is dropped:
 	// frames in flight finish on v2, later frames score on v1.
-	remote2, err := privehd.DialModel(ctx2, "tcp", dataLis.Addr().String(), "mnist",
-		privehd.WithQueryMask(dim/6))
+	c2, err := privehd.Connect(ctx2, privehd.Target{
+		Addrs:    []string{dataLis.Addr().String()},
+		Model:    "mnist",
+		Topology: privehd.TopologySingle,
+	}, privehd.WithEdgeOptions(privehd.WithQueryMask(dim/6)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer remote2.Close()
+	defer c2.Close()
+	remote2 := c2.(*privehd.Remote)
 	fmt.Printf("edge: reconnected to recovered \"mnist\" v%d\n", remote2.ModelVersion())
 
 	trafficDone := make(chan int)
@@ -395,15 +485,16 @@ func adminCall(addr, token, method, path string, payload []byte) []byte {
 	return body
 }
 
-// train fits one full-precision model; clients obfuscate on their side
-// ("our technique does not need to modify or access the trained model").
-func train(X [][]float64, y []int, dim, levels int, seed uint64) *privehd.Pipeline {
+// train fits one model under the given quantization scheme ("full" keeps
+// full precision); clients obfuscate on their side ("our technique does
+// not need to modify or access the trained model").
+func train(X [][]float64, y []int, dim, levels int, seed uint64, quant string) *privehd.Pipeline {
 	pipeline, err := privehd.New(
 		privehd.WithDim(dim),
 		privehd.WithLevels(levels),
 		privehd.WithSeed(seed),
 		privehd.WithEncoding(privehd.Scalar),
-		privehd.WithQuantizer("full"),
+		privehd.WithQuantizer(quant),
 		privehd.WithRetrain(0),
 	)
 	if err != nil {

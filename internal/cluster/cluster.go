@@ -205,7 +205,12 @@ func (p *Pool) acquireConn(ctx context.Context) (*poolConn, error) {
 			return nil, ErrPoolClosed
 		}
 		// Drop connections whose transport already broke, then pick the
-		// least-loaded live one.
+		// least-loaded live one. Connections whose server pushed a GoAway
+		// drain notice are set aside: they still carry their in-flight
+		// replies, but new work goes to a fresh connection (or a fresh
+		// dial) whenever one is possible — the point of the v5 drain
+		// notice is that a coordinator stops feeding a replica that is
+		// about to half-close.
 		live := p.conns[:0]
 		var dead []*poolConn
 		for _, pc := range p.conns {
@@ -216,8 +221,14 @@ func (p *Pool) acquireConn(ctx context.Context) (*poolConn, error) {
 			live = append(live, pc)
 		}
 		p.conns = live
-		var best *poolConn
+		var best, draining *poolConn
 		for _, pc := range p.conns {
+			if pc.c.Draining() {
+				if draining == nil || pc.inflight < draining.inflight {
+					draining = pc
+				}
+				continue
+			}
 			if best == nil || pc.inflight < best.inflight {
 				best = pc
 			}
@@ -236,6 +247,9 @@ func (p *Pool) acquireConn(ctx context.Context) (*poolConn, error) {
 				// Still backing off from a failed dial: reuse a saturated
 				// live connection rather than stampede the server, and
 				// fail fast when there is nothing to fall back to.
+				if best == nil {
+					best = draining
+				}
 				if best != nil {
 					best.inflight++
 					best.lastUse = time.Now()
@@ -258,6 +272,18 @@ func (p *Pool) acquireConn(ctx context.Context) (*poolConn, error) {
 				return nil, err
 			}
 			return pc, nil
+		}
+		if draining != nil {
+			// Every slot is a draining connection and there is no room to
+			// dial: route here as a last resort (the server may still
+			// answer, and a refusal surfaces as a retryable transport
+			// error) rather than wait for a change that will never come.
+			draining.inflight++
+			draining.lastUse = time.Now()
+			p.syncGauges()
+			p.mu.Unlock()
+			closeAll(dead)
+			return draining, nil
 		}
 		// No usable connection and no room: every slot is a dial in
 		// flight from another caller. Wait for one to land (or fail,
@@ -382,6 +408,15 @@ func (p *Pool) do(ctx context.Context, op func(*offload.Client) error) error {
 		}
 	}
 	return lastErr
+}
+
+// Do runs op on one pooled connection with the pool's usual
+// transport-retry discipline. It exists for callers that need raw client
+// access through the pool — the shard coordinator issues partial-score
+// frames this way — and follows the same contract as every pool method:
+// op must be idempotent, and typed protocol errors are returned as-is.
+func (p *Pool) Do(ctx context.Context, op func(*offload.Client) error) error {
+	return p.do(ctx, op)
 }
 
 // Hello dials (at most) one connection and returns the server's accepted
@@ -705,10 +740,22 @@ func (cl *Cluster) pick(tried map[*replica]bool) *replica {
 // replica. Typed protocol errors return immediately — a live server
 // answered, and every replica would answer the same.
 func (cl *Cluster) do(ctx context.Context, op func(*Pool) error) error {
+	return cl.doPrefer(ctx, nil, op)
+}
+
+// doPrefer is do with an optional first choice: the preferred replica is
+// tried before the policy picks, then the usual failover takes over. The
+// batch scatter uses it to pin each chunk to a distinct replica — policy
+// picks race when chunks launch together (everyone samples zero in-flight
+// and piles onto the same replica) — while keeping chunk-level failover.
+func (cl *Cluster) doPrefer(ctx context.Context, prefer *replica, op func(*Pool) error) error {
 	tried := make(map[*replica]bool, len(cl.replicas))
 	var lastErr error
 	for len(tried) < len(cl.replicas) {
-		r := cl.pick(tried)
+		r := prefer
+		if r == nil || tried[r] {
+			r = cl.pick(tried)
+		}
 		if r == nil {
 			break
 		}
@@ -734,6 +781,26 @@ func (cl *Cluster) do(ctx context.Context, op func(*Pool) error) error {
 	return fmt.Errorf("%w: all %d replicas failed, last: %v", ErrNoHealthyReplicas, len(cl.replicas), lastErr)
 }
 
+// Do runs op on some healthy replica with the cluster's usual failover
+// discipline: transport failures eject the replica and move on, typed
+// protocol errors return immediately. It exists for callers composing
+// operations the facade doesn't cover — the shard coordinator retries a
+// missing shard's partial scores through exactly this path.
+func (cl *Cluster) Do(ctx context.Context, op func(*Pool) error) error {
+	return cl.do(ctx, op)
+}
+
+// HealthyCount returns how many replicas are currently believed healthy.
+func (cl *Cluster) HealthyCount() int {
+	n := 0
+	for _, r := range cl.replicas {
+		if r.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
 // Hello returns the accepted handshake of the first replica that answers.
 func (cl *Cluster) Hello(ctx context.Context) (offload.ServerHello, error) {
 	var hello offload.ServerHello
@@ -757,19 +824,87 @@ func (cl *Cluster) Classify(ctx context.Context, prepared []float64) (int, []flo
 	return label, scores, err
 }
 
-// ClassifyBatchScores classifies a batch on some healthy replica. The
-// whole batch fails over together: partially-answered batches are retried
-// from the start on the next replica (classification is idempotent and
-// deterministic per model publication).
+// ClassifyBatchScores classifies a batch by scattering contiguous chunks
+// across the healthy replicas in parallel — a fleet answers a big batch at
+// fleet bandwidth instead of pinning it to one pooled connection. Each
+// chunk fails over independently (classification is idempotent and
+// deterministic per model publication), so a replica dying mid-batch costs
+// one chunk retry, not a whole-batch restart. Results come back in input
+// order; the first error wins and fails the batch.
 func (cl *Cluster) ClassifyBatchScores(ctx context.Context, prepared [][]float64) ([]offload.Result, error) {
-	var results []offload.Result
-	err := cl.do(ctx, func(p *Pool) error {
-		var err error
-		results, err = p.ClassifyBatchScores(ctx, prepared)
-		return err
-	})
-	if err != nil {
-		return nil, err
+	n := len(prepared)
+	if n == 0 {
+		return nil, nil
+	}
+	var healthy []*replica
+	for _, r := range cl.replicas {
+		if r.isHealthy() {
+			healthy = append(healthy, r)
+		}
+	}
+	ways := len(healthy)
+	if ways < 1 {
+		ways = 1 // all ejected: one chunk, let do() heal through traffic
+	}
+	chunk := (n + ways - 1) / ways
+	if chunk >= n {
+		// Degenerate scatter (one replica, or batch smaller than the
+		// fleet ÷ 1): keep the simple single-flight path.
+		var results []offload.Result
+		err := cl.do(ctx, func(p *Pool) error {
+			var err error
+			results, err = p.ClassifyBatchScores(ctx, prepared)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+	results := make([]offload.Result, n)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for idx, start := 0, 0; start < n; idx, start = idx+1, start+chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		// Deal chunks across the healthy fleet deterministically: chunk i
+		// prefers replica i mod ways, so the scatter genuinely spreads even
+		// though every chunk launches before any registers in-flight load.
+		prefer := healthy[idx%len(healthy)]
+		wg.Add(1)
+		go func(start, end int, prefer *replica) {
+			defer wg.Done()
+			err := cl.doPrefer(ctx, prefer, func(p *Pool) error {
+				rs, err := p.ClassifyBatchScores(ctx, prepared[start:end])
+				if err != nil {
+					return err
+				}
+				if len(rs) != end-start {
+					return fmt.Errorf("%w: replica answered %d of %d chunk queries",
+						offload.ErrTransport, len(rs), end-start)
+				}
+				copy(results[start:end], rs)
+				return nil
+			})
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			} else {
+				cmScatterChunks.Inc()
+			}
+		}(start, end, prefer)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return results, nil
 }

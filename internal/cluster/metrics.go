@@ -41,6 +41,9 @@ var (
 	cmFailovers = metrics.Default.NewCounter(
 		"privehd_cluster_failovers_total",
 		"Operations that moved to another replica after ejecting the one that failed them.")
+	cmScatterChunks = metrics.Default.NewCounter(
+		"privehd_cluster_batch_scatter_chunks_total",
+		"Batch chunks answered by the fleet-wide batch scatter (only batches large enough to split count).")
 )
 
 // syncGauges publishes the pool's connection and in-flight gauges. The

@@ -213,6 +213,28 @@ func (m *Model) Cosine(h []float64, l int) float64 {
 	return vecmath.Cosine(h, m.classes[l])
 }
 
+// Slice returns a new model holding classes [classOff, classOff+classCount)
+// restricted to dimensions [dimOff, dimOff+dimLen) — the shard a replica
+// serves when one logical model is split across a fleet. The slice is a
+// deep copy (mutating it never touches the parent) and is not precomputed;
+// registering it derives its own scoring engine over the sub-ranges.
+// Counts carry over so diagnostics still report training volume.
+func (m *Model) Slice(dimOff, dimLen, classOff, classCount int) *Model {
+	if dimOff < 0 || dimLen <= 0 || dimOff+dimLen > m.dim {
+		panic(fmt.Sprintf("hdc: Slice dims [%d:%d) outside model dim %d", dimOff, dimOff+dimLen, m.dim))
+	}
+	if classOff < 0 || classCount <= 0 || classOff+classCount > len(m.classes) {
+		panic(fmt.Sprintf("hdc: Slice classes [%d:%d) outside model's %d classes",
+			classOff, classOff+classCount, len(m.classes)))
+	}
+	s := NewModel(classCount, dimLen)
+	for k := 0; k < classCount; k++ {
+		copy(s.classes[k], m.classes[classOff+k][dimOff:dimOff+dimLen])
+		s.counts[k] = m.counts[classOff+k]
+	}
+	return s
+}
+
 // Clone returns a deep copy of the model.
 func (m *Model) Clone() *Model {
 	c := NewModel(len(m.classes), m.dim)

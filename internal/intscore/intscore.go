@@ -84,6 +84,17 @@ type Engine struct {
 	// computes it; 0 marks an empty class, scored −Inf.
 	norms []float64
 
+	// normsSq[l] is Σ C_l[i]², and partialOK reports that every class is
+	// integer-valued with Σv² exactly representable — the precondition for
+	// sharded partial scoring: exact integer sums are associative, so a
+	// coordinator adding per-slice normsSq (and per-slice int64 dots)
+	// across dimension shards reconstructs the whole-model score
+	// bit-for-bit. Non-integer (DP-noised) classes, or classes whose Σv²
+	// could round, clear partialOK and the server refuses partial-score
+	// requests rather than silently drifting.
+	normsSq   []float64
+	partialOK bool
+
 	// Integer classes live in one blocked panel slice, block-major then
 	// row-major, with one row per *integer* class (float-fallback classes
 	// occupy no panel memory): plane[(b·intCount+k)·blockDim : …+blockDim]
@@ -133,10 +144,12 @@ func PrepareBlocked(classes [][]float64, blockDim int) *Engine {
 		panic(fmt.Sprintf("intscore: block size must be positive, got %d", blockDim))
 	}
 	e := &Engine{
-		classes:  len(classes),
-		blockDim: blockDim,
-		norms:    make([]float64, len(classes)),
-		isInt:    make([]bool, len(classes)),
+		classes:   len(classes),
+		blockDim:  blockDim,
+		norms:     make([]float64, len(classes)),
+		normsSq:   make([]float64, len(classes)),
+		isInt:     make([]bool, len(classes)),
+		partialOK: true,
 	}
 	if len(classes) == 0 {
 		return e
@@ -152,7 +165,7 @@ func PrepareBlocked(classes [][]float64, blockDim int) *Engine {
 			panic(fmt.Sprintf("intscore: class %d has dim %d, class 0 has %d", l, len(c), e.dim))
 		}
 		e.norms[l] = vecmath.Norm2(c)
-		classMax, classNorm1 := 0.0, 0.0
+		classMax, classNorm1, classNormSq := 0.0, 0.0, 0.0
 		integer := true
 		for _, v := range c {
 			if v != math.Trunc(v) || math.IsInf(v, 0) {
@@ -164,12 +177,20 @@ func PrepareBlocked(classes [][]float64, blockDim int) *Engine {
 				classMax = a
 			}
 			classNorm1 += a
+			classNormSq += v * v
 		}
 		// 2·‖C‖₁ bounds |Σ q·C| for q in −2…+1; past the exact-float64
 		// range the integer path could round differently than the float
 		// path, so such a class (absurd in practice) keeps its float row.
 		if integer && (classMax >= math.MaxInt32 || 2*classNorm1 >= exactLimit) {
 			integer = false
+		}
+		e.normsSq[l] = classNormSq
+		// Partial (sharded) scoring additionally needs Σv² exact: every v²
+		// and every prefix sum must be an integer below 2^53, so cross-
+		// shard re-summation is associative and loss-free.
+		if !integer || classMax >= 1<<26 || classNormSq >= exactLimit {
+			e.partialOK = false
 		}
 		if integer {
 			e.isInt[l] = true
@@ -288,28 +309,7 @@ func (e *Engine) scoresInto(q []int8, out []float64, s *engineScratch) {
 		for l := range acc {
 			acc[l] = 0
 		}
-		// Count zero symbols branchlessly ((sym|−sym)>>7&1 is 1 iff sym≠0)
-		// over a leading sample — rank-based quantization scatters its
-		// zeros across positions, so a prefix is representative, and the
-		// choice only affects speed, never the (exact) result. Queries
-		// with an appreciable zero fraction — the paper's ternary,
-		// biased-ternary and 2-bit schemes — take the gather path that
-		// indexes only the non-zero symbols and needs no multiplies;
-		// zero-poor (bipolar) queries keep the dense multiply-accumulate
-		// panels.
-		sample := len(q)
-		if sample > 512 {
-			sample = 512
-		}
-		nonzero := 0
-		for _, sym := range q[:sample] {
-			nonzero += int((sym | -sym) >> 7 & 1)
-		}
-		if sample-nonzero >= sample/8 && e.blockDim == DefaultBlockDim {
-			e.accumulateGather(q, acc, s)
-		} else {
-			e.accumulate(q, acc)
-		}
+		e.accumulateAdaptive(q, acc, s)
 	}
 	for l := 0; l < e.classes; l++ {
 		n := e.norms[l]
@@ -323,6 +323,70 @@ func (e *Engine) scoresInto(q []int8, out []float64, s *engineScratch) {
 			out[l] = DotPacked(q, e.floatRows[l]) / n
 		}
 	}
+}
+
+// accumulateAdaptive picks the integer kernel for q and adds every integer
+// class's dot into acc. Count zero symbols branchlessly ((sym|−sym)>>7&1 is
+// 1 iff sym≠0) over a leading sample — rank-based quantization scatters its
+// zeros across positions, so a prefix is representative, and the choice
+// only affects speed, never the (exact) result. Queries with an
+// appreciable zero fraction — the paper's ternary, biased-ternary and
+// 2-bit schemes — take the gather path that indexes only the non-zero
+// symbols and needs no multiplies; zero-poor (bipolar) queries keep the
+// dense multiply-accumulate panels.
+func (e *Engine) accumulateAdaptive(q []int8, acc []int64, s *engineScratch) {
+	sample := len(q)
+	if sample > 512 {
+		sample = 512
+	}
+	nonzero := 0
+	for _, sym := range q[:sample] {
+		nonzero += int((sym | -sym) >> 7 & 1)
+	}
+	if sample-nonzero >= sample/8 && e.blockDim == DefaultBlockDim {
+		e.accumulateGather(q, acc, s)
+	} else {
+		e.accumulate(q, acc)
+	}
+}
+
+// PartialCapable reports whether every class can be scored by exact
+// integer partial sums — all classes integer-valued with Σv² exactly
+// representable. Only such engines may serve sharded partial-score
+// requests; a DP-noised model cannot (and, privacy-wise, should not have
+// its raw integer dots shipped around anyway).
+func (e *Engine) PartialCapable() bool { return e.partialOK }
+
+// NormsSq returns the per-class Σv² slice, valid only when PartialCapable.
+// The returned slice is the engine's backing storage: read-only.
+func (e *Engine) NormsSq() []float64 { return e.normsSq }
+
+// PartialsPackedInto writes the raw integer dot ⟨q, C_l⟩ for every class
+// into out (length NumClasses) and returns out — the sharded-serving
+// primitive: a replica holding a dimension slice of the model scores its
+// slice of the query, and the coordinator sums the int64 partials across
+// shards (exactly) before the single norm division. Panics unless the
+// engine is PartialCapable.
+func (e *Engine) PartialsPackedInto(q []int8, out []int64) []int64 {
+	if !e.partialOK {
+		panic("intscore: engine is not partial-capable (non-integer or oversized classes)")
+	}
+	if len(q) != e.dim {
+		panic(fmt.Sprintf("intscore: query has dim %d, engine dim %d", len(q), e.dim))
+	}
+	if len(out) != e.classes {
+		panic(fmt.Sprintf("intscore: partials buffer has %d slots, engine has %d classes", len(out), e.classes))
+	}
+	for l := range out {
+		out[l] = 0
+	}
+	if e.intCount == 0 {
+		return out
+	}
+	s := e.getScratch()
+	e.accumulateAdaptive(q, out, s)
+	e.scratch.Put(s)
+	return out
 }
 
 // accumulate adds every integer class's dot with q into acc, walking the

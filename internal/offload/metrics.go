@@ -55,6 +55,8 @@ func opLabel(op string) string {
 		return "classify"
 	case OpListModels:
 		return "list-models"
+	case OpPartialScores:
+		return "partial-scores"
 	default:
 		return "unsupported"
 	}

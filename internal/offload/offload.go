@@ -4,7 +4,7 @@
 // obfuscated vector; the server holds the full-precision model and returns
 // the predicted label.
 //
-// # Wire protocol (version 4)
+// # Wire protocol (version 5)
 //
 // A connection opens with a fixed 4-byte header from the client — the magic
 // bytes "PHD" plus one protocol version byte — followed by a gob-encoded
@@ -16,9 +16,17 @@
 // levels, seed, features) so edges can auto-configure instead of matching
 // flags by hand — or rejects with a typed code: peers with a mismatched
 // version or geometry, or naming an unknown model, are refused at the
-// handshake instead of gob-decoding garbage mid-stream. v2 and v3 clients
-// are still accepted (a v2 Hello carries no model name and resolves to the
-// default model).
+// handshake instead of gob-decoding garbage mid-stream. v2, v3 and v4
+// clients are still accepted (a v2 Hello carries no model name and resolves
+// to the default model).
+//
+// Since v5 the accepted ServerHello may also carry a shard descriptor
+// (Shard): when the served entry holds only a slice of a larger logical
+// model — a dimension range and/or class range — the descriptor names the
+// slice and the full geometry, so scatter–gather coordinators discover
+// fleet topology from the handshakes instead of being configured with it.
+// Non-sharded entries leave the field nil, which gob omits, keeping their
+// handshakes byte-identical for older peers.
 //
 // After the handshake the client streams Request frames. The v4 frame
 // layout extends v2/v3 with correlation and control fields, gob-encoded so
@@ -26,6 +34,20 @@
 //
 //	v2/v3 Request: {Queries []Query}                 → Reply: {Code, Detail, Results}
 //	v4    Request: {ID, Op, Queries []Query, Trace}  → Reply: {ID, Code, Detail, Results, Models, Timing}
+//	v5    Request: same as v4                        → Reply: v4 + {Partials, NormSq, GoAway}
+//
+// The three v5 reply fields serve sharded scatter–gather: OpPartialScores
+// answers with raw per-class int64 dot products (Partials, one row per
+// query) plus the per-class Σv² of the served slice (NormSq) instead of
+// labels — a coordinator sums both across dimension shards exactly and
+// finishes the norm division itself, reproducing whole-model scores
+// bit-for-bit. GoAway is a server-push drain notice: when a graceful
+// shutdown begins, v5 connections receive an unsolicited Reply{GoAway:
+// true} (ID 0, never assigned to a request) before the write side
+// half-closes, so coordinators and pools stop routing new work to a
+// draining replica instead of discovering the FIN with a request already
+// in flight. All three fields are zero-valued on ordinary traffic, which
+// gob omits — v4 frames and replies remain byte-identical.
 //
 // Trace and Timing are the optional tracing fields: a client that sampled
 // the request sends its 64-bit trace ID on the frame, and the server
@@ -85,19 +107,21 @@ import (
 )
 
 // ProtocolVersion is the wire protocol version this package speaks. The
-// server also accepts versionV2 and versionV3 peers; anything else is
-// rejected during the handshake.
-const ProtocolVersion = 4
+// server also accepts versionV2, versionV3 and versionV4 peers; anything
+// else is rejected during the handshake.
+const ProtocolVersion = 5
 
-// versionV2 and versionV3 are the previous protocol versions, still
-// accepted by the server: a v2 Hello carries no model name and resolves to
-// the default model, v2/v3 frames carry no request IDs and are answered
-// strictly in order, and each newer ServerHello/Reply is a strict field
-// superset of the previous one (gob drops the fields an old client does
-// not know).
+// versionV2–versionV4 are the previous protocol versions, still accepted
+// by the server: a v2 Hello carries no model name and resolves to the
+// default model, v2/v3 frames carry no request IDs and are answered
+// strictly in order, v4 connections pipeline but receive no shard
+// descriptors, partial-score replies or GoAway drain notices, and each
+// newer ServerHello/Reply is a strict field superset of the previous one
+// (gob drops the fields an old client does not know).
 const (
 	versionV2 = 2
 	versionV3 = 3
+	versionV4 = 4
 )
 
 // DefaultModelName is the registry name NewServer publishes a single model
@@ -147,6 +171,11 @@ var (
 	// ErrUnsupportedOp reports a request frame naming an operation the
 	// server does not implement.
 	ErrUnsupportedOp = errors.New("offload: unsupported request op")
+	// ErrPartialUnsupported reports an OpPartialScores request against a
+	// model that cannot serve exact integer partial scores (a DP-noised
+	// release, or a request carrying full-precision vectors). It is a
+	// protocol rejection, never retried.
+	ErrPartialUnsupported = errors.New("offload: model cannot serve partial scores")
 	// ErrTransport reports a connection-level failure — dial, send,
 	// receive, i/o timeout, or the client being closed — as opposed to a
 	// typed protocol rejection. Classification is idempotent, so a caller
@@ -179,6 +208,7 @@ const (
 	codeUnknownModel = "unknown-model"
 	codeBadOp        = "unsupported-op"
 	codeOverloaded   = "overloaded"
+	codePartial      = "partial-unsupported"
 )
 
 // codeError maps a wire failure code to its sentinel error.
@@ -201,6 +231,8 @@ func codeError(code, detail string) error {
 		base = ErrUnsupportedOp
 	case codeOverloaded:
 		base = ErrOverloaded
+	case codePartial:
+		base = ErrPartialUnsupported
 	default:
 		return fmt.Errorf("offload: server error %s: %s", code, detail)
 	}
@@ -252,6 +284,10 @@ type ServerHello struct {
 	Levels   int
 	Features int
 	Seed     uint64
+	// Shard (v5) describes the slice of a larger logical model this entry
+	// serves, nil for whole models — gob omits the nil, so non-sharded
+	// handshakes stay byte-identical for pre-v5 peers.
+	Shard *registry.ShardInfo
 }
 
 // Query is one encoded (and obfuscated) query hypervector. Exactly one of
@@ -307,6 +343,12 @@ const (
 	// OpListModels asks for the server's current registry listing
 	// (Reply.Models) — client-side model discovery over the wire.
 	OpListModels = "list-models"
+	// OpPartialScores (v5) asks for raw per-class int64 dot products of
+	// each packed query against the served (possibly sliced) model, plus
+	// the per-class Σv² — the scatter half of sharded scoring. Queries
+	// must be packed; models that cannot answer exactly (DP-noised) are
+	// refused with ErrPartialUnsupported.
+	OpPartialScores = "partial-scores"
 )
 
 // Request is one client→server frame: a batch of queries answered together
@@ -372,6 +414,17 @@ type Reply struct {
 	// a round trip to server queue/scoring versus the network; peers that
 	// predate the field drop it silently.
 	Timing *StageTiming
+	// Partials and NormSq (v5) answer an OpPartialScores request:
+	// Partials[i][l] is the exact int64 dot of query i against the served
+	// entry's class l, and NormSq[l] is Σv² of that class — both over the
+	// dimension slice this server holds, so a coordinator sums them across
+	// shards and reconstructs whole-model scores bit-for-bit.
+	Partials [][]int64
+	NormSq   []float64
+	// GoAway (v5) marks an unsolicited server-push drain notice (ID 0):
+	// the server has begun a graceful shutdown and the client should stop
+	// routing new work here. In-flight requests will still be answered.
+	GoAway bool
 }
 
 // StageTiming is the per-request server-side latency split a traced
@@ -532,7 +585,12 @@ type task struct {
 	scorer *intscore.Engine
 	query  Query
 	out    *Result
-	wg     *sync.WaitGroup
+	// partials, when non-nil, switches the task to partial-score mode: the
+	// raw int64 dots land there instead of a labeled Result. The answer
+	// path guarantees scorer is partial-capable and the query packed
+	// before dispatch.
+	partials *[]int64
+	wg       *sync.WaitGroup
 	// enq and span feed the frame's stage timers: the pool records how
 	// long the task waited for a worker (queue-wait, max across the batch)
 	// and how long it scored (summed across the batch).
@@ -551,6 +609,14 @@ type task struct {
 func (t task) run() {
 	start := time.Now()
 	t.span.ObserveMax(trace.StageQueueWait, start.Sub(t.enq))
+	if t.partials != nil {
+		out := make([]int64, t.scorer.NumClasses())
+		t.scorer.PartialsPackedInto(t.query.Packed, out)
+		*t.partials = out
+		t.span.ObserveSince(trace.StageScore, start)
+		t.wg.Done()
+		return
+	}
 	scores := make([]float64, t.model.NumClasses())
 	if t.query.Vector != nil {
 		t.model.ScoresInto(t.query.Vector, scores)
@@ -645,14 +711,31 @@ type srvConn struct {
 	conn    net.Conn
 	peer    string // remote address, cached so per-frame entries don't re-format it
 	model   string // requested model name; "" = registry default
-	version byte   // negotiated protocol version (2, 3 or 4)
+	version byte   // negotiated protocol version (2–5)
 
-	writeMu sync.Mutex     // serializes replies from concurrent v4 frames
-	frames  sync.WaitGroup // in-flight v4 frame goroutines
+	writeMu sync.Mutex     // serializes replies from concurrent v4+ frames
+	frames  sync.WaitGroup // in-flight v4+ frame goroutines
+
+	// goAway, set after a v5 handshake, pushes the drain notice to the
+	// peer; goAwayOnce makes repeated askClose calls idempotent.
+	goAwayOnce sync.Once
 
 	mu            sync.Mutex
+	goAway        func()
 	inflight      int
 	closeWhenIdle bool
+}
+
+// notifyGoAway pushes the v5 drain notice, once, if the handshake
+// installed one (pre-v5 peers and unfinished handshakes get nothing — they
+// discover the drain from the FIN exactly as before).
+func (c *srvConn) notifyGoAway() {
+	c.mu.Lock()
+	fn := c.goAway
+	c.mu.Unlock()
+	if fn != nil {
+		c.goAwayOnce.Do(fn)
+	}
 }
 
 // enterBusy marks the connection as answering one more request; it reports
@@ -677,9 +760,11 @@ func (c *srvConn) exitBusy() bool {
 	return c.closeWhenIdle && c.inflight == 0
 }
 
-// askClose requests a graceful close: idle connections close immediately,
-// busy ones right after their last in-flight reply.
+// askClose requests a graceful close: the peer is told to stop routing new
+// work here (v5 GoAway push), idle connections close immediately, busy
+// ones right after their last in-flight reply.
 func (c *srvConn) askClose() {
+	c.notifyGoAway()
 	c.mu.Lock()
 	idle := c.inflight == 0
 	c.closeWhenIdle = true
@@ -698,7 +783,7 @@ func (c *srvConn) askClose() {
 // v2/v3 connections are strictly request-reply, so they never have replies
 // at risk and close fully.
 func (c *srvConn) gracefulClose() {
-	if c.version >= ProtocolVersion {
+	if c.version >= versionV4 {
 		if cw, ok := c.conn.(closeWriter); ok {
 			cw.CloseWrite()
 			// Bound how long the handler's read loop waits for the peer
@@ -906,11 +991,11 @@ func (s *Server) handle(sc *srvConn) {
 		enc.Encode(ServerHello{Code: codeBadMagic, Version: ProtocolVersion})
 		return
 	}
-	if hdr[3] != ProtocolVersion && hdr[3] != versionV3 && hdr[3] != versionV2 {
+	if hdr[3] != ProtocolVersion && hdr[3] != versionV4 && hdr[3] != versionV3 && hdr[3] != versionV2 {
 		mRejections.With(codeVersion).Inc()
 		enc.Encode(ServerHello{
 			Code:    codeVersion,
-			Detail:  fmt.Sprintf("server speaks v%d (and accepts v%d/v%d), client sent v%d", ProtocolVersion, versionV3, versionV2, hdr[3]),
+			Detail:  fmt.Sprintf("server speaks v%d (and accepts v%d–v%d), client sent v%d", ProtocolVersion, versionV2, versionV4, hdr[3]),
 			Version: ProtocolVersion,
 		})
 		return
@@ -956,7 +1041,7 @@ func (s *Server) handle(sc *srvConn) {
 		})
 		return
 	}
-	err = enc.Encode(ServerHello{
+	accept := ServerHello{
 		Version:      sc.version,
 		Dim:          model.Dim(),
 		Classes:      model.NumClasses(),
@@ -969,9 +1054,25 @@ func (s *Server) handle(sc *srvConn) {
 		Levels:       entry.Encoder.Levels,
 		Features:     entry.Encoder.Features,
 		Seed:         entry.Encoder.Seed,
-	})
-	if err != nil {
+	}
+	if sc.version >= ProtocolVersion {
+		accept.Shard = entry.Shard
+	}
+	if err := enc.Encode(accept); err != nil {
 		return
+	}
+	if sc.version >= ProtocolVersion {
+		// Install the drain notice now that the peer speaks v5 and the
+		// encoder owns the stream: a graceful shutdown pushes Reply{GoAway}
+		// (ID 0, never assigned) under writeMu before half-closing, so
+		// coordinators stop routing here ahead of the FIN.
+		sc.mu.Lock()
+		sc.goAway = func() {
+			sc.writeMu.Lock()
+			enc.Encode(Reply{GoAway: true})
+			sc.writeMu.Unlock()
+		}
+		sc.mu.Unlock()
 	}
 
 	// v4 connections pipeline: each frame is answered on its own goroutine
@@ -994,12 +1095,12 @@ func (s *Server) handle(sc *srvConn) {
 		// recorder's decode stage but never the wire-reported server total.
 		decodeDur := time.Since(tRead)
 		if !sc.enterBusy() {
-			if sc.version >= ProtocolVersion {
+			if sc.version >= versionV4 {
 				sc.drainRefused(dec)
 			}
 			return
 		}
-		if sc.version >= ProtocolVersion {
+		if sc.version >= versionV4 {
 			sem <- struct{}{}
 			sc.frames.Add(1)
 			s.wg.Add(1) // graceful shutdown waits for frames, not just conns
@@ -1115,6 +1216,8 @@ func (s *Server) answer(modelName string, req Request, span *trace.Span) Reply {
 		reply = s.answerClassify(modelName, req, span)
 	case OpListModels:
 		reply = s.answerListModels()
+	case OpPartialScores:
+		reply = s.answerPartialScores(modelName, req, span)
 	default:
 		reply = Reply{Code: codeBadOp, Detail: fmt.Sprintf("op %q (this server speaks v%d)", req.Op, ProtocolVersion)}
 	}
@@ -1207,6 +1310,61 @@ func (s *Server) answerClassify(modelName string, req Request, span *trace.Span)
 	return Reply{Results: results}
 }
 
+// answerPartialScores answers the scatter half of sharded scoring (v5):
+// the raw int64 dot of every packed query against every served class, plus
+// the per-class Σv², both over whatever dimension slice this server's
+// entry holds. It refuses — typed, never retried — when the entry cannot
+// answer exactly: a DP-noised model whose classes are not integer-valued,
+// or a request (ab)using full-precision vectors.
+func (s *Server) answerPartialScores(modelName string, req Request, span *trace.Span) Reply {
+	s.startPool()
+	entry, err := s.reg.Lookup(modelName)
+	if err != nil {
+		return Reply{Code: codeUnknownModel, Detail: err.Error()}
+	}
+	model := entry.Model
+	scorer := entry.Scorer
+	if scorer == nil || !scorer.PartialCapable() {
+		return Reply{Code: codePartial,
+			Detail: fmt.Sprintf("model %q has non-integer (noised) class planes; partial scores would not be exact", entry.Name)}
+	}
+	if len(req.Queries) > s.maxBatch {
+		return Reply{Code: codeBatch,
+			Detail: fmt.Sprintf("%d queries, limit %d", len(req.Queries), s.maxBatch)}
+	}
+	for i, q := range req.Queries {
+		if q.Vector != nil {
+			return Reply{Code: codePartial,
+				Detail: fmt.Sprintf("query %d is full-precision; partial scoring is integer-domain only", i)}
+		}
+		for j, sym := range q.Packed {
+			if sym < MinSymbol || sym > MaxSymbol {
+				return Reply{Code: codeSymbol,
+					Detail: fmt.Sprintf("query %d dimension %d carries symbol %d, alphabet is [%d,%d]",
+						i, j, sym, MinSymbol, MaxSymbol)}
+			}
+		}
+		if len(q.Packed) != model.Dim() {
+			return Reply{Code: codeDim,
+				Detail: fmt.Sprintf("query %d has dim %d, shard dim %d", i, len(q.Packed), model.Dim())}
+		}
+	}
+	partials := make([][]int64, len(req.Queries))
+	var wg sync.WaitGroup
+	wg.Add(len(req.Queries))
+	enq := time.Now()
+	for i, q := range req.Queries {
+		s.dispatch(task{model: model, scorer: scorer, query: q, partials: &partials[i], wg: &wg, enq: enq, span: span})
+	}
+	wg.Wait()
+	s.mu.Lock()
+	s.served += len(req.Queries)
+	s.mu.Unlock()
+	entry.AddServed(len(req.Queries))
+	mQueries.With(entry.Name).Add(uint64(len(req.Queries)))
+	return Reply{Partials: partials, NormSq: scorer.NormsSq()}
+}
+
 // Client is the edge-side connection to a classification server. It speaks
 // protocol v4 and is safe for concurrent use: a dedicated send goroutine
 // serializes outgoing frames, a dedicated recv goroutine routes replies by
@@ -1224,6 +1382,11 @@ type Client struct {
 
 	sendCh chan *pending
 	broken chan struct{} // closed on the first transport failure (or Close)
+
+	// draining is set when the server pushes a v5 GoAway drain notice:
+	// the connection still answers what is in flight, but pools and
+	// coordinators should route new work elsewhere.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	inflight map[uint64]*pending
@@ -1458,6 +1621,14 @@ func (c *Client) recvLoop() {
 			}
 			return
 		}
+		if reply.GoAway {
+			// Unsolicited server-push drain notice (ID 0, never assigned):
+			// not a routed reply, so it must be intercepted before the
+			// in-flight lookup treats its ID as unknown and kills the
+			// connection.
+			c.draining.Store(true)
+			continue
+		}
 		c.mu.Lock()
 		p, ok := c.inflight[reply.ID]
 		if ok {
@@ -1593,6 +1764,17 @@ func (c *Client) stickyErr() error {
 // still usable. Pools use it to discard broken connections.
 func (c *Client) Err() error { return c.stickyErr() }
 
+// Draining reports whether the server pushed a GoAway drain notice (v5):
+// it is shutting down gracefully, will answer what is already in flight,
+// but should get no new work. Pools treat a draining connection like a
+// dead one when placing new operations, without cutting off replies still
+// owed.
+func (c *Client) Draining() bool { return c.draining.Load() }
+
+// Shard returns the served entry's shard descriptor from the handshake,
+// nil when the server holds the whole model.
+func (c *Client) Shard() *registry.ShardInfo { return c.hello.Shard }
+
 // Dim returns the served model's dimensionality, learned in the handshake.
 func (c *Client) Dim() int { return c.hello.Dim }
 
@@ -1700,6 +1882,35 @@ func (c *Client) ListModels() ([]ModelListing, error) {
 		return nil, codeError(reply.Code, reply.Detail)
 	}
 	return reply.Models, nil
+}
+
+// PartialScores asks the server for the raw int64 dot of every packed
+// query against every class of its served (possibly sliced) model, plus
+// the per-class Σv² (v5, OpPartialScores). The queries must already be
+// sliced to the server's dimension range. Partial-incapable models are
+// refused with ErrPartialUnsupported; transport failures wrap ErrTransport
+// and may be retried on another replica of the same shard.
+func (c *Client) PartialScores(packed [][]int8) ([][]int64, []float64, error) {
+	req := Request{Op: OpPartialScores, Queries: make([]Query, len(packed))}
+	for i, q := range packed {
+		req.Queries[i] = Query{Packed: q}
+	}
+	p, err := c.submit(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	reply, err := p.wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	if reply.Code != "" {
+		return nil, nil, codeError(reply.Code, reply.Detail)
+	}
+	if len(reply.Partials) != len(packed) {
+		return nil, nil, fmt.Errorf("offload: server answered %d of %d partial-score queries",
+			len(reply.Partials), len(packed))
+	}
+	return reply.Partials, reply.NormSq, nil
 }
 
 // classifyRequest builds one classification frame, packing quantized

@@ -1,0 +1,366 @@
+package offload
+
+// Wire-compatibility coverage for protocol v5: byte-faithful v4 sessions
+// against a v5 server (frozen struct clones, exactly like the v2/v3 tests
+// in offload_test.go), the v5-only surfaces (shard descriptors in the
+// handshake, partial-score frames, GoAway drain notices), and the typed
+// refusal a v5 client gets from a v4-only server.
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"privehd/internal/registry"
+)
+
+// v4ServerHello mirrors the protocol-v4 client's view of the handshake
+// answer: the v5 ServerHello minus the Shard descriptor. gob drops fields
+// the receiver does not declare, so decoding into this struct is exactly
+// what a frozen v4 binary does.
+type v4ServerHello struct {
+	Code         string
+	Detail       string
+	Version      byte
+	Dim          int
+	Classes      int
+	MaxBatch     int
+	MinSymbol    int8
+	MaxSymbol    int8
+	Model        string
+	ModelVersion int
+	Encoding     int
+	Levels       int
+	Features     int
+	Seed         uint64
+}
+
+// v4Reply mirrors the v4 reply frame: the v5 Reply minus Partials, NormSq
+// and GoAway.
+type v4Reply struct {
+	ID      uint64
+	Code    string
+	Detail  string
+	Results []Result
+	Models  []ModelListing
+	Timing  *StageTiming
+}
+
+func TestV4ClientStillServed(t *testing.T) {
+	// A byte-faithful v4 session (version byte 4, ID-correlated pipelined
+	// frames, frozen reply shape) must be served unchanged by a v5 server.
+	reg := registry.New()
+	if _, err := reg.Register("m1", labelModel(1), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'P', 'H', 'D', 4}); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Hello{Dim: 4, Model: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	var hello v4ServerHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != "" {
+		t.Fatalf("v4 handshake rejected: %s (%s)", hello.Code, hello.Detail)
+	}
+	if hello.Version != 4 {
+		t.Errorf("server answered v%d to a v4 client, want v4", hello.Version)
+	}
+	if hello.Model != "m1" || hello.Dim != 4 {
+		t.Errorf("v4 hello = %+v", hello)
+	}
+
+	// Pipeline two classification frames plus a list-models frame before
+	// reading anything; replies correlate by ID, not order.
+	for _, id := range []uint64{7, 8} {
+		if err := enc.Encode(Request{ID: id, Queries: []Query{{Packed: []int8{1, 1, 0, 0}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Encode(Request{ID: 9, Op: OpListModels}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]v4Reply{}
+	for i := 0; i < 3; i++ {
+		var reply v4Reply
+		if err := dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		got[reply.ID] = reply
+	}
+	for _, id := range []uint64{7, 8} {
+		reply, ok := got[id]
+		if !ok {
+			t.Fatalf("no reply for frame %d (got %v)", id, got)
+		}
+		if reply.Code != "" || len(reply.Results) != 1 || reply.Results[0].Label != 1 {
+			t.Errorf("v4 reply %d = %+v", id, reply)
+		}
+	}
+	if reply := got[9]; reply.Code != "" || len(reply.Models) != 1 || reply.Models[0].Name != "m1" {
+		t.Errorf("v4 list-models reply = %+v", got[9])
+	}
+}
+
+func TestV4ClientGetsFINNotGoAwayOnShutdown(t *testing.T) {
+	// The GoAway drain notice is a v5 surface: an idle v4 connection must
+	// discover a graceful shutdown from the FIN exactly as before — an
+	// unsolicited frame would sit in a frozen v4 client's reply path as an
+	// unknown-ID reply and break it.
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'P', 'H', 'D', 4}); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Hello{Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var hello v4ServerHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Code != "" || hello.Version != 4 {
+		t.Fatalf("v4 handshake = %+v", hello)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The very next thing on the wire must be the FIN (EOF), never a frame.
+	var reply v4Reply
+	switch err := dec.Decode(&reply); {
+	case err == nil:
+		t.Fatalf("v4 connection received an unsolicited frame during shutdown: %+v", reply)
+	case !errors.Is(err, io.EOF):
+		t.Fatalf("expected EOF from the graceful FIN, got %v", err)
+	}
+	conn.Close()
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown returned %v", err)
+	}
+}
+
+func TestV5ClientGetsGoAwayOnShutdown(t *testing.T) {
+	// A v5 client is told about the drain before the FIN: the unsolicited
+	// Reply{GoAway} flips Draining() so pools stop routing new work here
+	// while in-flight replies still arrive.
+	addr, srv, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c := dialToy(t, addr)
+	defer c.Close()
+	if c.Draining() {
+		t.Fatal("fresh connection reports draining")
+	}
+	// One round trip proves the connection works before the drain.
+	if _, _, err := c.Classify([]float64{1, 1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never saw the GoAway drain notice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown returned %v", err)
+	}
+}
+
+func TestV5ClientRefusedByV4OnlyServerTyped(t *testing.T) {
+	// A frozen v4-only server answers a v5 header with a version-mismatch
+	// rejection; the v5 client must surface it as ErrVersionMismatch — a
+	// typed refusal, not a retryable transport failure.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				hdr := make([]byte, 4)
+				if _, err := io.ReadFull(conn, hdr); err != nil {
+					return
+				}
+				var hello Hello
+				if err := gob.NewDecoder(conn).Decode(&hello); err != nil {
+					return
+				}
+				gob.NewEncoder(conn).Encode(v4ServerHello{
+					Code:    "version-mismatch",
+					Detail:  "server speaks v4 (and accepts v2–v3), client sent v5",
+					Version: 4,
+				})
+			}(conn)
+		}
+	}()
+
+	_, err = Dial(context.Background(), "tcp", lis.Addr().String(), Hello{Dim: 4})
+	if err == nil {
+		t.Fatal("dial of a v4-only server succeeded")
+	}
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("err = %v, want ErrVersionMismatch", err)
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Errorf("version refusal wraps ErrTransport (would be retried): %v", err)
+	}
+}
+
+func TestServerHelloCarriesShardDescriptor(t *testing.T) {
+	// A sliced registry entry advertises its shard descriptor in the v5
+	// handshake; a whole entry advertises none.
+	reg := registry.New()
+	if _, err := reg.Register("whole", labelModel(0), registry.EncoderInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	info := &registry.ShardInfo{DimOffset: 0, DimLen: 4, ClassOffset: 0, ClassCount: 2, FullDim: 8, FullClasses: 2}
+	if _, err := reg.RegisterShard("slice", labelModel(0), registry.EncoderInfo{}, info); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, cleanup := startRegistryServer(t, reg)
+	defer cleanup()
+
+	cw, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Model: "whole"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+	if cw.Shard() != nil {
+		t.Errorf("whole model advertised shard %+v", cw.Shard())
+	}
+	cs, err := Dial(context.Background(), "tcp", addr, Hello{Dim: 4, Model: "slice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	got := cs.Shard()
+	if got == nil {
+		t.Fatal("sliced model advertised no shard descriptor")
+	}
+	if *got != *info {
+		t.Errorf("shard descriptor = %+v, want %+v", got, info)
+	}
+	if got.Whole() {
+		t.Error("a strict slice reports Whole()")
+	}
+}
+
+func TestPartialScoresExactAndComposable(t *testing.T) {
+	// Partial scores over the full dimension range must reproduce the
+	// classify path bit for bit: score[l] == dot[l] / sqrt(normSq[l]).
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	c := dialToy(t, addr)
+	defer c.Close()
+
+	q := []int8{1, -1, 1, 0}
+	partials, normSq, err := c.PartialScores([][]int8{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partials) != 1 || len(partials[0]) != 2 || len(normSq) != 2 {
+		t.Fatalf("partials = %v, normSq = %v", partials, normSq)
+	}
+	// toyModel classes: {1,1,0,0} and {0,0,1,1} → dots 0 and 1, Σv² 2 and 2.
+	if partials[0][0] != 0 || partials[0][1] != 1 {
+		t.Errorf("dots = %v, want [0 1]", partials[0])
+	}
+	if normSq[0] != 2 || normSq[1] != 2 {
+		t.Errorf("normSq = %v, want [2 2]", normSq)
+	}
+	_, scores, err := c.Classify([]float64{1, -1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range normSq {
+		want := float64(partials[0][l]) / math.Sqrt(normSq[l])
+		if scores[l] != want {
+			t.Errorf("class %d: classify score %v, partial reconstruction %v", l, scores[l], want)
+		}
+	}
+}
+
+func TestPartialScoresRefusedForNonIntegerModel(t *testing.T) {
+	// A model whose class planes are not integer-valued (e.g. DP-noised)
+	// cannot answer exactly; the refusal is typed and must not look like a
+	// transport failure (a coordinator would otherwise retry it forever).
+	m := labelModel(0)
+	m.Add(0, []float64{0.5, 0.25, 0, 0})
+	addr, _, cleanup := startServer(t, m)
+	defer cleanup()
+	c := dialToy(t, addr)
+	defer c.Close()
+
+	_, _, err := c.PartialScores([][]int8{{1, 1, 0, 0}})
+	if !errors.Is(err, ErrPartialUnsupported) {
+		t.Errorf("err = %v, want ErrPartialUnsupported", err)
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Errorf("typed refusal wraps ErrTransport: %v", err)
+	}
+}
+
+func TestPartialScoresRefusesVectorQueries(t *testing.T) {
+	// Partial scoring is integer-domain only: a full-precision Vector query
+	// on an OpPartialScores frame is refused with the typed code, not
+	// silently rounded.
+	addr, _, cleanup := startServer(t, toyModel())
+	defer cleanup()
+	conn, enc, dec := rawHandshake(t, addr, ProtocolVersion, Hello{Dim: 4})
+	defer conn.Close()
+	if err := enc.Encode(Request{ID: 1, Op: OpPartialScores,
+		Queries: []Query{{Vector: []float64{0.5, 0.5, 0, 0}}}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != codePartial {
+		t.Errorf("reply code = %q, want %q", reply.Code, codePartial)
+	}
+}

@@ -59,6 +59,58 @@ func (i EncoderInfo) Zero() bool {
 	return i == EncoderInfo{}
 }
 
+// ShardInfo describes the slice of a logical model an entry serves when one
+// model is split across a replica fleet: the entry's model holds dimensions
+// [DimOffset, DimOffset+DimLen) of classes [ClassOffset,
+// ClassOffset+ClassCount) of a full FullDim × FullClasses model. A nil
+// *ShardInfo means the entry serves the whole model. The descriptor is
+// advertised in the protocol v5 handshake so scatter–gather coordinators
+// can discover fleet geometry instead of being configured with it.
+type ShardInfo struct {
+	DimOffset   int
+	DimLen      int
+	ClassOffset int
+	ClassCount  int
+	FullDim     int
+	FullClasses int
+}
+
+// Validate checks internal consistency: positive extents inside the full
+// geometry.
+func (s *ShardInfo) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.FullDim <= 0 || s.FullClasses <= 0 {
+		return fmt.Errorf("registry: shard full geometry %d×%d must be positive", s.FullDim, s.FullClasses)
+	}
+	if s.DimOffset < 0 || s.DimLen <= 0 || s.DimOffset+s.DimLen > s.FullDim {
+		return fmt.Errorf("registry: shard dims [%d:%d) outside full dim %d",
+			s.DimOffset, s.DimOffset+s.DimLen, s.FullDim)
+	}
+	if s.ClassOffset < 0 || s.ClassCount <= 0 || s.ClassOffset+s.ClassCount > s.FullClasses {
+		return fmt.Errorf("registry: shard classes [%d:%d) outside full class count %d",
+			s.ClassOffset, s.ClassOffset+s.ClassCount, s.FullClasses)
+	}
+	return nil
+}
+
+// Whole reports whether the descriptor covers the entire model (or is nil).
+func (s *ShardInfo) Whole() bool {
+	return s == nil || (s.DimOffset == 0 && s.DimLen == s.FullDim &&
+		s.ClassOffset == 0 && s.ClassCount == s.FullClasses)
+}
+
+// String renders the descriptor in the privehd-serve -shard flag syntax.
+func (s *ShardInfo) String() string {
+	if s == nil {
+		return "whole"
+	}
+	return fmt.Sprintf("dim=%d:%d,class=%d:%d of %d×%d",
+		s.DimOffset, s.DimOffset+s.DimLen, s.ClassOffset, s.ClassOffset+s.ClassCount,
+		s.FullDim, s.FullClasses)
+}
+
 // Entry is one named, versioned served model. Entries are immutable once
 // published: Swap publishes a new Entry rather than mutating the old one,
 // so an Entry resolved by an in-flight query stays valid forever.
@@ -81,6 +133,10 @@ type Entry struct {
 	// Encoder is the model's public encoder setup (may be zero for
 	// bare-model entries).
 	Encoder EncoderInfo
+	// Shard, when non-nil, marks this entry as serving a slice of a larger
+	// logical model and records which slice (see ShardInfo). Advertised in
+	// the v5 handshake.
+	Shard *ShardInfo
 
 	// served counts queries answered under this name across publications:
 	// Register creates the counter, Swap carries it into the new entry, so
@@ -149,6 +205,18 @@ func (r *Registry) Register(name string, model *hdc.Model, info EncoderInfo) (*E
 // a durable store uses to replay its persisted version numbers after a
 // restart, so handshakes advertise the same version before and after.
 func (r *Registry) RegisterVersion(name string, model *hdc.Model, info EncoderInfo, version int) (*Entry, error) {
+	return r.RegisterShardVersion(name, model, info, version, nil)
+}
+
+// RegisterShard publishes a model that serves only a slice of a larger
+// logical model, carrying the shard descriptor into the handshake. The
+// model's geometry must match the descriptor's slice extents.
+func (r *Registry) RegisterShard(name string, model *hdc.Model, info EncoderInfo, shard *ShardInfo) (*Entry, error) {
+	return r.RegisterShardVersion(name, model, info, 1, shard)
+}
+
+// RegisterShardVersion is RegisterShard with an explicit starting version.
+func (r *Registry) RegisterShardVersion(name string, model *hdc.Model, info EncoderInfo, version int, shard *ShardInfo) (*Entry, error) {
 	if name == "" {
 		return nil, errors.New("registry: model name must not be empty")
 	}
@@ -157,6 +225,13 @@ func (r *Registry) RegisterVersion(name string, model *hdc.Model, info EncoderIn
 	}
 	if version < 1 {
 		return nil, fmt.Errorf("registry: version must be at least 1, got %d", version)
+	}
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	if shard != nil && (model.Dim() != shard.DimLen || model.NumClasses() != shard.ClassCount) {
+		return nil, fmt.Errorf("registry: model geometry %d×%d does not match shard slice %s",
+			model.Dim(), model.NumClasses(), shard)
 	}
 	// Freeze the norm caches and derive the packed-query integer planes so
 	// serving goroutines only ever read.
@@ -167,7 +242,7 @@ func (r *Registry) RegisterVersion(name string, model *hdc.Model, info EncoderIn
 	if _, exists := next.entries[name]; exists {
 		return nil, fmt.Errorf("registry: model %q already registered (use Swap to update it)", name)
 	}
-	e := &Entry{Name: name, Version: version, Model: model, Scorer: model.PackedScorer(), Encoder: info, served: new(atomic.Uint64)}
+	e := &Entry{Name: name, Version: version, Model: model, Scorer: model.PackedScorer(), Encoder: info, Shard: shard, served: new(atomic.Uint64)}
 	next.entries[name] = e
 	if next.defaultName == "" {
 		next.defaultName = name

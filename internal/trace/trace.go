@@ -135,8 +135,12 @@ const (
 	// StageNetwork is the client-side remainder: round trip minus the
 	// server's reported residency.
 	StageNetwork
+	// StageGather is the sharded coordinator's scatter–gather window: the
+	// slowest shard's partial-score round trip (recorded with ObserveMax,
+	// so stragglers — not the sum of overlapping fan-out — show up here).
+	StageGather
 	// NumStages is the number of stages a Span times.
-	NumStages = int(StageNetwork) + 1
+	NumStages = int(StageGather) + 1
 )
 
 // String returns the stage's snake_case name, as used in logs and JSON.
@@ -154,6 +158,8 @@ func (s Stage) String() string {
 		return "reply_write"
 	case StageNetwork:
 		return "network"
+	case StageGather:
+		return "gather"
 	}
 	return "unknown"
 }
@@ -251,6 +257,7 @@ func (s *Span) Breakdown() Breakdown {
 		ScoreNs:   s.stages[StageScore].Load(),
 		WriteNs:   s.stages[StageReplyWrite].Load(),
 		NetworkNs: s.stages[StageNetwork].Load(),
+		GatherNs:  s.stages[StageGather].Load(),
 	}
 }
 
@@ -273,6 +280,7 @@ type Breakdown struct {
 	ScoreNs   int64 `json:"score_ns,omitempty"`
 	WriteNs   int64 `json:"write_ns,omitempty"`
 	NetworkNs int64 `json:"network_ns,omitempty"`
+	GatherNs  int64 `json:"gather_ns,omitempty"`
 }
 
 // observer is an optional per-entry hook (RecordClient fan-out): load

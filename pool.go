@@ -117,6 +117,9 @@ func WithPoolEdge(opts ...Option) PoolOption {
 // it). Pass the Edge whose obfuscated queries the pool should carry, or
 // nil to auto-configure one from the server's advertised encoder setup
 // exactly like DialModel (layer defences on with WithPoolEdge).
+//
+// Deprecated: use Connect with TopologyPool — the Target plus
+// WithConnectPool options cover this constructor exactly.
 func DialPool(ctx context.Context, network, addr string, edge *Edge, opts ...PoolOption) (*Pool, error) {
 	var cfg poolConfig
 	for _, o := range opts {
@@ -202,6 +205,9 @@ type PoolStats = cluster.PoolStats
 
 // Stats returns a snapshot of the pool's connection state.
 func (p *Pool) Stats() PoolStats { return p.pool.Stats() }
+
+// Traces snapshots the process-wide client-side flight recorder.
+func (p *Pool) Traces() TraceSnapshot { return ClientTraces() }
 
 // Close closes every pooled connection; in-flight calls fail with
 // ErrTransport.

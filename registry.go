@@ -110,6 +110,41 @@ func (r *Registry) Register(name string, p *Pipeline) error {
 	return err
 }
 
+// RegisterShard publishes a slice of a trained pipeline's model under
+// name: the class planes are restricted to s's dimension range and class
+// range (zero DimLen / ClassCount default to the full extent), and the
+// entry carries the shard descriptor so v5 clients — and the scatter–
+// gather coordinator behind TopologySharded — discover the slice in the
+// handshake. Each replica of a sharded fleet registers its own slice;
+// the fleet's descriptors must tile the full model exactly or Connect
+// refuses with ErrShardTiling.
+func (r *Registry) RegisterShard(name string, p *Pipeline, s ShardSlice) error {
+	model, info, err := pipelineEntry(p)
+	if err != nil {
+		return err
+	}
+	if s.DimLen == 0 {
+		s.DimOffset, s.DimLen = 0, model.Dim()
+	}
+	if s.ClassCount == 0 {
+		s.ClassOffset, s.ClassCount = 0, model.NumClasses()
+	}
+	shardInfo := &registry.ShardInfo{
+		DimOffset:   s.DimOffset,
+		DimLen:      s.DimLen,
+		ClassOffset: s.ClassOffset,
+		ClassCount:  s.ClassCount,
+		FullDim:     model.Dim(),
+		FullClasses: model.NumClasses(),
+	}
+	if err := shardInfo.Validate(); err != nil {
+		return err
+	}
+	sliced := model.Slice(s.DimOffset, s.DimLen, s.ClassOffset, s.ClassCount)
+	_, err = r.inner.RegisterShard(name, sliced, info, shardInfo)
+	return err
+}
+
 // Swap atomically replaces the model published under name with the
 // pipeline's, bumping the publication version. Clients connected to name
 // see the new model from their next request frame on — connections are

@@ -1,5 +1,7 @@
 package privehd_test
 
+//lint:file-ignore SA1019 the deprecated constructors stay fully supported; these tests pin their behavior
+
 import (
 	"context"
 	"errors"

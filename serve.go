@@ -188,6 +188,10 @@ func (c dialConfig) clientOpts() []offload.ClientOption {
 // mismatches and unknown models surface as typed errors
 // (ErrVersionMismatch, ErrGeometryMismatch, ErrUnknownModel) instead of
 // garbled streams. The context bounds connecting and handshaking.
+//
+// Deprecated: use Connect with TopologySingle and WithEdge — one
+// constructor covers every serving topology. Dial remains for
+// compatibility and behaves identically.
 func Dial(ctx context.Context, network, addr string, edge *Edge, opts ...DialOption) (*Remote, error) {
 	var cfg dialConfig
 	for _, o := range opts {
@@ -202,6 +206,9 @@ func Dial(ctx context.Context, network, addr string, edge *Edge, opts ...DialOpt
 
 // NewRemote performs the handshake over an existing connection — useful
 // for tapped connections (Tap) and in-memory pipes in tests.
+//
+// Deprecated: use Connect for dialed connections; NewRemote remains the
+// escape hatch for pre-established conns (taps, pipes) and tests.
 func NewRemote(conn net.Conn, edge *Edge, opts ...DialOption) (*Remote, error) {
 	var cfg dialConfig
 	for _, o := range opts {
@@ -220,6 +227,9 @@ func NewRemote(conn net.Conn, edge *Edge, opts ...DialOption) (*Remote, error) {
 // (encoding, levels, seed, features — shared setup per the paper), so the
 // edge needs no hand-matched flags. Extra options layer the §III-C
 // defences on top (WithQueryMask, WithRawQueries).
+//
+// Deprecated: use Connect with TopologySingle — the Target's Model field
+// and WithEdgeOptions cover this constructor exactly.
 func DialModel(ctx context.Context, network, addr, model string, opts ...Option) (*Remote, error) {
 	client, err := offload.Dial(ctx, network, addr, offload.Hello{Model: model})
 	if err != nil {
@@ -235,6 +245,9 @@ func DialModel(ctx context.Context, network, addr, model string, opts ...Option)
 
 // NewRemoteModel is DialModel over an existing connection — the
 // auto-configuring sibling of NewRemote for tapped conns and pipes.
+//
+// Deprecated: use Connect for dialed connections; NewRemoteModel remains
+// the escape hatch for pre-established conns (taps, pipes) and tests.
 func NewRemoteModel(conn net.Conn, model string, opts ...Option) (*Remote, error) {
 	client, err := offload.NewClient(conn, offload.Hello{Model: model})
 	if err != nil {
@@ -308,6 +321,9 @@ func (r *Remote) PredictPrepared(q []float64) (int, []float64, error) {
 	}
 	return r.client.Classify(q)
 }
+
+// Traces snapshots the process-wide client-side flight recorder.
+func (r *Remote) Traces() TraceSnapshot { return ClientTraces() }
 
 // Close closes the connection.
 func (r *Remote) Close() error { return r.client.Close() }

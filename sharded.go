@@ -1,0 +1,137 @@
+package privehd
+
+import (
+	"context"
+	"fmt"
+
+	"privehd/internal/offload"
+	"privehd/internal/registry"
+	"privehd/internal/shard"
+)
+
+// Sharded-serving errors; test with errors.Is.
+var (
+	// ErrPartialUnsupported reports a served model that cannot answer
+	// exact partial scores (a non-integer model, e.g. after DP noising,
+	// or oversized class values). It is a protocol verdict from a live
+	// server — never retried, every replica of the model would refuse
+	// the same way.
+	ErrPartialUnsupported = offload.ErrPartialUnsupported
+	// ErrShardTiling reports a replica set whose shard descriptors do
+	// not tile the full model exactly (gaps, overlaps, or disagreeing
+	// geometry) — a deployment configuration error, not a transport
+	// failure.
+	ErrShardTiling = shard.ErrBadTiling
+)
+
+// ShardSlice names the slice of a logical model one replica serves: a
+// dimension range of every class plane, a class range, or both. Zero
+// DimLen means the full dimension range; zero ClassCount means every
+// class.
+type ShardSlice struct {
+	DimOffset, DimLen       int
+	ClassOffset, ClassCount int
+}
+
+// ShardInfo is a replica's shard descriptor as advertised in the v5
+// handshake: its slice plus the full logical geometry it came from.
+type ShardInfo = registry.ShardInfo
+
+// Sharded serves whole-model predictions from a fleet of partial
+// replicas: each prediction's packed query is scattered by dimension
+// slice to every shard group, the groups' exact integer partial scores
+// are gathered and reduced, and the argmax is taken over whole-model
+// scores — bit-identical to serving the unsplit model (see the
+// internal/shard package for the exactness argument). Replicas serving
+// the same slice form a failover group, so a replica dying mid-gather
+// retries only its own shard, never the whole scatter. All methods are
+// safe for concurrent use.
+//
+// Sharded clients require quantized queries (the default): WithRawQueries
+// sends full-precision vectors, which cannot be partial-scored, and is
+// rejected at Connect time.
+type Sharded struct {
+	edge *Edge
+	co   *shard.Coordinator
+}
+
+// Edge returns the edge obfuscating the fleet's queries.
+func (s *Sharded) Edge() *Edge { return s.edge }
+
+// Dim returns the full logical model dimensionality.
+func (s *Sharded) Dim() int { return s.co.Dim() }
+
+// Classes returns the full logical model class count.
+func (s *Sharded) Classes() int { return s.co.Classes() }
+
+// Model returns the name of the served model the fleet is bound to.
+func (s *Sharded) Model() string { return s.co.Hello().Model }
+
+// Shards returns the fleet's shard descriptors, one per failover group.
+func (s *Sharded) Shards() []ShardInfo { return s.co.Groups() }
+
+// pack converts one prepared query to the packed wire form, or explains
+// why sharded serving cannot carry it.
+func packPrepared(q []float64) ([]int8, error) {
+	p, ok := offload.PackQuery(q)
+	if !ok {
+		return nil, fmt.Errorf("%w: query is not quantized (WithRawQueries is incompatible with sharded serving)",
+			ErrPartialUnsupported)
+	}
+	return p, nil
+}
+
+// Predict obfuscates one input on the edge and classifies it across the
+// sharded fleet, returning the whole-model label and per-class scores.
+func (s *Sharded) Predict(x []float64) (int, []float64, error) {
+	q, err := s.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.PredictPrepared(q)
+}
+
+// PredictPrepared classifies an already-prepared query hypervector.
+func (s *Sharded) PredictPrepared(q []float64) (int, []float64, error) {
+	if len(q) != s.edge.Dim() {
+		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), s.edge.Dim())
+	}
+	packed, err := packPrepared(q)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.co.PredictPacked(context.Background(), packed)
+}
+
+// PredictBatch obfuscates a batch of inputs and classifies them across
+// the sharded fleet; every query fans out to every shard group.
+func (s *Sharded) PredictBatch(X [][]float64) ([]int, error) {
+	qs, err := s.edge.PrepareBatch(X)
+	if err != nil {
+		return nil, err
+	}
+	packed := make([][]int8, len(qs))
+	for i, q := range qs {
+		if packed[i], err = packPrepared(q); err != nil {
+			return nil, err
+		}
+	}
+	labels, _, err := s.co.PredictPackedBatch(context.Background(), packed)
+	return labels, err
+}
+
+// ListModels returns the registry listing of the first shard group that
+// answers (geometry fields reflect that replica's slice).
+func (s *Sharded) ListModels() ([]ModelInfo, error) {
+	listings, err := s.co.ListModels(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return modelInfosFromListings(listings), nil
+}
+
+// Traces snapshots the process-wide client-side flight recorder.
+func (s *Sharded) Traces() TraceSnapshot { return ClientTraces() }
+
+// Close releases every shard group's connections.
+func (s *Sharded) Close() error { return s.co.Close() }
