@@ -26,6 +26,12 @@ type Client interface {
 	// Predict obfuscates one input on the edge and classifies it
 	// remotely, returning the predicted label and per-class scores.
 	Predict(x []float64) (int, []float64, error)
+	// PredictContext is Predict bounded by ctx: the remaining context
+	// budget is stamped on every request frame (Request.BudgetNs), so
+	// servers shed work that can no longer answer in time, and
+	// cancellation aborts client-side waits. A deadline exceeded on the
+	// way out or in a server shed surfaces as ErrDeadlineExceeded.
+	PredictContext(ctx context.Context, x []float64) (int, []float64, error)
 	// PredictBatch obfuscates and classifies a batch of inputs.
 	PredictBatch(X [][]float64) ([]int, error)
 	// ListModels returns the serving registry's current listing.
@@ -118,6 +124,12 @@ type Target struct {
 	Model string
 	// Topology arranges the connections (default TopologyAuto).
 	Topology Topology
+	// Hedge opts cluster and sharded topologies into hedged requests
+	// with an adaptive delay learned from observed latency: a slow
+	// attempt gets a backup sent to a second healthy replica, first
+	// reply wins, the loser is canceled. WithHedging tunes the delay.
+	// Single and pool topologies ignore it (nowhere else to hedge to).
+	Hedge bool
 }
 
 // ConnectOption configures Connect.
@@ -128,6 +140,7 @@ type connectConfig struct {
 	pool   poolConfig
 	policy BalancePolicy
 	probe  time.Duration
+	hedge  *cluster.HedgePolicy
 	logger *slog.Logger
 }
 
@@ -174,6 +187,21 @@ func WithConnectProbeInterval(d time.Duration) ConnectOption {
 	}
 }
 
+// WithHedging opts cluster and sharded topologies into hedged requests
+// (see Target.Hedge) and fixes the hedge delay: an attempt still in
+// flight after delay gets a backup on a second healthy replica, first
+// reply wins, the loser is canceled. Pass d ≤ 0 to keep the adaptive
+// delay — roughly the p90 of recently observed latency, clamped to
+// [1ms, 100ms] — which only hedges genuine stragglers.
+func WithHedging(d time.Duration) ConnectOption {
+	return func(c *connectConfig) {
+		c.hedge = &cluster.HedgePolicy{}
+		if d > 0 {
+			c.hedge.Delay = d
+		}
+	}
+}
+
 // WithConnectLogger routes structured health-transition events of cluster
 // and sharded topologies to log. By default they are discarded.
 func WithConnectLogger(log *slog.Logger) ConnectOption {
@@ -201,6 +229,9 @@ func Connect(ctx context.Context, t Target, opts ...ConnectOption) (Client, erro
 		o(&cfg)
 	}
 	cfg.pool.model = t.Model
+	if t.Hedge && cfg.hedge == nil {
+		cfg.hedge = &cluster.HedgePolicy{}
+	}
 	topo := t.Topology
 	if topo == TopologyAuto {
 		if len(t.Addrs) == 1 {
@@ -252,18 +283,29 @@ func sniffTopology(ctx context.Context, t Target) (Topology, error) {
 }
 
 // connectSingle is TopologySingle: one pipelined connection plus its edge.
+// Connect applies the documented pool default of a 30s IO timeout here
+// too — a bare Dial defaults to none, but every Connect topology bounds
+// reply progress uniformly unless WithPoolIOTimeout(d ≤ 0) disables it.
 func connectSingle(ctx context.Context, t Target, cfg connectConfig) (*Remote, error) {
+	iot := cfg.pool.ioTimeout
+	if iot == 0 {
+		iot = cluster.DefaultIOTimeout
+	}
 	var dopts []DialOption
 	if t.Model != "" {
 		dopts = append(dopts, ForModel(t.Model))
 	}
-	if cfg.pool.ioTimeout > 0 {
-		dopts = append(dopts, WithIOTimeout(cfg.pool.ioTimeout))
+	if iot > 0 {
+		dopts = append(dopts, WithIOTimeout(iot))
 	}
 	if cfg.edge != nil {
 		return Dial(ctx, t.Network, t.Addrs[0], cfg.edge, dopts...)
 	}
-	client, err := offload.Dial(ctx, t.Network, t.Addrs[0], offload.Hello{Model: t.Model})
+	var copts []offload.ClientOption
+	if iot > 0 {
+		copts = append(copts, offload.WithIOTimeout(iot))
+	}
+	client, err := offload.Dial(ctx, t.Network, t.Addrs[0], offload.Hello{Model: t.Model}, copts...)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +356,7 @@ func connectCluster(ctx context.Context, t Target, cfg connectConfig) (*Cluster,
 		Pool:          cfg.pool.toInternal(),
 		Policy:        cfg.policy,
 		ProbeInterval: cfg.probe,
+		Hedge:         cfg.hedge,
 		Logger:        cfg.logger,
 	})
 	if err != nil {
@@ -345,6 +388,7 @@ func connectSharded(ctx context.Context, t Target, cfg connectConfig) (*Sharded,
 		Pool:          cfg.pool.toInternal(),
 		Policy:        cfg.policy,
 		ProbeInterval: cfg.probe,
+		Hedge:         cfg.hedge,
 		Logger:        cfg.logger,
 	})
 	if err != nil {

@@ -163,6 +163,20 @@ func (c *Cluster) Predict(x []float64) (int, []float64, error) {
 	return c.cl.Classify(context.Background(), q)
 }
 
+// PredictContext is Predict bounded by ctx: the remaining context budget
+// rides on every request frame (Request.BudgetNs) so replicas shed work
+// that can no longer answer in time, retries draw from a shared per-call
+// budget, and cancellation aborts the wait. A blown deadline surfaces as
+// ErrDeadlineExceeded. With hedging enabled (Target.Hedge, WithHedging)
+// a slow attempt races a backup replica, first reply wins.
+func (c *Cluster) PredictContext(ctx context.Context, x []float64) (int, []float64, error) {
+	q, err := c.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return c.cl.Classify(ctx, q)
+}
+
 // PredictBatch obfuscates a batch of inputs and classifies them on some
 // healthy replica (the whole batch fails over together — classification
 // is idempotent and deterministic per model publication).
@@ -176,10 +190,16 @@ func (c *Cluster) PredictBatch(X [][]float64) ([]int, error) {
 
 // PredictPrepared classifies an already-prepared query hypervector.
 func (c *Cluster) PredictPrepared(q []float64) (int, []float64, error) {
+	return c.PredictPreparedContext(context.Background(), q)
+}
+
+// PredictPreparedContext is PredictPrepared bounded by ctx (see
+// PredictContext for the deadline and hedging semantics).
+func (c *Cluster) PredictPreparedContext(ctx context.Context, q []float64) (int, []float64, error) {
 	if len(q) != c.edge.Dim() {
 		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), c.edge.Dim())
 	}
-	return c.cl.Classify(context.Background(), q)
+	return c.cl.Classify(ctx, q)
 }
 
 // ListModels returns the registry listing of the first healthy replica

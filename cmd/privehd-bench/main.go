@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"privehd"
+	"privehd/internal/chaos"
 )
 
 // benchClient is the client surface the load loops need: the shared
@@ -64,6 +65,7 @@ import (
 type benchClient interface {
 	privehd.Client
 	PredictPrepared(q []float64) (int, []float64, error)
+	PredictPreparedContext(ctx context.Context, q []float64) (int, []float64, error)
 	Edge() *privehd.Edge
 }
 
@@ -86,6 +88,10 @@ type config struct {
 	traceSample float64 // end-to-end trace sampling rate
 	check       bool
 	jsonOut     bool
+	hedge       bool          // hedge slow requests to a second replica
+	deadline    time.Duration // per-request deadline (0 = none)
+	chaosSpec   string        // raw -chaos value, "" = off
+	chaosCfg    chaos.Config  // parsed fault mix for selfserve listeners
 }
 
 // summary is the benchmark report. QPS counts successful queries over the
@@ -112,6 +118,16 @@ type summary struct {
 	// every logical query; 1 group for unsharded topologies).
 	MetricsChecked     bool   `json:"metrics_checked"`
 	ServerQueriesDelta uint64 `json:"server_queries_delta,omitempty"`
+
+	// Hedges is the movement of privehd_cluster_hedges_total (all
+	// outcomes) over the measured window; present whenever -hedge runs
+	// with a metrics endpoint. The CI chaos soak asserts it is > 0 — the
+	// faults must actually provoke hedging, not just be survived.
+	Hedges uint64 `json:"hedges"`
+
+	// ErrorKinds buckets the errors: deadline (the request ran out of
+	// time, typed), transport (the whole fleet failed it), other.
+	ErrorKinds map[string]int `json:"error_kinds,omitempty"`
 
 	// ShardGroups is how many shard groups the client scatters across
 	// (sharded topology only). ShardGathers is the per-shard movement of
@@ -191,6 +207,9 @@ func parseFlags(argv []string) (config, error) {
 	fs.IntVar(&cfg.queries, "queries", 64, "prepared-query pool size")
 	fs.StringVar(&cfg.scrape, "scrape", "", "metrics URL for -check (selfserve sets this automatically)")
 	fs.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of requests to trace end to end, 0..1; adds a per-stage latency breakdown and the slowest trace IDs to the report")
+	fs.BoolVar(&cfg.hedge, "hedge", false, "hedge slow requests to a second healthy replica (cluster and sharded topologies)")
+	fs.DurationVar(&cfg.deadline, "deadline", 0, "per-request deadline stamped on every frame so servers shed late work (0 = none)")
+	fs.StringVar(&cfg.chaosSpec, "chaos", "", "selfserve only: fault-injection spec for replica listeners, e.g. seed=7,latency=2ms,latencyprob=0.3,stallprob=0.05,cut=0.03,refuse=0.03")
 	fs.BoolVar(&cfg.check, "check", false, "scrape /metrics around the run and assert server counters match the client tally")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON on stdout")
 	if err := fs.Parse(argv); err != nil {
@@ -235,6 +254,17 @@ func parseFlags(argv []string) (config, error) {
 	if cfg.model == "" && cfg.selfserve > 0 {
 		cfg.model = "bench"
 	}
+	if cfg.chaosSpec != "" {
+		if cfg.selfserve <= 0 {
+			return cfg, errors.New("-chaos needs -selfserve (faults are injected into the in-process listeners)")
+		}
+		if cfg.chaosCfg, err = chaos.ParseSpec(cfg.chaosSpec); err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.deadline < 0 {
+		return cfg, errors.New("-deadline must be ≥ 0")
+	}
 	return cfg, nil
 }
 
@@ -268,6 +298,7 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		Addrs:    addrs,
 		Model:    cfg.model,
 		Topology: cfg.topology,
+		Hedge:    cfg.hedge,
 	})
 	dialCancel()
 	if err != nil {
@@ -312,9 +343,15 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 
 	if cfg.warmup > 0 {
 		fmt.Fprintf(errw, "warming up %v (%d workers)\n", cfg.warmup, cfg.concurrency)
-		closedLoop(ctx, cl, pool, cfg.concurrency, cfg.warmup)
+		closedLoop(ctx, cl, pool, cfg.concurrency, cfg.warmup, cfg.deadline)
 	}
 
+	var hedgesBefore uint64
+	if cfg.hedge && scrape != "" {
+		if hedgesBefore, err = scrapeHedges(scrape); err != nil {
+			return nil, fmt.Errorf("pre-run hedge scrape: %w", err)
+		}
+	}
 	var before uint64
 	var gathersBefore map[string]uint64
 	if cfg.check {
@@ -335,9 +372,9 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 	var res runResult
 	start := time.Now()
 	if cfg.mode == "open" {
-		res = openLoop(ctx, cl, pool, cfg.rate, cfg.concurrency, cfg.duration)
+		res = openLoop(ctx, cl, pool, cfg.rate, cfg.concurrency, cfg.duration, cfg.deadline)
 	} else {
-		res = closedLoop(ctx, cl, pool, cfg.concurrency, cfg.duration)
+		res = closedLoop(ctx, cl, pool, cfg.concurrency, cfg.duration, cfg.deadline)
 	}
 	elapsed := time.Since(start)
 	var traced []privehd.TraceEntry
@@ -353,6 +390,7 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		Seconds:     elapsed.Seconds(),
 		Requests:    res.ok,
 		Errors:      res.errs,
+		ErrorKinds:  res.kinds,
 		QPS:         float64(res.ok) / elapsed.Seconds(),
 	}
 	if shardGroups > 1 {
@@ -363,6 +401,13 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 	}
 	sum.P50ms, sum.P95ms, sum.P99ms, sum.MaxMs = percentiles(res.lats)
 
+	if cfg.hedge && scrape != "" {
+		hedgesAfter, err := scrapeHedges(scrape)
+		if err != nil {
+			return nil, fmt.Errorf("post-run hedge scrape: %w", err)
+		}
+		sum.Hedges = hedgesAfter - hedgesBefore
+	}
 	if cfg.check {
 		after, err := scrapeQueries(scrape, cfg.model)
 		if err != nil {
@@ -372,14 +417,23 @@ func run(ctx context.Context, cfg config, errw io.Writer) (*summary, error) {
 		sum.ServerQueriesDelta = after - before
 		// A sharded client partial-scores every logical query on every
 		// shard group, so the fleet-wide server counter moves G× the
-		// client tally.
+		// client tally. A hedged client may additionally land a backup
+		// copy of a query whose primary it then discards — each hedge
+		// launched can add at most one server-side query per group — so
+		// under hedging the audit is a band, not an equality.
 		want := uint64(res.ok) * uint64(shardGroups)
-		if sum.ServerQueriesDelta != want {
-			return nil, fmt.Errorf("metrics check failed: server counted %d queries, client tallied %d × %d shard groups = %d",
-				sum.ServerQueriesDelta, res.ok, shardGroups, want)
+		slack := sum.Hedges * uint64(shardGroups)
+		if sum.ServerQueriesDelta < want || sum.ServerQueriesDelta > want+slack {
+			return nil, fmt.Errorf("metrics check failed: server counted %d queries, client tallied %d × %d shard groups = %d (+ up to %d hedged)",
+				sum.ServerQueriesDelta, res.ok, shardGroups, want, slack)
 		}
-		fmt.Fprintf(errw, "metrics check ok: server counted %d queries (= %d requests × %d shard groups)\n",
-			want, res.ok, shardGroups)
+		if slack > 0 {
+			fmt.Fprintf(errw, "metrics check ok: server counted %d queries (client %d × %d shard groups, %d extra from %d hedges)\n",
+				sum.ServerQueriesDelta, res.ok, shardGroups, sum.ServerQueriesDelta-want, sum.Hedges)
+		} else {
+			fmt.Fprintf(errw, "metrics check ok: server counted %d queries (= %d requests × %d shard groups)\n",
+				want, res.ok, shardGroups)
+		}
 		if shardGroups > 1 {
 			gathersAfter, err := scrapeShardGathers(scrape)
 			if err != nil {
@@ -526,15 +580,53 @@ func queryPool(cl benchClient, n int, inputs [][]float64) ([][]float64, error) {
 }
 
 type runResult struct {
-	ok   int
-	errs int
-	lats []time.Duration
+	ok    int
+	errs  int
+	kinds map[string]int // error tally by kind: deadline, transport, other
+	lats  []time.Duration
+}
+
+func (r *runResult) mergeKinds(kinds map[string]int) {
+	if len(kinds) == 0 {
+		return
+	}
+	if r.kinds == nil {
+		r.kinds = map[string]int{}
+	}
+	for k, n := range kinds {
+		r.kinds[k] += n
+	}
+}
+
+// errKind buckets a failed prediction for the summary's error breakdown.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, privehd.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, privehd.ErrTransport):
+		return "transport"
+	default:
+		return "other"
+	}
+}
+
+// predictOne issues one prepared-query prediction, with a per-request
+// deadline stamped on the wire when one is configured.
+func predictOne(ctx context.Context, cl benchClient, q []float64, deadline time.Duration) error {
+	if deadline > 0 {
+		rctx, cancel := context.WithTimeout(ctx, deadline)
+		defer cancel()
+		_, _, err := cl.PredictPreparedContext(rctx, q)
+		return err
+	}
+	_, _, err := cl.PredictPrepared(q)
+	return err
 }
 
 // closedLoop runs workers synchronous loops for d: each worker fires its
 // next query the moment the previous answer returns.
-func closedLoop(ctx context.Context, cl benchClient, pool [][]float64, workers int, d time.Duration) runResult {
-	deadline := time.Now().Add(d)
+func closedLoop(ctx context.Context, cl benchClient, pool [][]float64, workers int, d, deadline time.Duration) runResult {
+	until := time.Now().Add(d)
 	var (
 		mu  sync.Mutex
 		res runResult
@@ -546,13 +638,15 @@ func closedLoop(ctx context.Context, cl benchClient, pool [][]float64, workers i
 			defer wg.Done()
 			var (
 				ok, errs int
+				kinds    = map[string]int{}
 				lats     []time.Duration
 			)
-			for i := w; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
+			for i := w; time.Now().Before(until) && ctx.Err() == nil; i++ {
 				t0 := time.Now()
-				_, _, err := cl.PredictPrepared(pool[i%len(pool)])
+				err := predictOne(ctx, cl, pool[i%len(pool)], deadline)
 				if err != nil {
 					errs++
+					kinds[errKind(err)]++
 					continue
 				}
 				ok++
@@ -561,6 +655,7 @@ func closedLoop(ctx context.Context, cl benchClient, pool [][]float64, workers i
 			mu.Lock()
 			res.ok += ok
 			res.errs += errs
+			res.mergeKinds(kinds)
 			res.lats = append(res.lats, lats...)
 			mu.Unlock()
 		}(w)
@@ -573,11 +668,11 @@ func closedLoop(ctx context.Context, cl benchClient, pool [][]float64, workers i
 // d, with at most outstanding queries in flight. Latency is measured from
 // each query's scheduled arrival time, so server-induced queueing counts
 // against the server instead of being hidden by client backpressure.
-func openLoop(ctx context.Context, cl benchClient, pool [][]float64, rate float64, outstanding int, d time.Duration) runResult {
+func openLoop(ctx context.Context, cl benchClient, pool [][]float64, rate float64, outstanding int, d, deadline time.Duration) runResult {
 	var (
 		interval = time.Duration(float64(time.Second) / rate)
 		start    = time.Now()
-		deadline = start.Add(d)
+		until    = start.Add(d)
 		sem      = make(chan struct{}, outstanding)
 		mu       sync.Mutex
 		res      runResult
@@ -585,7 +680,7 @@ func openLoop(ctx context.Context, cl benchClient, pool [][]float64, rate float6
 	)
 	for i := 0; ctx.Err() == nil; i++ {
 		scheduled := start.Add(time.Duration(i) * interval)
-		if scheduled.After(deadline) {
+		if scheduled.After(until) {
 			break
 		}
 		if wait := time.Until(scheduled); wait > 0 {
@@ -596,11 +691,12 @@ func openLoop(ctx context.Context, cl benchClient, pool [][]float64, rate float6
 		go func(i int, scheduled time.Time) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			_, _, err := cl.PredictPrepared(pool[i%len(pool)])
+			err := predictOne(ctx, cl, pool[i%len(pool)], deadline)
 			lat := time.Since(scheduled)
 			mu.Lock()
 			if err != nil {
 				res.errs++
+				res.mergeKinds(map[string]int{errKind(err): 1})
 			} else {
 				res.ok++
 				res.lats = append(res.lats, lat)
@@ -642,6 +738,37 @@ func scrapeQueries(url, model string) (uint64, error) {
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "privehd_server_queries_total{") || !strings.Contains(line, want) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("parse sample %q: %w", line, err)
+		}
+		total += uint64(v)
+	}
+	return total, sc.Err()
+}
+
+// scrapeHedges fetches url and sums privehd_cluster_hedges_total over
+// all outcomes — how many backup requests the client-side hedging layer
+// launched. Selfserve mode shares one process-wide registry between the
+// fleet and the bench client, so the fleet's scrape endpoint sees the
+// client-side counter too.
+func scrapeHedges(url string) (uint64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	var total uint64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "privehd_cluster_hedges_total{") {
 			continue
 		}
 		fields := strings.Fields(line)
@@ -700,6 +827,9 @@ func printSummary(w io.Writer, s *summary) {
 		s.P50ms, s.P95ms, s.P99ms, s.MaxMs)
 	if s.MetricsChecked {
 		fmt.Fprintf(w, "audit       /metrics agrees: server counted %d queries\n", s.ServerQueriesDelta)
+	}
+	if s.Hedges > 0 {
+		fmt.Fprintf(w, "hedges      %d backup requests launched\n", s.Hedges)
 	}
 	if s.ShardGroups > 0 {
 		fmt.Fprintf(w, "shards      scatter across %d shard groups\n", s.ShardGroups)

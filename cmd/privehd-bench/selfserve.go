@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"privehd"
+	"privehd/internal/chaos"
 )
 
 // fleet is an in-process serving fleet for -selfserve: N TCP replicas of
@@ -100,11 +101,20 @@ func startSelfServe(ctx context.Context, cfg config, errw io.Writer) (*fleet, er
 				return fail(err)
 			}
 			f.addrs = append(f.addrs, lis.Addr().String())
+			serveLis := net.Listener(lis)
+			if cfg.chaosSpec != "" {
+				// Each replica gets its own fault personality: the same
+				// spec seed offset by the replica index, so runs replay
+				// but replicas fail independently. The metrics listener
+				// stays clean — observability must survive the chaos.
+				ccfg := cfg.chaosCfg
+				ccfg.Seed += int64(len(f.addrs)) << 32
+				serveLis = chaos.Wrap(lis, ccfg)
+			}
 			f.wg.Add(1)
-			reg := reg
 			go func() {
 				defer f.wg.Done()
-				privehd.ServeRegistry(ctx, lis, reg)
+				privehd.ServeRegistry(ctx, serveLis, reg)
 			}()
 		}
 	}

@@ -1,0 +1,82 @@
+package privehd
+
+// In-package tests for Connect's resolved wire configuration: they reach
+// through the returned Client to the protocol connection to pin values the
+// public surface only documents.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"privehd/internal/cluster"
+)
+
+func trainToy(t *testing.T) *Pipeline {
+	t.Helper()
+	var X [][]float64
+	var y []int
+	for i := 0; i < 24; i++ {
+		c := i % 2
+		x := make([]float64, 8)
+		for k := range x {
+			x[k] = 0.25 + 0.5*float64(c) + 0.02*float64((i+k)%5-2)
+		}
+		X = append(X, x)
+		y = append(y, c)
+	}
+	p, err := New(WithDim(256), WithLevels(8), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConnectSingleIOTimeoutDefault(t *testing.T) {
+	// Every topology Connect builds promises the same 30s reply-progress
+	// bound unless the caller tunes it. Pools get it from the pool
+	// defaults; the single-connection topology must apply it explicitly —
+	// a hung server should never block a TopologySingle Predict forever.
+	srv, err := NewServer(trainToy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background(), lis)
+	defer srv.Close()
+	addr := lis.Addr().String()
+
+	cases := []struct {
+		name string
+		opts []ConnectOption
+		want time.Duration
+	}{
+		{"default", nil, cluster.DefaultIOTimeout},
+		{"explicit", []ConnectOption{WithConnectPool(WithPoolIOTimeout(5 * time.Second))}, 5 * time.Second},
+		{"disabled", []ConnectOption{WithConnectPool(WithPoolIOTimeout(-1))}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Connect(context.Background(),
+				Target{Addrs: []string{addr}, Topology: TopologySingle}, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			r, ok := c.(*Remote)
+			if !ok {
+				t.Fatalf("TopologySingle returned %T, want *Remote", c)
+			}
+			if got := r.client.IOTimeout(); got != tc.want {
+				t.Fatalf("wire IOTimeout = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -182,6 +182,25 @@
 // cmd/privehd-bench load generator drives a real fleet closed- or
 // open-loop and cross-audits the /metrics counters against its own tally.
 //
+// The fleet degrades gracefully rather than amplifying failure.
+// PredictContext stamps the caller's remaining context budget on every
+// request frame (Request.BudgetNs in the wire protocol); since gob omits
+// zero fields, undeadlined frames stay byte-identical to the previous
+// wire format and no protocol version bump was needed. Servers start the
+// budget clock at frame arrival and shed queued work whose budget has
+// expired, answering a typed rejection that surfaces as
+// ErrDeadlineExceeded — deliberately not wrapped in ErrTransport, because
+// retrying out-of-time work on another replica only wastes capacity. All
+// retry layers of one logical call (pool redial, cluster failover, hedge
+// attempts) draw from a single per-call retry budget with jittered
+// backoff, per-replica circuit breakers slow probe re-admission of
+// flapping replicas, idle pooled connections are liveness-pinged in-band,
+// and Target.Hedge (tuned by WithHedging) arms tail-latency request
+// hedging: a straggling attempt gets a backup on a second healthy
+// replica, first reply wins, the loser is canceled. internal/chaos plus
+// privehd-bench -chaos soak the whole stack under deterministic fault
+// injection in CI.
+//
 // Request tracing closes the loop from a latency number to its cause.
 // SetTraceSampling samples requests end to end: the trace ID travels in
 // the wire frame, the server's stage breakdown (queue wait, scoring,

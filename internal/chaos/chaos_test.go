@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7,latency=5ms,latencyprob=0.5,stall=200ms,stallprob=0.1,cut=0.05,refuse=0.05,chunk=64")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if cfg.Seed != 7 || cfg.Latency != 5*time.Millisecond || cfg.LatencyProb != 0.5 {
+		t.Fatalf("latency fields wrong: %+v", cfg)
+	}
+	if cfg.Stall != 200*time.Millisecond || cfg.StallProb != 0.1 {
+		t.Fatalf("stall fields wrong: %+v", cfg)
+	}
+	if cfg.CutProb != 0.05 || cfg.RefuseProb != 0.05 || cfg.ChunkReads != 64 {
+		t.Fatalf("cut/refuse/chunk wrong: %+v", cfg)
+	}
+}
+
+func TestParseSpecEmptyAndErrors(t *testing.T) {
+	if cfg, err := ParseSpec(""); err != nil || cfg.LatencyProb != 0 {
+		t.Fatalf("empty spec should be a no-op config, got %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"latency", "bogus=1", "latency=zzz", "cut=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSpecDefaultStall(t *testing.T) {
+	cfg, err := ParseSpec("stallprob=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Stall != 250*time.Millisecond {
+		t.Fatalf("default stall = %v, want 250ms", cfg.Stall)
+	}
+}
+
+// startEcho serves one echo loop per accepted conn on a chaos-wrapped
+// listener and returns its address.
+func startEcho(t *testing.T, cfg Config) net.Addr {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	wrapped := Wrap(lis, cfg)
+	go func() {
+		for {
+			conn, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return lis.Addr()
+}
+
+func TestNoFaultsPassthrough(t *testing.T) {
+	addr := startEcho(t, Config{})
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through a no-op chaos wrapper")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	addr := startEcho(t, Config{Seed: 1, Latency: 30 * time.Millisecond, LatencyProb: 1})
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The server's read of our byte is delayed by at least Latency/2.
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("round trip %v shows no injected latency", d)
+	}
+}
+
+func TestRefuseEventuallyAdmits(t *testing.T) {
+	// refuse=0.5: some dials die, but the wrapped Accept loop keeps
+	// serving, so retrying dials must eventually get echoed.
+	addr := startEcho(t, Config{Seed: 42, RefuseProb: 0.5})
+	ok := false
+	for i := 0; i < 20 && !ok; i++ {
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(time.Second))
+		if _, err := conn.Write([]byte("y")); err == nil {
+			if _, err := io.ReadFull(conn, make([]byte, 1)); err == nil {
+				ok = true
+			}
+		}
+		conn.Close()
+	}
+	if !ok {
+		t.Fatal("no dial ever survived refuse=0.5 across 20 attempts")
+	}
+}
+
+func TestCutKillsConnMidWrite(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	wrapped := Wrap(lis, Config{Seed: 3, CutProb: 1})
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := wrapped.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer conn.Close()
+		// Server tries to push more than cutAt bytes; the wrapper must
+		// cut it and report a write error.
+		buf := make([]byte, 64<<10)
+		var werr error
+		for i := 0; i < 4 && werr == nil; i++ {
+			_, werr = conn.Write(buf)
+		}
+		errCh <- werr
+	}()
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	// Drain until the cut lands: we must see EOF/reset, not a full 256KiB.
+	n, _ := io.Copy(io.Discard, conn)
+	if n >= 256<<10 {
+		t.Fatalf("read %d bytes; cut never happened", n)
+	}
+	if werr := <-errCh; werr == nil {
+		t.Fatal("server write never saw the cut")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 99, Latency: time.Millisecond, LatencyProb: 0.5, CutProb: 0.3, StallProb: 0.2, Stall: time.Millisecond}
+	plans := func() []plan {
+		var out []plan
+		for i := int64(0); i < 32; i++ {
+			rng := newConnRNG(cfg.Seed, i)
+			c := wrapConn(nopConn{}, cfg, rng)
+			switch fc := c.(type) {
+			case *faultConn:
+				out = append(out, fc.plan)
+			case *faultConnCW:
+				out = append(out, fc.plan)
+			}
+		}
+		return out
+	}
+	a, b := plans(), plans()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+type nopConn struct{ net.Conn }

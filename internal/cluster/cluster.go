@@ -36,6 +36,7 @@ import (
 	"io"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privehd/internal/offload"
@@ -99,6 +100,12 @@ type PoolConfig struct {
 	DialTimeout time.Duration
 	// MaxBackoff caps the exponential backoff between failed dials.
 	MaxBackoff time.Duration
+	// PingInterval is how long a connection may sit idle before the pool
+	// pings it in-band (offload.OpPing) to prove the peer's serve loop is
+	// still alive — a dead peer is then dropped before a caller is handed
+	// its connection, without burning a dial. Zero takes
+	// DefaultPingInterval; negative disables pinging.
+	PingInterval time.Duration
 }
 
 // withDefaults resolves zero fields to the package defaults.
@@ -126,6 +133,12 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = DefaultMaxBackoff
+	}
+	switch {
+	case c.PingInterval == 0:
+		c.PingInterval = DefaultPingInterval
+	case c.PingInterval < 0:
+		c.PingInterval = 0
 	}
 	return c
 }
@@ -157,6 +170,8 @@ type Pool struct {
 
 	stopReaper chan struct{}
 	reaperDone chan struct{}
+	stopPinger chan struct{}
+	pingerDone chan struct{}
 }
 
 // NewPool returns a pool for the configured address. No connection is
@@ -168,6 +183,11 @@ func NewPool(cfg PoolConfig) *Pool {
 		p.stopReaper = make(chan struct{})
 		p.reaperDone = make(chan struct{})
 		go p.reapLoop()
+	}
+	if p.cfg.PingInterval > 0 {
+		p.stopPinger = make(chan struct{})
+		p.pingerDone = make(chan struct{})
+		go p.pingLoop()
 	}
 	return p
 }
@@ -258,8 +278,9 @@ func (p *Pool) acquireConn(ctx context.Context) (*poolConn, error) {
 					closeAll(dead)
 					return best, nil
 				}
-				err := fmt.Errorf("%w: %s backing off %v after dial failure: %v",
-					offload.ErrTransport, p.cfg.Addr, wait.Round(time.Millisecond), p.lastDialErr)
+				err := fmt.Errorf("%w: %s %w %v after dial failure: %v",
+					offload.ErrTransport, p.cfg.Addr, errDialBackoff,
+					wait.Round(time.Millisecond), p.lastDialErr)
 				p.mu.Unlock()
 				closeAll(dead)
 				return nil, err
@@ -325,6 +346,13 @@ func (p *Pool) dial(ctx context.Context) (*poolConn, error) {
 	p.dialing--
 	p.signalChanged()
 	if err != nil {
+		// A dial that died only because the CALLER gave up — deadline hit,
+		// or a hedge loser canceled — says nothing about the server, so it
+		// must not start a backoff window that poisons later requests.
+		if ctx.Err() != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
 		if errors.Is(err, offload.ErrTransport) {
 			if p.backoff == 0 {
 				p.backoff = backoffBase
@@ -334,7 +362,9 @@ func (p *Pool) dial(ctx context.Context) (*poolConn, error) {
 					p.backoff = p.cfg.MaxBackoff
 				}
 			}
-			p.nextDial = time.Now().Add(p.backoff)
+			// Jitter the applied delay so a fleet of clients that all
+			// lost this replica together does not redial it in lockstep.
+			p.nextDial = time.Now().Add(jitterBackoff(p.backoff))
 			p.lastDialErr = err
 		}
 		p.mu.Unlock()
@@ -383,6 +413,18 @@ func (p *Pool) release(pc *poolConn, opErr error) {
 	}
 }
 
+// dialBackoffLeft reports how much of the pool's dial-backoff window
+// remains — zero when the pool may dial immediately. Failover uses it to
+// size the wait before re-sweeping a fleet whose pools all fast-failed.
+func (p *Pool) dialBackoffLeft() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if left := time.Until(p.nextDial); left > 0 {
+		return left
+	}
+	return 0
+}
+
 // do runs one operation on a pooled connection, retrying a transport
 // failure once on a different (or freshly dialed) connection — safe
 // because classification and listing are idempotent. Protocol errors are
@@ -404,6 +446,13 @@ func (p *Pool) do(ctx context.Context, op func(*offload.Client) error) error {
 		}
 		lastErr = err
 		if attempt == 0 {
+			// The in-pool retry draws from the call's shared retry budget
+			// when one is attached (cluster and hedged paths), so stacked
+			// retry layers cannot multiply into attempt storms.
+			if b := budgetFrom(ctx); b != nil && !b.take() {
+				cmRetryBudgetExhausted.Inc()
+				return lastErr
+			}
 			cmPoolRetries.With(p.cfg.Addr).Inc()
 		}
 	}
@@ -439,13 +488,15 @@ func (p *Pool) Hello(ctx context.Context) (offload.ServerHello, error) {
 	return p.hello, nil
 }
 
-// Classify classifies one prepared query through the pool.
+// Classify classifies one prepared query through the pool. The context's
+// deadline, if any, rides the frame as its budget (offload.BudgetNs) and
+// bounds the wait.
 func (p *Pool) Classify(ctx context.Context, prepared []float64) (int, []float64, error) {
 	var label int
 	var scores []float64
 	err := p.do(ctx, func(c *offload.Client) error {
 		var err error
-		label, scores, err = c.Classify(prepared)
+		label, scores, err = c.ClassifyContext(ctx, prepared)
 		return err
 	})
 	return label, scores, err
@@ -457,7 +508,7 @@ func (p *Pool) ClassifyBatchScores(ctx context.Context, prepared [][]float64) ([
 	var results []offload.Result
 	err := p.do(ctx, func(c *offload.Client) error {
 		var err error
-		results, err = c.ClassifyBatchScores(prepared)
+		results, err = c.ClassifyBatchScoresContext(ctx, prepared)
 		return err
 	})
 	if err != nil {
@@ -589,6 +640,10 @@ func (p *Pool) Close() error {
 		close(p.stopReaper)
 		<-p.reaperDone
 	}
+	if p.stopPinger != nil {
+		close(p.stopPinger)
+		<-p.pingerDone
+	}
 	closeAll(conns)
 	return nil
 }
@@ -624,15 +679,21 @@ type ClusterConfig struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe's dial+handshake (default 2s).
 	ProbeTimeout time.Duration
+	// Hedge opts the cluster into hedged requests on the hedgeable paths
+	// (Classify, DoHedged): a backup attempt on a second replica after
+	// the policy's delay, first reply wins. Nil disables hedging.
+	Hedge *HedgePolicy
 	// Logger receives structured health-transition events (replica
 	// ejected / re-admitted, with address and reason). Nil discards them.
 	Logger *slog.Logger
 }
 
-// replica is one cluster member: an address, its pool, and its health.
+// replica is one cluster member: an address, its pool, its health, and
+// its circuit breaker (which gates how eagerly probes may re-admit it).
 type replica struct {
 	addr    string
 	pool    *Pool
+	br      *breaker
 	mu      sync.Mutex
 	healthy bool
 }
@@ -653,6 +714,13 @@ type Cluster struct {
 
 	rrMu sync.Mutex
 	rr   uint64
+
+	// Adaptive hedge-delay state: a ring of recent per-attempt latencies
+	// and the cached ~p90 the hedge timer reads (see resilience.go).
+	latMu        sync.Mutex
+	lats         [hedgeLatWindow]int64
+	latIdx       int
+	hedgeDelayNs atomic.Int64
 
 	closeOnce sync.Once
 	stopProbe chan struct{}
@@ -684,6 +752,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.replicas = append(cl.replicas, &replica{
 			addr:    addr,
 			pool:    NewPool(pcfg),
+			br:      newBreaker(addr),
 			healthy: true,
 		})
 		cmReplicaHealthy.With(addr).Set(1)
@@ -749,36 +818,139 @@ func (cl *Cluster) do(ctx context.Context, op func(*Pool) error) error {
 // picks race when chunks launch together (everyone samples zero in-flight
 // and piles onto the same replica) — while keeping chunk-level failover.
 func (cl *Cluster) doPrefer(ctx context.Context, prefer *replica, op func(*Pool) error) error {
-	tried := make(map[*replica]bool, len(cl.replicas))
+	return cl.doAttempt(cl.ensureBudget(ctx), prefer, nil,
+		func(_ context.Context, p *Pool) error { return op(p) })
+}
+
+// doAttempt is the failover engine behind do/doPrefer/DoHedged: try
+// replicas (prefer first, then policy picks) until one answers, a typed
+// protocol error arrives, the shared retry budget runs dry, or every
+// distinct replica has failed. onPick, when non-nil, is told each replica
+// just before its attempt — DoHedged uses it to aim the backup attempt at
+// a different replica than the primary is on. Failovers past the first
+// pause with jitter (failoverPause) so a call sweeping a sick fleet does
+// not hammer it in a tight loop. op receives the attempt's context —
+// hedged attempts run under a cancellable child, so an op must use the
+// context it is handed, not one it captured.
+func (cl *Cluster) doAttempt(ctx context.Context, prefer *replica, onPick func(*replica), op func(context.Context, *Pool) error) error {
+	budget := budgetFrom(ctx)
 	var lastErr error
-	for len(tried) < len(cl.replicas) {
-		r := prefer
-		if r == nil || tried[r] {
-			r = cl.pick(tried)
+	attempt := 0
+	for {
+		tried := make(map[*replica]bool, len(cl.replicas))
+		sweepAttempted := false
+		realFailure := false
+		for len(tried) < len(cl.replicas) {
+			r := prefer
+			if r == nil || tried[r] {
+				r = cl.pick(tried)
+			}
+			if r == nil {
+				break
+			}
+			tried[r] = true
+			sweepAttempted = true
+			attempt++
+			if onPick != nil {
+				onPick(r)
+			}
+			attemptStart := time.Now()
+			err := op(ctx, r.pool)
+			if err == nil {
+				r.br.recordSuccess()
+				cl.setReplicaHealth(r, true, "operation succeeded", nil)
+				if cl.cfg.Hedge != nil {
+					cl.observeLatency(time.Since(attemptStart))
+				}
+				return nil
+			}
+			if !errors.Is(err, offload.ErrTransport) {
+				return err
+			}
+			if ctx != nil && ctx.Err() != nil {
+				// The caller gave up, the replica didn't fail: surface the
+				// cancellation without ejecting anyone or burning retries on
+				// a context that is already dead.
+				return fmt.Errorf("%w: %w", offload.ErrTransport, ctx.Err())
+			}
+			if errors.Is(err, errDialBackoff) {
+				// The pool rejected without touching the network: the
+				// replica already paid for the dial failure that opened its
+				// backoff window. Re-punishing it here — and charging the
+				// call's retry budget for an attempt that never left the
+				// process — would drain calls to exhaustion exactly when
+				// replicas are sickest. The tried map still bounds the sweep.
+				lastErr = err
+				continue
+			}
+			realFailure = true
+			r.br.recordFailure(time.Now())
+			cl.setReplicaHealth(r, false, "transport failure", err)
+			cmFailovers.Inc()
+			lastErr = err
+			if budget != nil && !budget.take() {
+				cmRetryBudgetExhausted.Inc()
+				return fmt.Errorf("%w: retry budget exhausted after %d attempts, last: %v",
+					ErrNoHealthyReplicas, attempt, lastErr)
+			}
+			if pause := failoverPause(attempt + 1); pause > 0 {
+				t := time.NewTimer(pause)
+				if ctx == nil {
+					<-t.C
+				} else {
+					select {
+					case <-t.C:
+					case <-ctx.Done():
+						t.Stop()
+						return fmt.Errorf("%w: %w", offload.ErrTransport, ctx.Err())
+					}
+				}
+			}
 		}
-		if r == nil {
+		// The sweep covered every replica without a success. A caller that
+		// is still willing to wait deserves another sweep rather than an
+		// error with most of its deadline unspent: real failures already
+		// drew down the shared retry budget (which bounds the total), and
+		// an all-backoff sweep cost nothing — waiting out the nearest
+		// window is strictly better than failing a call that has time left.
+		if !sweepAttempted || ctx == nil || ctx.Err() != nil {
 			break
 		}
-		tried[r] = true
-		err := op(r.pool)
-		if err == nil {
-			cl.setReplicaHealth(r, true, "operation succeeded", nil)
-			return nil
+		if realFailure {
+			if budget == nil {
+				break
+			}
+			continue
 		}
-		if !errors.Is(err, offload.ErrTransport) {
-			return err
+		// Every rejection this sweep was a free backoff fast-fail. Only a
+		// deadline bounds how long we may keep waiting; without one, spin
+		// forever on a dead fleet — so fail as before.
+		if _, ok := ctx.Deadline(); !ok {
+			break
 		}
-		if ctx != nil && ctx.Err() != nil {
-			// The caller gave up, the replica didn't fail: surface the
-			// cancellation without ejecting anyone or burning retries on
-			// a context that is already dead.
+		wait := cl.minDialBackoffLeft() + time.Millisecond
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
 			return fmt.Errorf("%w: %w", offload.ErrTransport, ctx.Err())
 		}
-		cl.setReplicaHealth(r, false, "transport failure", err)
-		cmFailovers.Inc()
-		lastErr = err
 	}
 	return fmt.Errorf("%w: all %d replicas failed, last: %v", ErrNoHealthyReplicas, len(cl.replicas), lastErr)
+}
+
+// minDialBackoffLeft reports the shortest remaining dial-backoff window
+// across the fleet — how long an all-backing-off sweep must wait before
+// some pool will attempt a real dial again. Zero when no window is open.
+func (cl *Cluster) minDialBackoffLeft() time.Duration {
+	var min time.Duration
+	for _, r := range cl.replicas {
+		if left := r.pool.dialBackoffLeft(); left > 0 && (min == 0 || left < min) {
+			min = left
+		}
+	}
+	return min
 }
 
 // Do runs op on some healthy replica with the cluster's usual failover
@@ -812,14 +984,22 @@ func (cl *Cluster) Hello(ctx context.Context) (offload.ServerHello, error) {
 	return hello, err
 }
 
-// Classify classifies one prepared query on some healthy replica.
+// Classify classifies one prepared query on some healthy replica. With a
+// HedgePolicy configured, a straggling call is hedged to a second replica
+// and the first reply wins.
 func (cl *Cluster) Classify(ctx context.Context, prepared []float64) (int, []float64, error) {
 	var label int
 	var scores []float64
-	err := cl.do(ctx, func(p *Pool) error {
-		var err error
-		label, scores, err = p.Classify(ctx, prepared)
-		return err
+	err := cl.DoHedged(ctx, nil, func() (func(context.Context, *Pool) error, func()) {
+		var l int
+		var s []float64
+		op := func(actx context.Context, p *Pool) error {
+			var err error
+			l, s, err = p.Classify(actx, prepared)
+			return err
+		}
+		commit := func() { label, scores = l, s }
+		return op, commit
 	})
 	return label, scores, err
 }
@@ -970,11 +1150,21 @@ func (cl *Cluster) probe(r *replica) {
 		c.Close()
 	}
 	if err != nil && errors.Is(err, offload.ErrTransport) {
+		r.br.recordFailure(time.Now())
 		cl.setReplicaHealth(r, false, "health probe failed", err)
 		return
 	}
 	if !r.isHealthy() {
+		// The breaker gates probe-driven re-admission: a replica that
+		// keeps dying right after coming back earns a doubling cooldown
+		// before the next probe may re-admit it. Traffic successes are
+		// never gated — real work answering (the all-ejected fallback
+		// path) closes the breaker immediately.
+		if !r.br.ready(time.Now()) {
+			return
+		}
 		cl.setReplicaHealth(r, true, "health probe answered", nil)
+		r.br.recordSuccess()
 		r.pool.resetBackoff()
 	}
 }

@@ -1,0 +1,578 @@
+// Resilience mechanics for the cluster layer: jittered retry backoff, a
+// shared per-call retry budget, per-replica circuit breakers, in-band
+// liveness pings on idle pooled connections, and hedged requests.
+//
+// These compose with — rather than replace — the existing machinery:
+// ejection/probing stays the health authority (the breaker gates how
+// eagerly a probe may re-admit a flapping replica), pool retry and cluster
+// failover stay the retry paths (the budget bounds how many total attempts
+// one logical call may burn), and hedging rides on the same failover
+// primitive with a private-result/commit-once discipline so concurrent
+// attempts never race on caller state.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privehd/internal/offload"
+	"privehd/internal/trace"
+)
+
+// jitterBackoff spreads a backoff delay uniformly over [d/2, d] so a fleet
+// of clients that lost the same replica at the same moment does not redial
+// it in lockstep (thundering herd). The cap is the caller's: d is already
+// clamped to MaxBackoff before jittering.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
+}
+
+// errDialBackoff tags a pool rejection issued from inside a dial-backoff
+// window. Such a rejection performs no I/O — the replica already paid
+// (breaker, ejection, backoff) for the dial failure that opened the window
+// — so failover treats it as "unavailable right now" rather than a fresh
+// failure: no breaker hit, no re-ejection, and no retry-budget charge.
+// Without the distinction, a fleet-wide blip drains a call's entire budget
+// on attempts that never leave the process.
+var errDialBackoff = errors.New("backing off")
+
+// retryBudget is the shared per-call retry allowance: every retry beyond a
+// path's first attempt — a pool redialing its one in-pool retry, a cluster
+// failing over to the next replica, a hedge burning attempts of its own —
+// draws from the same counter, so stacked retry layers cannot multiply
+// into attempt storms when the fleet is sick.
+type retryBudget struct{ n atomic.Int64 }
+
+// take consumes one retry if any remain.
+func (b *retryBudget) take() bool {
+	for {
+		v := b.n.Load()
+		if v <= 0 {
+			return false
+		}
+		if b.n.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+type retryBudgetKey struct{}
+
+// withRetryBudget returns ctx carrying a fresh budget of n retries.
+func withRetryBudget(ctx context.Context, n int) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &retryBudget{}
+	b.n.Store(int64(n))
+	return context.WithValue(ctx, retryBudgetKey{}, b)
+}
+
+// budgetFrom extracts the call's retry budget, nil when none was attached
+// (a bare Pool used without a Cluster keeps its historical retry-once
+// behavior).
+func budgetFrom(ctx context.Context) *retryBudget {
+	if ctx == nil {
+		return nil
+	}
+	b, _ := ctx.Value(retryBudgetKey{}).(*retryBudget)
+	return b
+}
+
+// ensureBudget attaches the cluster's default per-call retry budget unless
+// the caller (an outer DoHedged, or a scatter parent) already did. The
+// default — four attempts per replica — funds two full failover sweeps:
+// one visit costs up to two units (the op plus its in-pool retry), and a
+// single sweep is too brittle when a cut connection fails several
+// multiplexed calls at once and they re-converge on the same fresh
+// connection. Two sweeps absorb that correlation; anything beyond is an
+// attempt storm the budget exists to stop.
+func (cl *Cluster) ensureBudget(ctx context.Context) context.Context {
+	if budgetFrom(ctx) != nil {
+		return ctx
+	}
+	return withRetryBudget(ctx, 4*len(cl.replicas))
+}
+
+// failoverPause is the jittered pause before the Nth failover attempt of
+// one call. The first failover is immediate — one replica dying must not
+// slow the caller — and later ones back off with jitter so a call
+// sweeping a sick fleet does not hammer it in a tight loop.
+func failoverPause(attempt int) time.Duration {
+	if attempt < 2 {
+		return 0
+	}
+	d := time.Millisecond << uint(attempt-2)
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return jitterBackoff(d)
+}
+
+// Circuit-breaker tuning. The defaults deliberately reproduce the
+// pre-breaker behavior on the first failure (trip immediately, re-admit on
+// the next successful probe) and only add friction to *flapping*: every
+// reopen doubles the probe-readmission cooldown, so a replica that keeps
+// dying right after re-admission is probed back in less and less eagerly,
+// while steady recovery resets the ladder.
+const (
+	// breakerWindow is how many recent attempt outcomes the error-rate
+	// trip condition looks at.
+	breakerWindow = 16
+	// breakerRate is the error rate over a full window that trips the
+	// breaker even when failures never run consecutively.
+	breakerRate = 0.5
+	// breakerCooldownBase is the probe-readmission cooldown after the
+	// first reopen (the first open has no cooldown at all).
+	breakerCooldownBase = 250 * time.Millisecond
+	// breakerCooldownMax caps the doubling cooldown ladder.
+	breakerCooldownMax = 4 * time.Second
+	// breakerStableAfter is how many consecutive successes collapse the
+	// reopen ladder back to zero.
+	breakerStableAfter = 8
+)
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one replica's circuit breaker. Ejection and breaker-open are
+// the same event seen by two mechanisms: traffic failures open the
+// breaker (and eject), probe successes may close it again — but only
+// after the cooldown ladder says the replica has earned another chance.
+// Traffic successes always close it immediately: real work answering is
+// better evidence than any probe.
+type breaker struct {
+	addr string
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int // consecutive failures while closed
+	streak   int // consecutive successes (any state)
+	window   [breakerWindow]bool
+	wIdx     int
+	wLen     int
+	openedAt time.Time
+	cooldown time.Duration
+	reopens  int
+}
+
+func newBreaker(addr string) *breaker {
+	cmBreakerState.With(addr).Set(0)
+	return &breaker{addr: addr}
+}
+
+func (b *breaker) setState(s breakerState) {
+	b.state = s
+	cmBreakerState.With(b.addr).Set(int64(s))
+}
+
+// recordSuccess closes the breaker from any state and, after a stable run
+// of successes, collapses the reopen/cooldown ladder.
+func (b *breaker) recordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.streak++
+	b.pushOutcome(false)
+	if b.state != breakerClosed {
+		b.setState(breakerClosed)
+		// Re-admission resets the window: failures from before the
+		// outage must not instantly re-trip the error-rate condition.
+		b.wLen, b.wIdx = 0, 0
+	}
+	if b.streak >= breakerStableAfter {
+		b.reopens = 0
+		b.cooldown = 0
+	}
+}
+
+// recordFailure registers one failed attempt and reports whether it
+// tripped the breaker open (the caller ejects the replica exactly then).
+func (b *breaker) recordFailure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak = 0
+	b.consec++
+	b.pushOutcome(true)
+	switch b.state {
+	case breakerOpen:
+		return false
+	case breakerHalfOpen:
+		b.open(now)
+		return true
+	default:
+		if b.consec >= 1 || b.rateTripped() {
+			b.open(now)
+			return true
+		}
+		return false
+	}
+}
+
+// open trips the breaker, escalating the cooldown ladder: the first open
+// is free (cooldown 0 — the next probe may re-admit immediately), each
+// subsequent open doubles it up to the cap.
+func (b *breaker) open(now time.Time) {
+	b.setState(breakerOpen)
+	b.openedAt = now
+	switch {
+	case b.reopens == 0:
+		b.cooldown = 0
+	case b.cooldown == 0:
+		b.cooldown = breakerCooldownBase
+	default:
+		b.cooldown *= 2
+		if b.cooldown > breakerCooldownMax {
+			b.cooldown = breakerCooldownMax
+		}
+	}
+	b.reopens++
+	cmBreakerOpens.With(b.addr).Inc()
+}
+
+// ready reports whether a successful probe may re-admit the replica now.
+// An open breaker past its cooldown moves to half-open (the probe that
+// asked is the trial); a closed or half-open breaker always allows.
+func (b *breaker) ready(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.setState(breakerHalfOpen)
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// pushOutcome records one attempt in the error-rate ring. Caller holds mu.
+func (b *breaker) pushOutcome(failed bool) {
+	b.window[b.wIdx] = failed
+	b.wIdx = (b.wIdx + 1) % breakerWindow
+	if b.wLen < breakerWindow {
+		b.wLen++
+	}
+}
+
+// rateTripped reports whether a full window's error rate crossed the trip
+// threshold. Caller holds mu.
+func (b *breaker) rateTripped() bool {
+	if b.wLen < breakerWindow {
+		return false
+	}
+	failed := 0
+	for _, f := range b.window {
+		if f {
+			failed++
+		}
+	}
+	return float64(failed) >= breakerRate*float64(breakerWindow)
+}
+
+// currentState returns the state for snapshots.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// HedgePolicy opts a Cluster into hedged requests: when a call's primary
+// attempt has not answered after the hedge delay, a backup attempt is
+// issued to a different replica and the first reply wins (classification
+// is idempotent, so duplicated work is waste, never corruption); the
+// loser is canceled. Delay 0 means adaptive: the delay tracks roughly the
+// 90th percentile of recently observed per-attempt latencies, clamped to
+// [MinDelay, MaxDelay], so hedges fire for stragglers, not for the median.
+type HedgePolicy struct {
+	// Delay is the fixed time to wait before hedging; 0 selects the
+	// adaptive delay.
+	Delay time.Duration
+	// MinDelay/MaxDelay clamp the adaptive delay (defaults 1ms / 100ms).
+	// Ignored when Delay is fixed.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+}
+
+const (
+	hedgeLatWindow  = 64 // per-attempt latency samples the adaptive delay sees
+	hedgeLatRefresh = 16 // recompute the cached delay every N observations
+)
+
+// observeLatency feeds one successful attempt's latency to the adaptive
+// hedge delay. Only called when hedging is enabled.
+func (cl *Cluster) observeLatency(d time.Duration) {
+	cl.latMu.Lock()
+	cl.lats[cl.latIdx%hedgeLatWindow] = int64(d)
+	cl.latIdx++
+	n := cl.latIdx
+	var recompute []int64
+	if n%hedgeLatRefresh == 0 {
+		w := hedgeLatWindow
+		if n < w {
+			w = n
+		}
+		recompute = append(recompute, cl.lats[:w]...)
+	}
+	cl.latMu.Unlock()
+	if recompute == nil {
+		return
+	}
+	// Rough p90 by selection: sort the (small, copied) window.
+	for i := 1; i < len(recompute); i++ {
+		for j := i; j > 0 && recompute[j] < recompute[j-1]; j-- {
+			recompute[j], recompute[j-1] = recompute[j-1], recompute[j]
+		}
+	}
+	p90 := recompute[(len(recompute)*9)/10%len(recompute)]
+	cl.hedgeDelayNs.Store(p90)
+}
+
+// hedgeDelay resolves the current delay before a backup attempt launches.
+func (cl *Cluster) hedgeDelay() time.Duration {
+	h := cl.cfg.Hedge
+	if h.Delay > 0 {
+		return h.Delay
+	}
+	lo, hi := h.MinDelay, h.MaxDelay
+	if lo <= 0 {
+		lo = time.Millisecond
+	}
+	if hi <= 0 {
+		hi = 100 * time.Millisecond
+	}
+	d := time.Duration(cl.hedgeDelayNs.Load())
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return d
+}
+
+// HedgedOp builds one independent attempt of a hedgeable operation: op
+// must write results only into state private to that attempt (and must
+// use the context it is handed — the loser's is canceled), and commit
+// publishes that private state to the caller. DoHedged calls commit at
+// most once — for the winning attempt — so concurrent attempts never race
+// on the caller's variables.
+type HedgedOp func() (op func(context.Context, *Pool) error, commit func())
+
+// DoHedged runs mk's operation with tail-latency hedging when the cluster
+// has a HedgePolicy (plain failover otherwise): the primary attempt runs
+// the usual failover path, and if it has not resolved after the hedge
+// delay a backup attempt launches against a replica distinct from the one
+// the primary is on. First success wins and commits; the loser's context
+// is canceled and its late outcome discarded. Both attempts draw from one
+// shared retry budget, so hedging cannot double the fleet-wide retry
+// storm. span (nil-safe) gets the hedge's in-flight window as StageHedge.
+func (cl *Cluster) DoHedged(ctx context.Context, span *trace.Span, mk HedgedOp) error {
+	if cl.cfg.Hedge == nil || len(cl.replicas) < 2 {
+		op, commit := mk()
+		if err := cl.doAttempt(cl.ensureBudget(ctx), nil, nil, op); err != nil {
+			return err
+		}
+		commit()
+		return nil
+	}
+	ctx = cl.ensureBudget(ctx)
+
+	type outcome struct {
+		err    error
+		commit func()
+		hedge  bool
+	}
+	resCh := make(chan outcome, 2)
+
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	var primaryOn atomic.Pointer[replica]
+	pop, pcommit := mk()
+	go func() {
+		err := cl.doAttempt(pctx, nil, primaryOn.Store, pop)
+		resCh <- outcome{err: err, commit: pcommit, hedge: false}
+	}()
+
+	timer := time.NewTimer(cl.hedgeDelay())
+	defer timer.Stop()
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	var (
+		hedgeStart  time.Time
+		hedgeFlight bool
+	)
+
+	var first, second *outcome
+	for first == nil {
+		select {
+		case <-timer.C:
+			if hedgeFlight {
+				continue
+			}
+			hedgeFlight = true
+			hedgeStart = time.Now()
+			// Aim the hedge away from wherever the primary currently is;
+			// pick falls back gracefully when nothing else is healthy.
+			var prefer *replica
+			if avoid := primaryOn.Load(); avoid != nil {
+				prefer = cl.pick(map[*replica]bool{avoid: true})
+			}
+			hop, hcommit := mk()
+			go func() {
+				err := cl.doAttempt(hctx, prefer, nil, hop)
+				resCh <- outcome{err: err, commit: hcommit, hedge: true}
+			}()
+		case out := <-resCh:
+			if out.err != nil && hedgeFlight && second == nil {
+				// One attempt failed while the other may still win: hold
+				// the verdict for the survivor. (A typed protocol error
+				// from a live server is still worth racing: the other
+				// attempt may be talking to a healthier publication, and
+				// if it fails too the first verdict stands.)
+				second = &out
+				continue
+			}
+			first = &out
+		}
+	}
+
+	// Resolve the loser: cancel it and drain its outcome so no goroutine
+	// outlives the call and the hedge metrics can tell lost from canceled.
+	if hedgeFlight && second == nil {
+		hcancel()
+		pcancel()
+		o := <-resCh
+		second = &o
+	}
+
+	winner := first
+	if winner.err != nil && second != nil && second.err == nil {
+		winner = second
+	}
+	if hedgeFlight {
+		span.ObserveSince(trace.StageHedge, hedgeStart)
+		switch {
+		case winner.err != nil:
+			cmHedges.With("canceled").Inc()
+		case winner.hedge:
+			cmHedges.With("won").Inc()
+		default:
+			var loser *outcome
+			if first.hedge {
+				loser = second
+			} else if second != nil && second.hedge {
+				loser = second
+			}
+			if loser != nil && loser.err == nil {
+				cmHedges.With("lost").Inc()
+			} else {
+				cmHedges.With("canceled").Inc()
+			}
+		}
+	}
+	if winner.err != nil {
+		// Prefer a typed verdict over a cancellation artifact: if the
+		// other attempt failed with a real answer, surface that.
+		if second != nil && !errors.Is(winner.err, context.Canceled) && !errors.Is(second.err, offload.ErrTransport) && errors.Is(winner.err, offload.ErrTransport) {
+			return second.err
+		}
+		return winner.err
+	}
+	winner.commit()
+	return nil
+}
+
+// Ping interval defaults (see PoolConfig.PingInterval).
+const (
+	// DefaultPingInterval is how long a pooled connection may sit idle
+	// before the pool pings it in-band; negative disables pinging.
+	DefaultPingInterval = 15 * time.Second
+	// pingTimeout caps how long one liveness ping may take before the
+	// connection is declared dead (tighter of this and the pool's
+	// IOTimeout).
+	pingTimeout = 2 * time.Second
+)
+
+// pingLoop drives in-band liveness pings on idle connections.
+func (p *Pool) pingLoop() {
+	defer close(p.pingerDone)
+	ticker := time.NewTicker(p.cfg.PingInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopPinger:
+			return
+		case <-ticker.C:
+			p.pingIdle(time.Now())
+		}
+	}
+}
+
+// pingIdle pings every connection that has sat idle for at least one ping
+// interval. A connection is held (in-flight incremented) across its ping
+// so the reaper and acquire see consistent state, but lastUse is
+// deliberately NOT updated: a ping is not use, and a conn nobody needs
+// must still age out. Any ping error — transport, timeout — means the
+// peer's serve loop is gone, so the connection is dropped immediately
+// instead of poisoning the next caller. ErrUnsupportedOp never surfaces
+// here: the client maps a pre-ping server's typed rejection to success.
+func (p *Pool) pingIdle(now time.Time) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	var targets []*poolConn
+	for _, pc := range p.conns {
+		if pc.inflight == 0 && pc.c.Err() == nil && now.Sub(pc.lastUse) >= p.cfg.PingInterval {
+			pc.inflight++
+			targets = append(targets, pc)
+		}
+	}
+	p.syncGauges()
+	p.mu.Unlock()
+	for _, pc := range targets {
+		timeout := pingTimeout
+		if p.cfg.IOTimeout > 0 && p.cfg.IOTimeout < timeout {
+			timeout = p.cfg.IOTimeout
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := pc.c.Ping(ctx)
+		cancel()
+		p.mu.Lock()
+		pc.inflight--
+		dead := err != nil
+		if dead {
+			for i, cur := range p.conns {
+				if cur == pc {
+					p.conns = append(p.conns[:i], p.conns[i+1:]...)
+					break
+				}
+			}
+		}
+		p.syncGauges()
+		p.mu.Unlock()
+		if dead {
+			pc.c.Close()
+			cmPoolPings.With(p.cfg.Addr, "failed").Inc()
+		} else {
+			cmPoolPings.With(p.cfg.Addr, "ok").Inc()
+		}
+	}
+}

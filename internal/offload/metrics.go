@@ -57,6 +57,8 @@ func opLabel(op string) string {
 		return "list-models"
 	case OpPartialScores:
 		return "partial-scores"
+	case OpPing:
+		return "ping"
 	default:
 		return "unsupported"
 	}

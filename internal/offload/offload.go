@@ -195,7 +195,21 @@ var (
 	// back off and redial, and clusters fail the query over to another
 	// replica — exactly the treatment a connection failure gets.
 	ErrOverloaded = fmt.Errorf("offload: server overloaded (%w)", ErrTransport)
+	// ErrDeadlineExceeded reports a request whose propagated budget
+	// (Request.BudgetNs, stamped from the caller's context deadline) ran
+	// out — either client-side before or while waiting, or server-side
+	// when the frame's budget expired in the accept queue or worker pool
+	// and the server shed it instead of scoring dead work. It is a typed
+	// verdict about this call, not about the connection, so it
+	// deliberately does NOT wrap ErrTransport: retrying an
+	// already-expired deadline on another replica cannot help, and pools
+	// and clusters must return it to the caller untouched.
+	ErrDeadlineExceeded = errors.New("offload: deadline exceeded")
 )
+
+// errBudgetExpired is the preallocated pre-send expiry verdict, so the
+// deadline-stamping hot path stays alloc-free even when it fails fast.
+var errBudgetExpired = fmt.Errorf("%w: budget exhausted before send", ErrDeadlineExceeded)
 
 // Reply/ServerHello failure codes carried on the wire.
 const (
@@ -209,6 +223,7 @@ const (
 	codeBadOp        = "unsupported-op"
 	codeOverloaded   = "overloaded"
 	codePartial      = "partial-unsupported"
+	codeDeadline     = "deadline"
 )
 
 // codeError maps a wire failure code to its sentinel error.
@@ -233,6 +248,8 @@ func codeError(code, detail string) error {
 		base = ErrOverloaded
 	case codePartial:
 		base = ErrPartialUnsupported
+	case codeDeadline:
+		base = ErrDeadlineExceeded
 	default:
 		return fmt.Errorf("offload: server error %s: %s", code, detail)
 	}
@@ -349,6 +366,11 @@ const (
 	// must be packed; models that cannot answer exactly (DP-noised) are
 	// refused with ErrPartialUnsupported.
 	OpPartialScores = "partial-scores"
+	// OpPing asks the server for an empty reply — an in-band liveness
+	// check pooled connections use to detect dead peers while idle,
+	// without burning a dial. Servers that predate the op answer with a
+	// codeBadOp rejection, which proves liveness just as well.
+	OpPing = "ping"
 )
 
 // Request is one client→server frame: a batch of queries answered together
@@ -369,6 +391,16 @@ type Request struct {
 	// Servers that predate the field drop it silently (gob field-superset
 	// rule), as do old clients with the Reply fields — no version bump.
 	Trace uint64
+	// BudgetNs is the request's remaining deadline budget in nanoseconds
+	// at send time, stamped from the caller's context deadline; 0 means
+	// no deadline, and gob omits the zero so undeadlined frames stay
+	// byte-identical to pre-budget frames. The server starts the clock on
+	// frame arrival and sheds the request with a codeDeadline rejection
+	// if the budget expires before or while it sits in the scoring queue
+	// — no point scoring work the caller has already abandoned. Servers
+	// that predate the field drop it silently (gob field-superset rule) —
+	// no version bump.
+	BudgetNs int64
 }
 
 // Result is the classification of one query.
@@ -596,6 +628,13 @@ type task struct {
 	// and how long it scored (summed across the batch).
 	enq  time.Time
 	span *trace.Span
+	// deadline is the frame's budget expiry (zero when the request carried
+	// no BudgetNs). A task picked up past it is shed: expired is set and
+	// the query is not scored — the answer path turns the flag into a
+	// codeDeadline rejection after the batch drains. expired is shared by
+	// every task of the frame, so one atomic carries the verdict.
+	deadline time.Time
+	expired  *atomic.Bool
 }
 
 // run scores the task's query. Packed queries are scored in the integer
@@ -609,6 +648,11 @@ type task struct {
 func (t task) run() {
 	start := time.Now()
 	t.span.ObserveMax(trace.StageQueueWait, start.Sub(t.enq))
+	if !t.deadline.IsZero() && start.After(t.deadline) {
+		t.expired.Store(true)
+		t.wg.Done()
+		return
+	}
 	if t.partials != nil {
 		out := make([]int64, t.scorer.NumClasses())
 		t.scorer.PartialsPackedInto(t.query.Packed, out)
@@ -1210,14 +1254,23 @@ func (s *Server) record(sc *srvConn, op string, reply *Reply, span *trace.Span, 
 func (s *Server) answer(modelName string, req Request, span *trace.Span) Reply {
 	mInflight.Inc()
 	start := time.Now()
+	// The frame's budget clock starts on arrival: the client stamped its
+	// remaining deadline, so expiry here means the request spent its whole
+	// budget inside this server and the caller has already given up.
+	var deadline time.Time
+	if req.BudgetNs > 0 {
+		deadline = start.Add(time.Duration(req.BudgetNs))
+	}
 	var reply Reply
 	switch req.Op {
 	case OpClassify:
-		reply = s.answerClassify(modelName, req, span)
+		reply = s.answerClassify(modelName, req, span, deadline)
 	case OpListModels:
 		reply = s.answerListModels()
 	case OpPartialScores:
-		reply = s.answerPartialScores(modelName, req, span)
+		reply = s.answerPartialScores(modelName, req, span, deadline)
+	case OpPing:
+		reply = Reply{}
 	default:
 		reply = Reply{Code: codeBadOp, Detail: fmt.Sprintf("op %q (this server speaks v%d)", req.Op, ProtocolVersion)}
 	}
@@ -1255,10 +1308,19 @@ func (s *Server) answerListModels() Reply {
 	return Reply{Models: models}
 }
 
+// deadlineReply is the typed shed verdict for a frame whose budget ran out
+// inside the server.
+func deadlineReply(budget int64) Reply {
+	return Reply{Code: codeDeadline,
+		Detail: fmt.Sprintf("request budget %v expired before scoring finished", time.Duration(budget))}
+}
+
 // answerClassify classifies one request batch, spreading queries over the
 // shared worker pool. The span collects the batch's queue-wait and scoring
-// time from the pool workers.
-func (s *Server) answerClassify(modelName string, req Request, span *trace.Span) Reply {
+// time from the pool workers. A non-zero deadline sheds the frame instead
+// of scoring dead work: checked before dispatch (budget spent upstream)
+// and at every worker pickup (budget spent in the scoring queue).
+func (s *Server) answerClassify(modelName string, req Request, span *trace.Span, deadline time.Time) Reply {
 	// Resolve the name fresh per frame: a Swap between frames serves the
 	// new model from the next frame on, while this frame keeps the entry
 	// it resolved (the registry never mutates a published entry).
@@ -1298,10 +1360,17 @@ func (s *Server) answerClassify(modelName string, req Request, span *trace.Span)
 	var wg sync.WaitGroup
 	wg.Add(len(req.Queries))
 	enq := time.Now()
+	var expired atomic.Bool
+	if !deadline.IsZero() && enq.After(deadline) {
+		return deadlineReply(req.BudgetNs)
+	}
 	for i, q := range req.Queries {
-		s.dispatch(task{model: model, scorer: entry.Scorer, query: q, out: &results[i], wg: &wg, enq: enq, span: span})
+		s.dispatch(task{model: model, scorer: entry.Scorer, query: q, out: &results[i], wg: &wg, enq: enq, span: span, deadline: deadline, expired: &expired})
 	}
 	wg.Wait()
+	if expired.Load() {
+		return deadlineReply(req.BudgetNs)
+	}
 	s.mu.Lock()
 	s.served += len(req.Queries)
 	s.mu.Unlock()
@@ -1315,8 +1384,9 @@ func (s *Server) answerClassify(modelName string, req Request, span *trace.Span)
 // the per-class Σv², both over whatever dimension slice this server's
 // entry holds. It refuses — typed, never retried — when the entry cannot
 // answer exactly: a DP-noised model whose classes are not integer-valued,
-// or a request (ab)using full-precision vectors.
-func (s *Server) answerPartialScores(modelName string, req Request, span *trace.Span) Reply {
+// or a request (ab)using full-precision vectors. Deadline budgets shed
+// exactly as in answerClassify.
+func (s *Server) answerPartialScores(modelName string, req Request, span *trace.Span, deadline time.Time) Reply {
 	s.startPool()
 	entry, err := s.reg.Lookup(modelName)
 	if err != nil {
@@ -1353,10 +1423,17 @@ func (s *Server) answerPartialScores(modelName string, req Request, span *trace.
 	var wg sync.WaitGroup
 	wg.Add(len(req.Queries))
 	enq := time.Now()
+	var expired atomic.Bool
+	if !deadline.IsZero() && enq.After(deadline) {
+		return deadlineReply(req.BudgetNs)
+	}
 	for i, q := range req.Queries {
-		s.dispatch(task{model: model, scorer: scorer, query: q, partials: &partials[i], wg: &wg, enq: enq, span: span})
+		s.dispatch(task{model: model, scorer: scorer, query: q, partials: &partials[i], wg: &wg, enq: enq, span: span, deadline: deadline, expired: &expired})
 	}
 	wg.Wait()
+	if expired.Load() {
+		return deadlineReply(req.BudgetNs)
+	}
 	s.mu.Lock()
 	s.served += len(req.Queries)
 	s.mu.Unlock()
@@ -1516,6 +1593,36 @@ func NewClient(conn net.Conn, hello Hello, opts ...ClientOption) (*Client, error
 	return c, nil
 }
 
+// stampBudget copies ctx's remaining deadline budget onto the request
+// frame. It is the deadline-propagation hot path — one Deadline call and
+// one clock read, zero allocations (BenchmarkPredictWithDeadline gates
+// this) — and fails fast with the typed verdict when the budget is
+// already spent, so a dead request never costs a frame.
+func stampBudget(ctx context.Context, req *Request) error {
+	if ctx == nil {
+		return nil
+	}
+	d, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	b := time.Until(d)
+	if b <= 0 {
+		return errBudgetExpired
+	}
+	req.BudgetNs = int64(b)
+	return nil
+}
+
+// submitCtx is submit with the caller's context stamped onto the frame as
+// a deadline budget (no-op for contexts without a deadline).
+func (c *Client) submitCtx(ctx context.Context, req Request) (*pending, error) {
+	if err := stampBudget(ctx, &req); err != nil {
+		return nil, err
+	}
+	return c.submit(req)
+}
+
 // submit assigns the request an ID, registers it in the in-flight table and
 // hands it to the send goroutine. The caller waits on the returned pending.
 func (c *Client) submit(req Request) (*pending, error) {
@@ -1560,6 +1667,32 @@ func (p *pending) wait() (Reply, error) {
 		return Reply{}, p.err
 	}
 	return p.reply, nil
+}
+
+// waitCtx is wait bounded by the caller's context: an expired deadline
+// returns the typed ErrDeadlineExceeded (the server sheds the frame on its
+// side from the stamped budget), a plain cancellation — a hedged attempt
+// losing the race — wraps ErrTransport so retry layers treat it like any
+// abandoned connection-level outcome. The reply, if it still arrives, is
+// routed and dropped harmlessly; the connection stays healthy.
+func (p *pending) waitCtx(ctx context.Context) (Reply, error) {
+	if ctx == nil {
+		return p.wait()
+	}
+	select {
+	case <-p.done:
+		return p.wait()
+	default:
+	}
+	select {
+	case <-p.done:
+		return p.wait()
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return Reply{}, fmt.Errorf("%w: %v waiting for reply %d", ErrDeadlineExceeded, ctx.Err(), p.req.ID)
+		}
+		return Reply{}, fmt.Errorf("%w: abandoned waiting for reply %d: %v", ErrTransport, p.req.ID, ctx.Err())
+	}
 }
 
 // sendLoop is the dedicated writer: it serializes every outgoing frame
@@ -1799,7 +1932,17 @@ func (c *Client) ServerHello() ServerHello { return c.hello }
 // predicted label and scores. Quantized queries automatically take the
 // compact one-byte-per-dimension wire form.
 func (c *Client) Classify(prepared []float64) (int, []float64, error) {
-	results, err := c.roundTrip([][]float64{prepared})
+	return c.ClassifyContext(nil, prepared)
+}
+
+// ClassifyContext is Classify bounded by ctx: its remaining deadline is
+// stamped onto the frame as the request budget (BudgetNs) so the server
+// can shed it once expired, and the wait aborts with the typed
+// ErrDeadlineExceeded (deadline) or an ErrTransport-wrapped error (plain
+// cancellation, e.g. a hedged attempt losing its race). A nil or
+// deadline-free ctx behaves exactly like Classify.
+func (c *Client) ClassifyContext(ctx context.Context, prepared []float64) (int, []float64, error) {
+	results, err := c.roundTrip(ctx, [][]float64{prepared})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -1830,6 +1973,13 @@ func (c *Client) ClassifyBatch(prepared [][]float64) ([]int, error) {
 // batch costs one round trip plus server time, not one round trip per
 // MaxBatch chunk.
 func (c *Client) ClassifyBatchScores(prepared [][]float64) ([]Result, error) {
+	return c.ClassifyBatchScoresContext(nil, prepared)
+}
+
+// ClassifyBatchScoresContext is ClassifyBatchScores bounded by ctx: every
+// chunk frame carries the remaining budget, and waits abort on expiry with
+// the typed ErrDeadlineExceeded.
+func (c *Client) ClassifyBatchScoresContext(ctx context.Context, prepared [][]float64) ([]Result, error) {
 	chunk := c.hello.MaxBatch
 	if chunk <= 0 {
 		chunk = DefaultMaxBatch
@@ -1845,7 +1995,7 @@ func (c *Client) ClassifyBatchScores(prepared [][]float64) ([]Result, error) {
 		if end > len(prepared) {
 			end = len(prepared)
 		}
-		p, err := c.submit(classifyRequest(prepared[start:end]))
+		p, err := c.submitCtx(ctx, classifyRequest(prepared[start:end]))
 		if err != nil {
 			submitErr = fmt.Errorf("offload: batch at query %d: %w", start, err)
 			break
@@ -1854,7 +2004,7 @@ func (c *Client) ClassifyBatchScores(prepared [][]float64) ([]Result, error) {
 	}
 	out := make([]Result, 0, len(prepared))
 	for _, cp := range pendings {
-		reply, err := cp.p.wait()
+		reply, err := cp.p.waitCtx(ctx)
 		if err == nil {
 			err = replyError(reply, cp.p.req)
 		}
@@ -1891,15 +2041,21 @@ func (c *Client) ListModels() ([]ModelListing, error) {
 // refused with ErrPartialUnsupported; transport failures wrap ErrTransport
 // and may be retried on another replica of the same shard.
 func (c *Client) PartialScores(packed [][]int8) ([][]int64, []float64, error) {
+	return c.PartialScoresContext(nil, packed)
+}
+
+// PartialScoresContext is PartialScores bounded by ctx: the frame carries
+// the remaining budget and the wait aborts on expiry or cancellation.
+func (c *Client) PartialScoresContext(ctx context.Context, packed [][]int8) ([][]int64, []float64, error) {
 	req := Request{Op: OpPartialScores, Queries: make([]Query, len(packed))}
 	for i, q := range packed {
 		req.Queries[i] = Query{Packed: q}
 	}
-	p, err := c.submit(req)
+	p, err := c.submitCtx(ctx, req)
 	if err != nil {
 		return nil, nil, err
 	}
-	reply, err := p.wait()
+	reply, err := p.waitCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1940,12 +2096,12 @@ func replyError(reply Reply, req Request) error {
 }
 
 // roundTrip pipelines one Request frame and waits for its Reply.
-func (c *Client) roundTrip(prepared [][]float64) ([]Result, error) {
-	p, err := c.submit(classifyRequest(prepared))
+func (c *Client) roundTrip(ctx context.Context, prepared [][]float64) ([]Result, error) {
+	p, err := c.submitCtx(ctx, classifyRequest(prepared))
 	if err != nil {
 		return nil, err
 	}
-	reply, err := p.wait()
+	reply, err := p.waitCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -1954,6 +2110,32 @@ func (c *Client) roundTrip(prepared [][]float64) ([]Result, error) {
 	}
 	return reply.Results, nil
 }
+
+// Ping round-trips an empty in-band OpPing frame: proof the peer's serve
+// loop is alive, without dialing a new connection. Pools ping idle pooled
+// connections on a timer so a dead peer is noticed before a caller is
+// handed its connection. A pre-ping server rejects the op typed
+// (ErrUnsupportedOp) — it decoded the frame and answered, which proves
+// liveness just as well, so that rejection also counts as success.
+func (c *Client) Ping(ctx context.Context) error {
+	p, err := c.submitCtx(ctx, Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	reply, err := p.waitCtx(ctx)
+	if err != nil {
+		return err
+	}
+	if reply.Code != "" {
+		if err := codeError(reply.Code, reply.Detail); !errors.Is(err, ErrUnsupportedOp) {
+			return err
+		}
+	}
+	return nil
+}
+
+// IOTimeout returns the connection's configured i/o timeout (0 = none).
+func (c *Client) IOTimeout() time.Duration { return c.ioTimeout }
 
 // Close closes the connection, failing any in-flight requests with an
 // error wrapping ErrTransport.

@@ -33,6 +33,7 @@ import (
 	"log/slog"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privehd/internal/cluster"
@@ -65,6 +66,11 @@ type Config struct {
 	// (cluster.ClusterConfig semantics).
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
+	// Hedge opts every shard group into hedged partial-score gathers
+	// (cluster.ClusterConfig.Hedge semantics): the gather is only as fast
+	// as its slowest shard, so hedging stragglers inside each group is
+	// where tail latency actually goes to die. Nil disables.
+	Hedge *cluster.HedgePolicy
 	// DialTimeout bounds each discovery dial (default 5s).
 	DialTimeout time.Duration
 	// Logger receives structured health events. Nil discards them.
@@ -141,6 +147,7 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 			Policy:        cfg.Policy,
 			ProbeInterval: cfg.ProbeInterval,
 			ProbeTimeout:  cfg.ProbeTimeout,
+			Hedge:         cfg.Hedge,
 			Logger:        cfg.Logger,
 		})
 		if err != nil {
@@ -270,17 +277,27 @@ func (co *Coordinator) scatter(ctx context.Context, packed [][]int8, span *trace
 				sub[q] = p[g.info.DimOffset : g.info.DimOffset+g.info.DimLen]
 			}
 			t0 := time.Now()
-			attempts := 0
-			err := g.cl.Do(ctx, func(p *cluster.Pool) error {
-				attempts++
-				return p.Do(ctx, func(c *offload.Client) error {
-					partials, normSq, err := c.PartialScores(sub)
-					if err != nil {
-						return err
-					}
-					results[i] = gatherResult{info: g.info, partials: partials, normSq: normSq}
-					return nil
-				})
+			// Hedged gather: each attempt accumulates into private state
+			// and only the winner's commit publishes into results[i], so
+			// a primary and its hedge can never race on the shared slot.
+			// The attempt counter is deliberately shared — it counts every
+			// partial-score try this shard burned, hedged or not.
+			var attempts atomic.Int64
+			err := g.cl.DoHedged(ctx, span, func() (func(context.Context, *cluster.Pool) error, func()) {
+				var res gatherResult
+				op := func(actx context.Context, p *cluster.Pool) error {
+					attempts.Add(1)
+					return p.Do(actx, func(c *offload.Client) error {
+						partials, normSq, err := c.PartialScoresContext(actx, sub)
+						if err != nil {
+							return err
+						}
+						res = gatherResult{info: g.info, partials: partials, normSq: normSq}
+						return nil
+					})
+				}
+				commit := func() { results[i] = res }
+				return op, commit
 			})
 			d := time.Since(t0)
 			span.ObserveMax(trace.StageGather, d)
@@ -291,8 +308,8 @@ func (co *Coordinator) scatter(ctx context.Context, packed [][]int8, span *trace
 				smGathers.With(g.key).Inc()
 				smGatherSeconds.With(g.key).Observe(d.Seconds())
 			}
-			if attempts > 1 {
-				smPartialRetries.With(g.key).Add(uint64(attempts - 1))
+			if n := attempts.Load(); n > 1 {
+				smPartialRetries.With(g.key).Add(uint64(n - 1))
 			}
 		}(i, g)
 	}

@@ -139,8 +139,12 @@ const (
 	// slowest shard's partial-score round trip (recorded with ObserveMax,
 	// so stragglers — not the sum of overlapping fan-out — show up here).
 	StageGather
+	// StageHedge is the window a hedged backup request was in flight on a
+	// second replica: from hedge launch until the call resolved. Zero when
+	// the primary answered before the hedge delay elapsed.
+	StageHedge
 	// NumStages is the number of stages a Span times.
-	NumStages = int(StageGather) + 1
+	NumStages = int(StageHedge) + 1
 )
 
 // String returns the stage's snake_case name, as used in logs and JSON.
@@ -160,6 +164,8 @@ func (s Stage) String() string {
 		return "network"
 	case StageGather:
 		return "gather"
+	case StageHedge:
+		return "hedge"
 	}
 	return "unknown"
 }
@@ -258,6 +264,7 @@ func (s *Span) Breakdown() Breakdown {
 		WriteNs:   s.stages[StageReplyWrite].Load(),
 		NetworkNs: s.stages[StageNetwork].Load(),
 		GatherNs:  s.stages[StageGather].Load(),
+		HedgeNs:   s.stages[StageHedge].Load(),
 	}
 }
 
@@ -281,6 +288,7 @@ type Breakdown struct {
 	WriteNs   int64 `json:"write_ns,omitempty"`
 	NetworkNs int64 `json:"network_ns,omitempty"`
 	GatherNs  int64 `json:"gather_ns,omitempty"`
+	HedgeNs   int64 `json:"hedge_ns,omitempty"`
 }
 
 // observer is an optional per-entry hook (RecordClient fan-out): load

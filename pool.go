@@ -170,6 +170,18 @@ func (p *Pool) Predict(x []float64) (int, []float64, error) {
 	return p.pool.Classify(context.Background(), q)
 }
 
+// PredictContext is Predict bounded by ctx: the remaining context budget
+// rides on the request frame (Request.BudgetNs) so the server sheds work
+// that can no longer answer in time, and cancellation aborts the wait. A
+// blown deadline surfaces as ErrDeadlineExceeded.
+func (p *Pool) PredictContext(ctx context.Context, x []float64) (int, []float64, error) {
+	q, err := p.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p.pool.Classify(ctx, q)
+}
+
 // PredictBatch obfuscates a batch of inputs and classifies them remotely,
 // pipelining the chunks over one pooled connection.
 func (p *Pool) PredictBatch(X [][]float64) ([]int, error) {
@@ -182,10 +194,16 @@ func (p *Pool) PredictBatch(X [][]float64) ([]int, error) {
 
 // PredictPrepared classifies an already-prepared query hypervector.
 func (p *Pool) PredictPrepared(q []float64) (int, []float64, error) {
+	return p.PredictPreparedContext(context.Background(), q)
+}
+
+// PredictPreparedContext is PredictPrepared bounded by ctx (see
+// PredictContext for the deadline semantics).
+func (p *Pool) PredictPreparedContext(ctx context.Context, q []float64) (int, []float64, error) {
 	if len(q) != p.edge.Dim() {
 		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), p.edge.Dim())
 	}
-	return p.pool.Classify(context.Background(), q)
+	return p.pool.Classify(ctx, q)
 }
 
 // ListModels asks the pooled server for its registry listing (see

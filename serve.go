@@ -48,6 +48,13 @@ var (
 	// so pools back off and clusters fail the operation over to another
 	// replica.
 	ErrOverloaded = offload.ErrOverloaded
+	// ErrDeadlineExceeded reports a request whose context deadline ran out:
+	// either the client's remaining budget was exhausted before sending, the
+	// wait was cut short by the deadline, or the server shed the work
+	// because its stamped budget (Request.BudgetNs) expired in queue. It
+	// deliberately does NOT wrap ErrTransport — retrying a request that is
+	// already out of time only wastes fleet capacity.
+	ErrDeadlineExceeded = offload.ErrDeadlineExceeded
 )
 
 // ServerOption configures a Server.
@@ -314,12 +321,30 @@ func (r *Remote) PredictBatch(X [][]float64) ([]int, error) {
 	return r.client.ClassifyBatch(qs)
 }
 
+// PredictContext is Predict bounded by ctx: the remaining context budget
+// rides on the request frame (Request.BudgetNs) so the server sheds work
+// that can no longer answer in time, and cancellation aborts the wait. A
+// blown deadline surfaces as ErrDeadlineExceeded.
+func (r *Remote) PredictContext(ctx context.Context, x []float64) (int, []float64, error) {
+	q, err := r.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.client.ClassifyContext(ctx, q)
+}
+
 // PredictPrepared classifies an already-prepared query hypervector.
 func (r *Remote) PredictPrepared(q []float64) (int, []float64, error) {
+	return r.PredictPreparedContext(context.Background(), q)
+}
+
+// PredictPreparedContext is PredictPrepared bounded by ctx (see
+// PredictContext for the deadline semantics).
+func (r *Remote) PredictPreparedContext(ctx context.Context, q []float64) (int, []float64, error) {
 	if len(q) != r.edge.Dim() {
 		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), r.edge.Dim())
 	}
-	return r.client.Classify(q)
+	return r.client.ClassifyContext(ctx, q)
 }
 
 // Traces snapshots the process-wide client-side flight recorder.

@@ -91,8 +91,28 @@ func (s *Sharded) Predict(x []float64) (int, []float64, error) {
 	return s.PredictPrepared(q)
 }
 
+// PredictContext is Predict bounded by ctx: the remaining context budget
+// rides on every partial-score frame (Request.BudgetNs) so shard replicas
+// shed work that can no longer answer in time, and cancellation aborts
+// the scatter. A blown deadline surfaces as ErrDeadlineExceeded. With
+// hedging enabled (Target.Hedge, WithHedging) a straggling shard gather
+// races a backup replica of the same group, first reply wins.
+func (s *Sharded) PredictContext(ctx context.Context, x []float64) (int, []float64, error) {
+	q, err := s.edge.Prepare(x)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.PredictPreparedContext(ctx, q)
+}
+
 // PredictPrepared classifies an already-prepared query hypervector.
 func (s *Sharded) PredictPrepared(q []float64) (int, []float64, error) {
+	return s.PredictPreparedContext(context.Background(), q)
+}
+
+// PredictPreparedContext is PredictPrepared bounded by ctx (see
+// PredictContext for the deadline and hedging semantics).
+func (s *Sharded) PredictPreparedContext(ctx context.Context, q []float64) (int, []float64, error) {
 	if len(q) != s.edge.Dim() {
 		return 0, nil, fmt.Errorf("privehd: prepared query has dim %d, edge dim %d", len(q), s.edge.Dim())
 	}
@@ -100,7 +120,7 @@ func (s *Sharded) PredictPrepared(q []float64) (int, []float64, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	return s.co.PredictPacked(context.Background(), packed)
+	return s.co.PredictPacked(ctx, packed)
 }
 
 // PredictBatch obfuscates a batch of inputs and classifies them across
